@@ -1,0 +1,193 @@
+// Reproduces Equation 5.1: the probability that the troupe commit
+// protocol deadlocks when k conflicting transactions run against an
+// n-member troupe, assuming each member serializes them independently
+// and uniformly: P[deadlock] = 1 - (1/k!)^(n-1).
+//
+// Two validations:
+//  1. Monte Carlo over random serialization orders (fast, large trials);
+//  2. the protocol itself: k clients run genuinely conflicting
+//     transactions against an n-member troupe of TransactionalServers
+//     with randomized per-path network delays, and we count how many
+//     first attempts abort through the deadlock machinery.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/avail/analysis.h"
+#include "src/common/check.h"
+#include "src/marshal/marshal.h"
+#include "src/net/world.h"
+#include "src/txn/commit.h"
+
+using circus::Bytes;
+using circus::Status;
+using circus::StatusOr;
+using circus::core::ModuleNumber;
+using circus::core::ProcedureNumber;
+using circus::core::RpcProcess;
+using circus::core::ServerCallContext;
+using circus::core::ThreadId;
+using circus::core::Troupe;
+using circus::net::World;
+using circus::sim::Duration;
+using circus::sim::Task;
+using circus::txn::CommitCoordinator;
+using circus::txn::TransactionalServer;
+using circus::txn::TxnId;
+
+namespace {
+
+constexpr ProcedureNumber kAdd = 1;
+
+Bytes EncodeAdd(const TxnId& txn, int64_t delta) {
+  circus::marshal::Writer w;
+  txn.Write(w);
+  w.WriteI64(delta);
+  return w.Take();
+}
+
+Task<Status> AddBody(RpcProcess* process, ThreadId thread, Troupe troupe,
+                     ModuleNumber module, TxnId txn) {
+  StatusOr<Bytes> r =
+      co_await process->Call(thread, troupe, module, kAdd,
+                             EncodeAdd(txn, 1));
+  co_return r.status();
+}
+
+// One trial: k clients run one conflicting transaction each; returns
+// true if any deadlock machinery fired (lock timeout, waits-for abort,
+// or coordinator timeout).
+bool ProtocolTrial(uint64_t seed, int k, int n) {
+  World world(seed, circus::sim::SyscallCostModel::Free());
+  circus::sim::Rng delays(seed * 7 + 1);
+
+  Troupe troupe;
+  troupe.id = circus::core::TroupeId{99};
+  ModuleNumber module = 0;
+  std::vector<std::unique_ptr<RpcProcess>> server_procs;
+  std::vector<std::unique_ptr<TransactionalServer>> servers;
+  for (int i = 0; i < n; ++i) {
+    circus::sim::Host* host = world.AddHost("s" + std::to_string(i));
+    auto process =
+        std::make_unique<RpcProcess>(&world.network(), host, 9000);
+    auto server =
+        std::make_unique<TransactionalServer>(process.get(), "counter");
+    server->store().set_lock_timeout(Duration::Millis(300));
+    module = server->module_number();
+    TransactionalServer* raw = server.get();
+    server->ExportProcedure(
+        kAdd,
+        [raw](ServerCallContext&,
+              const Bytes& args) -> Task<StatusOr<Bytes>> {
+          circus::marshal::Reader r(args);
+          const TxnId txn = TxnId::Read(r);
+          const int64_t delta = r.ReadI64();
+          raw->store().Begin(txn);
+          int64_t value = 0;
+          StatusOr<Bytes> v = co_await raw->store().Get(txn, "x");
+          if (v.ok()) {
+            circus::marshal::Reader vr(*v);
+            value = vr.ReadI64();
+          } else if (v.status().code() != circus::ErrorCode::kNotFound) {
+            co_return v.status();
+          }
+          circus::marshal::Writer w;
+          w.WriteI64(value + delta);
+          Status s = co_await raw->store().Put(txn, "x", w.Take());
+          if (!s.ok()) {
+            co_return s;
+          }
+          co_return Bytes{};
+        });
+    process->SetTroupeId(troupe.id);
+    troupe.members.push_back(process->module_address(module));
+    server_procs.push_back(std::move(process));
+    servers.push_back(std::move(server));
+  }
+
+  std::vector<std::unique_ptr<RpcProcess>> clients;
+  std::vector<std::unique_ptr<CommitCoordinator>> coordinators;
+  std::vector<std::unique_ptr<circus::sim::Rng>> jitters;
+  uint64_t coordinator_timeouts = 0;
+  for (int c = 0; c < k; ++c) {
+    circus::sim::Host* host = world.AddHost("c" + std::to_string(c));
+    clients.push_back(
+        std::make_unique<RpcProcess>(&world.network(), host, 8000));
+    coordinators.push_back(
+        std::make_unique<CommitCoordinator>(clients.back().get()));
+    jitters.push_back(
+        std::make_unique<circus::sim::Rng>(seed * 97 + c));
+    // Randomize per-path latency so each member serializes the arriving
+    // transactions in an independent order (the Section 5.3.1 model).
+    for (int m = 0; m < n; ++m) {
+      circus::net::FaultPlan plan;
+      plan.base_delay = Duration::Micros(delays.UniformInt(100, 50000));
+      world.network().SetPairFaultPlan(host->id(),
+                                       server_procs[m]->host()->id(), plan);
+    }
+    world.executor().Spawn(
+        [](RpcProcess* client, CommitCoordinator* coordinator,
+           Troupe t, ModuleNumber mod,
+           circus::sim::Rng* jitter) -> Task<void> {
+          const ThreadId thread = client->NewRootThread();
+          circus::txn::RunTransactionOptions opts;
+          opts.max_attempts = 12;
+          opts.rng = jitter;  // randomized back-off avoids retry livelock
+          opts.decision_timeout = Duration::Millis(700);
+          const circus::txn::TransactionBody body =
+              [client, thread, t, mod](const TxnId& txn) {
+                return AddBody(client, thread, t, mod, txn);
+              };
+          Status s = co_await circus::txn::RunTransaction(
+              client, coordinator, thread, t, mod, body, opts);
+          CIRCUS_CHECK(s.ok());
+        }(clients.back().get(), coordinators.back().get(), troupe,
+          module, jitters.back().get()));
+  }
+  world.RunFor(Duration::Seconds(300));
+  uint64_t deadlock_signals = coordinator_timeouts;
+  for (auto& coordinator : coordinators) {
+    deadlock_signals += coordinator->timeouts();
+  }
+  for (auto& server : servers) {
+    deadlock_signals +=
+        server->store().deadlock_aborts() + server->store().lock_timeouts();
+  }
+  return deadlock_signals > 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Equation 5.1: P[deadlock] = 1 - (1/k!)^(n-1)\n\n");
+  std::printf("Monte Carlo over independent serialization orders "
+              "(100000 trials):\n");
+  std::printf("%-4s %-4s %12s %12s\n", "k", "n", "closed form",
+              "Monte Carlo");
+  circus::sim::Rng rng(404);
+  for (const auto& [k, n] : std::vector<std::pair<int, int>>{
+           {1, 3}, {2, 2}, {2, 3}, {2, 5}, {3, 2}, {3, 3}, {4, 2},
+           {5, 3}}) {
+    std::printf("%-4d %-4d %12.4f %12.4f\n", k, n,
+                circus::avail::CommitDeadlockProbability(k, n),
+                circus::avail::SimulateCommitDeadlockProbability(
+                    rng, k, n, 100000));
+  }
+
+  std::printf("\nthe protocol itself (2 conflicting clients, 2-member "
+              "troupe, 30 trials):\n");
+  int deadlocked = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    if (ProtocolTrial(9000 + t, /*k=*/2, /*n=*/2)) {
+      ++deadlocked;
+    }
+  }
+  std::printf("deadlock machinery fired in %d/%d trials (predicted "
+              "probability %.2f);\nevery transaction still committed via "
+              "back-off retry.\n",
+              deadlocked, kTrials,
+              circus::avail::CommitDeadlockProbability(2, 2));
+  return 0;
+}

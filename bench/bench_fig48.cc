@@ -1,0 +1,48 @@
+// Reproduces Figure 4.8: performance of Circus replicated procedure
+// calls as the degree of replication grows, printed as the four series
+// (real, total CPU, user CPU, kernel CPU) plus a crude ASCII rendering.
+// The paper's observation holds in the reproduction: with multicast
+// simulated by successive sendmsg operations, every component of the
+// time per call increases linearly with the size of the troupe.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  constexpr int kCalls = 200;
+  constexpr int kMaxDegree = 5;
+  std::vector<circus::bench::EchoTimings> series;
+  for (int n = 1; n <= kMaxDegree; ++n) {
+    series.push_back(circus::bench::RunCircusEcho(n, kCalls));
+  }
+
+  std::printf("Figure 4.8: performance of Circus replicated procedure "
+              "calls\n");
+  std::printf("%-7s %10s %10s %10s %10s\n", "degree", "real", "total",
+              "user", "kernel");
+  for (int n = 1; n <= kMaxDegree; ++n) {
+    const auto& t = series[n - 1];
+    std::printf("%-7d %10.1f %10.1f %10.1f %10.1f\n", n, t.real_ms,
+                t.total_cpu_ms, t.user_cpu_ms, t.kernel_cpu_ms);
+  }
+
+  // ASCII plot of real time per call.
+  std::printf("\nreal time per call (ms)\n");
+  const double max_real = series.back().real_ms;
+  for (int n = 1; n <= kMaxDegree; ++n) {
+    const int width = static_cast<int>(60.0 * series[n - 1].real_ms /
+                                       max_real);
+    std::printf("%d | %s %.1f\n", n, std::string(width, '#').c_str(),
+                series[n - 1].real_ms);
+  }
+
+  // Linearity check: successive increments should be roughly constant.
+  std::printf("\nincrement per added member (ms of real time):");
+  for (int n = 2; n <= kMaxDegree; ++n) {
+    std::printf(" %.1f", series[n - 1].real_ms - series[n - 2].real_ms);
+  }
+  std::printf("\n(the paper reports 10-20 ms per additional member)\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Real-time (wall clock) micro-benchmarks of the compute-bound pieces of
+// the reproduction, using google-benchmark: the stub compiler front end
+// and back end (Table 7.1's pipeline), the externalization layer
+// (Figure 7.1), the segment codec (Figure 4.2), and the simulation
+// kernel's event throughput. Unlike the table/figure benches these
+// measure this implementation's own speed, not simulated time.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/marshal/marshal.h"
+#include "src/msg/segment.h"
+#include "src/sim/executor.h"
+#include "src/stubgen/codegen.h"
+#include "src/stubgen/idl_parser.h"
+
+namespace {
+
+constexpr const char* kNameServerIdl = R"(
+NameServer: PROGRAM 26 VERSION 1 =
+BEGIN
+  Name: TYPE = STRING;
+  Property: TYPE = RECORD [name: Name, value: SEQUENCE OF UNSPECIFIED];
+  Properties: TYPE = SEQUENCE OF Property;
+  Kind: TYPE = ENUMERATION {user(0), machine(1), service(2)};
+  AlreadyExists: ERROR = 0;
+  NotFound: ERROR = 1;
+  Register: PROCEDURE [name: Name, properties: Properties]
+    REPORTS [AlreadyExists] = 0;
+  Lookup: PROCEDURE [name: Name] RETURNS [properties: Properties]
+    REPORTS [NotFound] = 1;
+  Delete: PROCEDURE [name: Name] REPORTS [NotFound] = 2;
+END.
+)";
+
+void BM_IdlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = circus::stubgen::ParseProgram(kNameServerIdl);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_IdlParse);
+
+void BM_StubCodegen(benchmark::State& state) {
+  auto program = circus::stubgen::ParseProgram(kNameServerIdl);
+  for (auto _ : state) {
+    std::string header = circus::stubgen::GenerateHeader(*program);
+    benchmark::DoNotOptimize(header);
+  }
+}
+BENCHMARK(BM_StubCodegen);
+
+void BM_MarshalWrite(benchmark::State& state) {
+  const std::string name = "a-registered-service-name";
+  for (auto _ : state) {
+    circus::marshal::Writer w;
+    for (int i = 0; i < 32; ++i) {
+      w.WriteString(name);
+      w.WriteU32(i);
+      w.WriteI64(-i);
+    }
+    benchmark::DoNotOptimize(w.bytes());
+  }
+  state.SetBytesProcessed(state.iterations() * 32 *
+                          (name.size() + 4 + 4 + 8));
+}
+BENCHMARK(BM_MarshalWrite);
+
+void BM_MarshalRead(benchmark::State& state) {
+  circus::marshal::Writer w;
+  for (int i = 0; i < 32; ++i) {
+    w.WriteString("a-registered-service-name");
+    w.WriteU32(i);
+    w.WriteI64(-i);
+  }
+  const circus::Bytes data = w.Take();
+  for (auto _ : state) {
+    circus::marshal::Reader r(data);
+    for (int i = 0; i < 32; ++i) {
+      benchmark::DoNotOptimize(r.ReadString());
+      benchmark::DoNotOptimize(r.ReadU32());
+      benchmark::DoNotOptimize(r.ReadI64());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_MarshalRead);
+
+void BM_SegmentEncodeDecode(benchmark::State& state) {
+  circus::msg::Segment s;
+  s.type = circus::msg::MessageType::kCall;
+  s.call_number = 42;
+  s.total_segments = 3;
+  s.segment_number = 2;
+  s.data = circus::Bytes(1024, 'd');
+  for (auto _ : state) {
+    circus::Bytes wire = s.Encode();
+    auto decoded = circus::msg::Segment::Decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * 1032);
+}
+BENCHMARK(BM_SegmentEncodeDecode);
+
+void BM_ExecutorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    circus::sim::Executor executor;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      executor.ScheduleAfter(circus::sim::Duration::Micros(i),
+                             [&counter] { ++counter; });
+    }
+    executor.RunUntilIdle();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ExecutorEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Reproduces the Section 4.4.2 theoretical analysis: with an efficient
+// multicast implementation and exponentially distributed round-trip
+// times, the expected time of a replicated call grows as H_n (i.e.
+// logarithmically) with troupe size, whereas simulating multicast with
+// successive point-to-point sendmsg operations grows linearly.
+//
+// Three columns per troupe size:
+//  * closed form r*H_n (Theorem 4.3);
+//  * measured multicast call latency over the protocol stack (zero
+//    syscall cost, exponential per-packet delays with mean r/2 per
+//    direction);
+//  * measured point-to-point call latency under the 4.2BSD cost model
+//    (sendmsg-dominated, linear — the Circus implementation's regime).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/avail/analysis.h"
+#include "src/common/check.h"
+#include "src/core/process.h"
+#include "src/net/world.h"
+
+using circus::Bytes;
+using circus::StatusOr;
+using circus::core::ModuleNumber;
+using circus::core::RpcProcess;
+using circus::core::ServerCallContext;
+using circus::core::Troupe;
+using circus::net::World;
+using circus::sim::Duration;
+using circus::sim::SyscallCostModel;
+using circus::sim::Task;
+
+namespace {
+
+// Mean one-way packet latency; the analysis' r (mean round trip) is 2x.
+constexpr double kOneWayMeanMs = 5.0;
+
+double MeasureCallLatency(bool multicast, int replication, int calls) {
+  World world(3000 + replication + (multicast ? 100 : 0),
+              multicast ? SyscallCostModel::Free()
+                        : SyscallCostModel::Berkeley42Bsd());
+  circus::net::FaultPlan plan;
+  plan.base_delay = Duration::Zero();
+  plan.mean_extra_delay = Duration::MillisF(kOneWayMeanMs);
+  world.network().set_default_fault_plan(plan);
+
+  Troupe troupe;
+  troupe.id = circus::core::TroupeId{88};
+  const circus::net::HostAddress group = circus::net::MakeMulticastAddress(1);
+  std::vector<std::unique_ptr<RpcProcess>> members;
+  for (int i = 0; i < replication; ++i) {
+    circus::sim::Host* host = world.AddHost("srv" + std::to_string(i));
+    auto process =
+        std::make_unique<RpcProcess>(&world.network(), host, 9000);
+    const ModuleNumber module = process->ExportModule("echo");
+    process->ExportProcedure(
+        module, 0,
+        [](ServerCallContext&, const Bytes& args) -> Task<StatusOr<Bytes>> {
+          co_return args;
+        });
+    process->SetTroupeId(troupe.id);
+    if (multicast) {
+      process->JoinMulticastGroup(group);
+    }
+    troupe.members.push_back(process->module_address(module));
+    members.push_back(std::move(process));
+  }
+  circus::sim::Host* client_host = world.AddHost("client");
+  RpcProcess client(&world.network(), client_host, 8000);
+
+  double total_ms = 0;
+  bool done = false;
+  auto workload = [](RpcProcess* c, Troupe t, bool mc,
+                     circus::net::HostAddress g, int n, double* out,
+                     bool* flag) -> Task<void> {
+    const circus::core::ThreadId thread = c->NewRootThread();
+    circus::core::CallOptions opts;
+    if (mc) {
+      opts.multicast_group = g;
+    }
+    for (int i = 0; i < n; ++i) {
+      const circus::sim::TimePoint t0 = c->host()->executor().now();
+      StatusOr<Bytes> r =
+          co_await c->Call(thread, t, 0, 0, Bytes(8, 'm'), opts);
+      CIRCUS_CHECK(r.ok());
+      *out += (c->host()->executor().now() - t0).ToMillisF();
+    }
+    *flag = true;
+  };
+  world.executor().Spawn(
+      workload(&client, troupe, multicast, group, calls, &total_ms, &done));
+  world.RunFor(Duration::Seconds(3600));
+  CIRCUS_CHECK(done);
+  return total_ms / calls;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kCalls = 150;
+  std::printf("Section 4.4.2: multicast vs point-to-point replicated "
+              "calls (ms per call)\n");
+  std::printf("%-7s %14s %14s %16s\n", "n", "r*H_n (theory)",
+              "multicast", "point-to-point");
+  const double r = 2 * kOneWayMeanMs;  // mean round trip
+  std::vector<double> multicast_series;
+  std::vector<double> p2p_series;
+  for (int n : {1, 2, 3, 4, 6, 8, 12}) {
+    const double theory = circus::avail::ExpectedMaxOfExponentials(n, r);
+    const double mc = MeasureCallLatency(/*multicast=*/true, n, kCalls);
+    const double pp = MeasureCallLatency(/*multicast=*/false, n, kCalls);
+    multicast_series.push_back(mc);
+    p2p_series.push_back(pp);
+    std::printf("%-7d %14.1f %14.1f %16.1f\n", n, theory, mc, pp);
+  }
+  std::printf(
+      "\nshape check: multicast 12-member/1-member latency ratio = %.2f "
+      "(H_12 = %.2f),\n             point-to-point ratio = %.2f "
+      "(linear would be ~12)\n",
+      multicast_series.back() / multicast_series.front(),
+      circus::avail::HarmonicNumber(12),
+      p2p_series.back() / p2p_series.front());
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Reproduces Figure 5.1 in operation: the ordered broadcast protocol.
+// Measures per-broadcast latency and sustained throughput as functions
+// of troupe size, and verifies the protocol's guarantee — identical
+// acceptance order at every member — under concurrent senders with
+// heterogeneous network delays.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/core/process.h"
+#include "src/net/world.h"
+#include "src/txn/ordered_broadcast.h"
+
+using circus::Bytes;
+using circus::BytesFromString;
+using circus::Status;
+using circus::core::ModuleNumber;
+using circus::core::RpcProcess;
+using circus::core::ThreadId;
+using circus::core::Troupe;
+using circus::net::World;
+using circus::sim::Duration;
+using circus::sim::Task;
+using circus::txn::AtomicBroadcast;
+using circus::txn::OrderedBroadcastServer;
+
+namespace {
+
+struct RunResult {
+  double mean_latency_ms = 0;
+  double broadcasts_per_second = 0;
+  bool orders_identical = false;
+};
+
+RunResult RunBroadcastLoad(int members, int senders, int per_sender) {
+  World world(5000 + members * 10 + senders,
+              circus::sim::SyscallCostModel::Free());
+  circus::sim::Rng delays(7 * members + senders);
+
+  Troupe troupe;
+  troupe.id = circus::core::TroupeId{55};
+  ModuleNumber module = 0;
+  std::vector<std::unique_ptr<RpcProcess>> processes;
+  std::vector<std::unique_ptr<OrderedBroadcastServer>> servers;
+  std::vector<std::vector<std::string>> orders(members);
+  for (int i = 0; i < members; ++i) {
+    circus::sim::Host* host = world.AddHost("m" + std::to_string(i));
+    auto process =
+        std::make_unique<RpcProcess>(&world.network(), host, 9000);
+    auto server =
+        std::make_unique<OrderedBroadcastServer>(process.get(), "obcast");
+    module = server->module_number();
+    process->SetTroupeId(troupe.id);
+    troupe.members.push_back(process->module_address(module));
+    world.executor().Spawn(
+        [](OrderedBroadcastServer* s,
+           std::vector<std::string>* out) -> Task<void> {
+          while (true) {
+            Bytes m = co_await s->NextDelivered();
+            out->push_back(circus::StringFromBytes(m));
+          }
+        }(server.get(), &orders[i]));
+    processes.push_back(std::move(process));
+    servers.push_back(std::move(server));
+  }
+
+  std::vector<std::unique_ptr<RpcProcess>> clients;
+  double total_latency_ms = 0;
+  int completed = 0;
+  circus::sim::TimePoint busy_until;
+  const circus::sim::TimePoint t0 = world.now();
+  for (int c = 0; c < senders; ++c) {
+    circus::sim::Host* host = world.AddHost("snd" + std::to_string(c));
+    clients.push_back(
+        std::make_unique<RpcProcess>(&world.network(), host, 8000));
+    for (int m = 0; m < members; ++m) {
+      circus::net::FaultPlan plan;
+      plan.base_delay = Duration::Micros(delays.UniformInt(100, 3000));
+      world.network().SetPairFaultPlan(host->id(),
+                                       processes[m]->host()->id(), plan);
+    }
+    world.executor().Spawn(
+        [](RpcProcess* client, Troupe t, ModuleNumber mod, int cid,
+           int count, double* latency_out, int* done,
+           circus::sim::TimePoint* busy) -> Task<void> {
+          const ThreadId thread = client->NewRootThread();
+          for (int k = 0; k < count; ++k) {
+            const uint64_t id = (static_cast<uint64_t>(cid) << 32) | k;
+            const circus::sim::TimePoint start =
+                client->host()->executor().now();
+            Status s = co_await AtomicBroadcast(
+                client, thread, t, mod, id,
+                BytesFromString("c" + std::to_string(cid) + ":" +
+                                std::to_string(k)));
+            CIRCUS_CHECK(s.ok());
+            *latency_out +=
+                (client->host()->executor().now() - start).ToMillisF();
+            ++*done;
+            if (client->host()->executor().now() > *busy) {
+              *busy = client->host()->executor().now();
+            }
+          }
+        }(clients.back().get(), troupe, module, c, per_sender,
+          &total_latency_ms, &completed, &busy_until));
+  }
+  world.RunFor(Duration::Seconds(600));
+  const double elapsed_s = (busy_until - t0).ToSecondsF();
+
+  RunResult r;
+  CIRCUS_CHECK(completed == senders * per_sender);
+  r.mean_latency_ms = total_latency_ms / completed;
+  // Throughput while the senders were actually active (they finish well
+  // before the RunFor budget; use delivered/elapsed of the busy phase).
+  r.broadcasts_per_second = completed / elapsed_s;
+  r.orders_identical = true;
+  for (int i = 1; i < members; ++i) {
+    if (orders[i] != orders[0]) {
+      r.orders_identical = false;
+    }
+  }
+  CIRCUS_CHECK(orders[0].size() ==
+               static_cast<size_t>(senders * per_sender));
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5.1: ordered broadcast protocol under load\n");
+  std::printf("(4 concurrent senders, 10 broadcasts each, heterogeneous "
+              "delays)\n\n");
+  std::printf("%-9s %14s %16s %14s\n", "members", "latency(ms)",
+              "broadcasts/sec", "same order?");
+  for (int members : {1, 2, 3, 4, 5}) {
+    RunResult r = RunBroadcastLoad(members, /*senders=*/4,
+                                   /*per_sender=*/10);
+    std::printf("%-9d %14.2f %16.1f %14s\n", members, r.mean_latency_ms,
+                r.broadcasts_per_second,
+                r.orders_identical ? "yes" : "NO");
+    CIRCUS_CHECK(r.orders_identical);
+  }
+  std::printf("\nevery member accepted every broadcast in the identical "
+              "order.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Section 4.2.5 ablation: the Circus paired message protocol (all
+// segments transmitted before any is acknowledged) versus the Xerox PARC
+// RPC protocol (explicit acknowledgment of every segment but the last).
+// The PARC scheme needs only one segment of buffering but roughly
+// doubles the packet count of a multi-segment message; the Circus scheme
+// sends the minimum number of segments at the cost of unbounded
+// buffering. The paper also claims better recovery from lost datagrams
+// for Circus on multi-segment messages — visible here as the completion
+// time gap widening with the loss rate.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/msg/paired_endpoint.h"
+#include "src/net/socket.h"
+#include "src/net/world.h"
+
+using circus::Bytes;
+using circus::Status;
+using circus::msg::EndpointOptions;
+using circus::msg::Message;
+using circus::msg::MessageType;
+using circus::msg::PairedEndpoint;
+using circus::net::DatagramSocket;
+using circus::net::World;
+using circus::sim::Duration;
+using circus::sim::SyscallCostModel;
+using circus::sim::Task;
+
+namespace {
+
+struct Result {
+  double completion_ms = 0;
+  uint64_t data_segments = 0;
+  uint64_t ack_segments = 0;
+  uint64_t retransmissions = 0;
+};
+
+Result RunTransfer(EndpointOptions::Mode mode, size_t message_bytes,
+                   double loss, uint64_t seed) {
+  World world(seed, SyscallCostModel::Free());
+  circus::net::FaultPlan plan;
+  plan.base_delay = Duration::MillisF(1.0);
+  plan.loss_probability = loss;
+  world.network().set_default_fault_plan(plan);
+  circus::sim::Host* client_host = world.AddHost("client");
+  circus::sim::Host* server_host = world.AddHost("server");
+  DatagramSocket client_socket(&world.network(), client_host, 0);
+  DatagramSocket server_socket(&world.network(), server_host, 9000);
+  EndpointOptions options;
+  options.mode = mode;
+  options.retransmit_interval = Duration::Millis(100);
+  options.max_retransmits = 100;
+  PairedEndpoint client(&client_socket, options);
+  PairedEndpoint server(&server_socket, options);
+
+  // Server: echo a short return for each call (the return implicitly
+  // acknowledges the call's tail).
+  server_host->Spawn([](PairedEndpoint* ep) -> Task<void> {
+    while (true) {
+      Message m = co_await ep->NextIncomingCall();
+      co_await ep->SendMessage(m.peer, MessageType::kReturn, m.call_number,
+                               Bytes(8, 'r'));
+    }
+  }(&server));
+
+  bool done = false;
+  double elapsed_ms = 0;
+  world.executor().Spawn(
+      [](PairedEndpoint* ep, circus::net::NetAddress to, size_t bytes,
+         double* out, bool* flag) -> Task<void> {
+        const circus::sim::TimePoint t0 = ep->host()->executor().now();
+        Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                            Bytes(bytes, 'x'));
+        CIRCUS_CHECK(s.ok());
+        auto reply = co_await ep->AwaitReturn(to, 1);
+        CIRCUS_CHECK(reply.ok());
+        *out = (ep->host()->executor().now() - t0).ToMillisF();
+        *flag = true;
+      }(&client, server.local_address(), message_bytes, &elapsed_ms,
+        &done));
+  world.RunFor(Duration::Seconds(600));
+  CIRCUS_CHECK(done);
+
+  Result r;
+  r.completion_ms = elapsed_ms;
+  r.data_segments = client.counters().data_segments_sent +
+                    server.counters().data_segments_sent;
+  r.ack_segments = client.counters().ack_segments_sent +
+                   server.counters().ack_segments_sent;
+  r.retransmissions = client.counters().retransmitted_segments +
+                      server.counters().retransmitted_segments;
+  return r;
+}
+
+const char* ModeName(EndpointOptions::Mode mode) {
+  return mode == EndpointOptions::Mode::kSlidingWindow ? "circus"
+                                                       : "parc";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Section 4.2.5: Circus sliding-window vs PARC stop-and-wait "
+              "paired messages\n");
+  std::printf("(one call message of the given size + short return; 1 ms "
+              "packet delay;\n 5-run averages)\n\n");
+  std::printf("%-9s %-7s %7s %10s %8s %8s %10s\n", "message", "mode",
+              "loss", "time(ms)", "data", "acks", "retrans");
+  for (size_t message_bytes : {4096, 16384, 65536}) {
+    for (double loss : {0.0, 0.1, 0.3}) {
+      for (EndpointOptions::Mode mode :
+           {EndpointOptions::Mode::kSlidingWindow,
+            EndpointOptions::Mode::kStopAndWait}) {
+        Result sum;
+        constexpr int kRuns = 5;
+        for (int run = 0; run < kRuns; ++run) {
+          Result r = RunTransfer(mode, message_bytes, loss,
+                                 7000 + run * 31 +
+                                     static_cast<uint64_t>(loss * 100));
+          sum.completion_ms += r.completion_ms;
+          sum.data_segments += r.data_segments;
+          sum.ack_segments += r.ack_segments;
+          sum.retransmissions += r.retransmissions;
+        }
+        std::printf("%-9zu %-7s %6.0f%% %10.1f %8.1f %8.1f %10.1f\n",
+                    message_bytes, ModeName(mode), loss * 100,
+                    sum.completion_ms / kRuns,
+                    static_cast<double>(sum.data_segments) / kRuns,
+                    static_cast<double>(sum.ack_segments) / kRuns,
+                    static_cast<double>(sum.retransmissions) / kRuns);
+      }
+    }
+  }
+  std::printf("\nexpected shape: PARC acks roughly one per data segment "
+              "and pays a round\ntrip per segment; Circus blasts the "
+              "window and completes in ~2 flights\nwhen nothing is "
+              "lost.\n");
+  return 0;
+}

@@ -1,0 +1,242 @@
+// Figure 6.3 in vivo: the birth-death availability model validated
+// against the running system rather than a Markov chain. A troupe of n
+// members lives under continuous fault injection (member machines crash
+// with exponential lifetimes, mean 1/lambda) while the Reconfigurer
+// sweeps on a period chosen so the mean replacement time is 1/mu; a
+// client issues a steady stream of replicated calls and we measure the
+// fraction that fail outright (every member dead) against the Equation
+// 6.1 prediction for the effective repair rate.
+//
+// The paper's operational claim reproduced here: replacing crashed
+// members fast enough relative to their lifetime keeps a modestly
+// replicated troupe effectively always available, and Equation 6.2 tells
+// you how fast "fast enough" is.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/avail/analysis.h"
+#include "src/binding/client.h"
+#include "src/binding/deploy.h"
+#include "src/binding/reconfigurer.h"
+#include "src/common/check.h"
+#include "src/config/parser.h"
+#include "src/core/process.h"
+#include "src/marshal/marshal.h"
+#include "src/net/world.h"
+
+using circus::Bytes;
+using circus::Status;
+using circus::StatusOr;
+using circus::core::ModuleNumber;
+using circus::core::RpcProcess;
+using circus::core::ServerCallContext;
+using circus::net::World;
+using circus::sim::Duration;
+using circus::sim::Task;
+
+namespace {
+
+struct Member {
+  std::unique_ptr<RpcProcess> process;
+  ModuleNumber module = 0;
+  int64_t counter = 0;
+};
+
+struct RunOutcome {
+  int calls_ok = 0;
+  int calls_failed = 0;
+  int members_replaced = 0;
+};
+
+RunOutcome RunScenario(int troupe_size, double lifetime_minutes,
+                       double sweep_minutes, double run_hours,
+                       uint64_t seed) {
+  World world(seed, circus::sim::SyscallCostModel::Free());
+  auto ring = circus::binding::DeployRingmaster(
+      world, world.AddHosts("ring", 1));
+
+  // A generous pool of machines so replacements never run dry.
+  const int kMachines = troupe_size + 14;
+  circus::config::MachineDatabase database;
+  std::map<circus::config::MachineId, circus::sim::Host*> machine_host;
+  for (int i = 0; i < kMachines; ++i) {
+    circus::sim::Host* host = world.AddHost("mach" + std::to_string(i));
+    const circus::config::MachineId id = database.AddMachine(
+        {{"name", circus::config::Value("mach" + std::to_string(i))},
+         {"memory", circus::config::Value(8.0)}});
+    machine_host[id] = host;
+  }
+
+  circus::sim::Host* agent_host = world.AddHost("agent");
+  RpcProcess agent(&world.network(), agent_host, 8100);
+  circus::binding::BindingClient agent_binding(&agent, ring.troupe);
+  circus::binding::Reconfigurer reconfigurer(&agent, &agent_binding,
+                                             &database);
+
+  std::string vars;
+  std::string formula;
+  for (int i = 0; i < troupe_size; ++i) {
+    const std::string v(1, static_cast<char>('a' + i));
+    vars += (i ? ", " : "") + v;
+    formula += (i ? " and " : "") + v + ".memory >= 4";
+  }
+  StatusOr<circus::config::TroupeSpec> spec =
+      circus::config::ParseTroupeSpec("troupe (" + vars + ") where " +
+                                      formula);
+  CIRCUS_CHECK(spec.ok());
+
+  std::vector<std::unique_ptr<Member>> members;
+  reconfigurer.Manage(
+      "service", std::move(*spec),
+      [&](circus::config::MachineId machine)
+          -> StatusOr<circus::binding::Reconfigurer::LaunchedMember> {
+        auto it = machine_host.find(machine);
+        if (it == machine_host.end() || !it->second->up()) {
+          return Status(circus::ErrorCode::kUnavailable, "machine down");
+        }
+        auto member = std::make_unique<Member>();
+        member->process = std::make_unique<RpcProcess>(&world.network(),
+                                                       it->second, 9000);
+        member->module = member->process->ExportModule("service");
+        Member* raw = member.get();
+        member->process->ExportProcedure(
+            member->module, 0,
+            [raw](ServerCallContext&,
+                  const Bytes&) -> Task<StatusOr<Bytes>> {
+              circus::marshal::Writer w;
+              w.WriteI64(++raw->counter);
+              co_return w.Take();
+            });
+        member->process->SetStateProvider(member->module, [raw] {
+          circus::marshal::Writer w;
+          w.WriteI64(raw->counter);
+          return w.Take();
+        });
+        circus::binding::Reconfigurer::LaunchedMember launched;
+        launched.process = member->process.get();
+        launched.module = member->module;
+        launched.accept_state = [raw](const Bytes& state) {
+          circus::marshal::Reader r(state);
+          raw->counter = r.ReadI64();
+        };
+        members.push_back(std::move(member));
+        return launched;
+      });
+
+  RunOutcome outcome;
+
+  // Initial instantiation.
+  world.executor().Spawn(
+      [](circus::binding::Reconfigurer* r, RunOutcome* out) -> Task<void> {
+        StatusOr<circus::binding::ReconfigReport> report =
+            co_await r->SweepOnce();
+        CIRCUS_CHECK(report.ok());
+        out->members_replaced += report->members_added;
+      }(&reconfigurer, &outcome));
+  world.RunFor(Duration::Seconds(60));
+
+  // Fault injector: crash the machine under a random live member with
+  // exponential inter-failure times (rate = troupe_size * lambda, since
+  // each of the n members fails at rate lambda). The loop sleeps on its
+  // own host so world teardown reaps it.
+  circus::sim::Host* injector_host = world.AddHost("injector");
+  circus::sim::Rng fault_rng(seed * 13 + 5);
+  const Duration mean_between_failures = Duration::SecondsF(
+      lifetime_minutes * 60.0 / troupe_size);
+  world.executor().Spawn(
+      [](circus::sim::Host* self, std::vector<std::unique_ptr<Member>>* pool,
+         circus::sim::Rng rng, Duration mean) -> Task<void> {
+        while (true) {
+          co_await self->SleepFor(rng.Exponential(mean));
+          std::vector<circus::sim::Host*> live;
+          for (auto& m : *pool) {
+            if (m->process->host()->up()) {
+              live.push_back(m->process->host());
+            }
+          }
+          if (live.empty()) {
+            continue;
+          }
+          live[rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1)]
+              ->Crash();
+        }
+      }(injector_host, &members, fault_rng.Fork(), mean_between_failures));
+
+  // Repair process: periodic reconfiguration sweeps (host-bound sleep).
+  world.executor().Spawn(
+      [](circus::sim::Host* self, circus::binding::Reconfigurer* r,
+         Duration period, RunOutcome* out) -> Task<void> {
+        while (true) {
+          co_await self->SleepFor(period);
+          StatusOr<circus::binding::ReconfigReport> report =
+              co_await r->SweepOnce();
+          if (report.ok()) {
+            out->members_replaced += report->members_added;
+          }
+        }
+      }(agent_host, &reconfigurer, Duration::SecondsF(sweep_minutes * 60.0),
+        &outcome));
+
+  // Client load: one call per (simulated) 30 seconds through a binding
+  // cache, counting hard failures (no member reachable / stale beyond
+  // repair).
+  circus::sim::Host* client_host = world.AddHost("client");
+  RpcProcess client(&world.network(), client_host, 8200);
+  circus::binding::BindingClient client_binding(&client, ring.troupe);
+  circus::binding::BindingCache cache(&client_binding);
+  client.SetClientTroupeResolver(cache.MakeResolver());
+  world.executor().Spawn(
+      [](RpcProcess* c, circus::binding::BindingCache* cch,
+         RunOutcome* out) -> Task<void> {
+        while (true) {
+          co_await c->host()->SleepFor(Duration::Seconds(30));
+          // Fresh membership each attempt: a real client would rebind on
+          // stale IDs; polling keeps the load loop simple.
+          cch->Invalidate("service");
+          StatusOr<Bytes> r = co_await cch->CallByName(
+              c, c->NewRootThread(), "service", 0, {});
+          if (r.ok()) {
+            ++out->calls_ok;
+          } else {
+            ++out->calls_failed;
+          }
+        }
+      }(&client, &cache, &outcome));
+
+  world.RunFor(Duration::SecondsF(run_hours * 3600.0));
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6.3 in vivo: troupe under continuous crash/replace "
+              "churn\n");
+  std::printf("(member lifetime 30 simulated minutes; reconfiguration "
+              "sweep period varies;\n 3 simulated hours of load, one call "
+              "per 30 s)\n\n");
+  std::printf("%-3s %-12s %10s %10s %10s %12s\n", "n", "sweep(min)",
+              "calls ok", "failed", "replaced", "pred. avail");
+  for (int n : {2, 3}) {
+    for (double sweep_minutes : {3.0, 10.0}) {
+      RunOutcome out = RunScenario(n, /*lifetime_minutes=*/30.0,
+                                   sweep_minutes, /*run_hours=*/3.0,
+                                   /*seed=*/7700 + n * 10 +
+                                       static_cast<uint64_t>(sweep_minutes));
+      // Effective mean replacement time ~ half the sweep period plus the
+      // sweep's own latency; predict with mu = 1/(sweep/2).
+      const double lambda = 1.0 / 30.0;            // per minute
+      const double mu = 1.0 / (sweep_minutes / 2);  // per minute
+      std::printf("%-3d %-12.0f %10d %10d %10d %12.6f\n", n, sweep_minutes,
+                  out.calls_ok, out.calls_failed, out.members_replaced,
+                  circus::avail::TroupeAvailability(n, lambda, mu));
+    }
+  }
+  std::printf("\nexpected shape: failures concentrate where the sweep is "
+              "slow relative to\nthe lifetime and the troupe is small; "
+              "faster sweeps and larger troupes push\nthe failed-call "
+              "count toward zero, tracking Equation 6.1.\n");
+  return 0;
+}

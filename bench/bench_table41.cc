@@ -1,0 +1,55 @@
+// Reproduces Table 4.1: performance of UDP, TCP, and Circus replicated
+// procedure calls on the simulated VAX/Ethernet testbed. Columns are the
+// paper's: real time and total/user/kernel CPU time per call, in
+// milliseconds, averaged over a loop of echo calls. The paper's measured
+// values are printed alongside for comparison; absolute agreement is not
+// the goal (see EXPERIMENTS.md), the shape is: Circus degree 1 costs
+// about twice a bare UDP exchange, and each added member contributes a
+// roughly constant increment.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct PaperRow {
+  const char* label;
+  double real, total, user, kernel;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"(UDP)", 26.5, 13.3, 0.8, 12.4}, {"(TCP)", 23.2, 8.3, 0.5, 7.8},
+    {"1", 48.0, 24.1, 5.9, 18.2},     {"2", 58.0, 45.2, 10.0, 35.2},
+    {"3", 69.4, 66.8, 13.0, 53.8},    {"4", 90.2, 87.2, 16.8, 70.4},
+    {"5", 109.5, 107.2, 21.0, 86.1},
+};
+
+void PrintRow(const char* label, const circus::bench::EchoTimings& t,
+              const PaperRow& paper) {
+  std::printf("%-8s %8.1f %9.1f %8.1f %10.1f   | %8.1f %9.1f %8.1f %10.1f\n",
+              label, t.real_ms, t.total_cpu_ms, t.user_cpu_ms,
+              t.kernel_cpu_ms, paper.real, paper.total, paper.user,
+              paper.kernel);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kCalls = 200;
+  std::printf("Table 4.1: performance of UDP, TCP, and Circus "
+              "(ms per call, %d-call average)\n",
+              kCalls);
+  std::printf("%-8s %8s %9s %8s %10s   | %8s %9s %8s %10s\n", "degree",
+              "real", "total", "user", "kernel", "real*", "total*",
+              "user*", "kernel*");
+  std::printf("%-8s %49s | (* = paper, VAX-11/750)\n", "", "");
+
+  PrintRow("(UDP)", circus::bench::RunUdpEcho(kCalls), kPaper[0]);
+  PrintRow("(TCP)", circus::bench::RunTcpEcho(kCalls), kPaper[1]);
+  for (int n = 1; n <= 5; ++n) {
+    char label[8];
+    std::snprintf(label, sizeof(label), "%d", n);
+    PrintRow(label, circus::bench::RunCircusEcho(n, kCalls), kPaper[1 + n]);
+  }
+  return 0;
+}

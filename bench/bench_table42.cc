@@ -1,0 +1,65 @@
+// Reproduces Table 4.2: CPU time for the Berkeley 4.2BSD system calls
+// used in Circus. In this reproduction the measured costs are the
+// simulator's cost model inputs, so this bench (a) prints the model
+// beside the paper's measurements and (b) verifies, by running charged
+// operations on a simulated host, that each syscall charges exactly its
+// modelled cost — i.e. that the substrate the other benches stand on is
+// calibrated as claimed.
+#include <cstdio>
+
+#include "src/net/world.h"
+#include "src/sim/syscall.h"
+#include "tests/test_util.h"
+
+using circus::sim::Duration;
+using circus::sim::Syscall;
+using circus::sim::SyscallCostModel;
+using circus::sim::Task;
+
+namespace {
+
+struct Row {
+  Syscall syscall;
+  double paper_ms;
+  const char* description;
+};
+
+constexpr Row kRows[] = {
+    {Syscall::kSendMsg, 8.1, "send datagram"},
+    {Syscall::kRecvMsg, 2.8, "receive datagram"},
+    {Syscall::kSelect, 1.8, "inquire if datagram has arrived"},
+    {Syscall::kSetITimer, 1.2, "start interval timer"},
+    {Syscall::kGetTimeOfDay, 0.7, "get time of day"},
+    {Syscall::kSigBlock, 0.4, "mask software interrupts"},
+};
+
+}  // namespace
+
+int main() {
+  const SyscallCostModel model = SyscallCostModel::Berkeley42Bsd();
+  circus::net::World world(1, model);
+  circus::sim::Host* host = world.AddHost("vax");
+
+  std::printf("Table 4.2: CPU time for Berkeley 4.2BSD system calls used "
+              "in Circus\n");
+  std::printf("%-14s %10s %10s %10s  %s\n", "system call", "model(ms)",
+              "charged", "paper(ms)", "description");
+  for (const Row& row : kRows) {
+    // Charge the syscall 100 times on the host and measure the per-call
+    // CPU attributed to it.
+    const circus::sim::CpuStats before = host->cpu();
+    circus::testing::RunTask(world.executor(),
+                             [](circus::sim::Host* h, Syscall s) -> Task<void> {
+                               for (int i = 0; i < 100; ++i) {
+                                 co_await h->DoSyscall(s);
+                               }
+                             }(host, row.syscall));
+    const circus::sim::CpuStats used = host->cpu() - before;
+    std::printf("%-14s %10.1f %10.1f %10.1f  %s\n",
+                std::string(SyscallName(row.syscall)).c_str(),
+                model.cost(row.syscall).ToMillisF(),
+                used.time(row.syscall).ToMillisF() / 100.0, row.paper_ms,
+                row.description);
+  }
+  return 0;
+}

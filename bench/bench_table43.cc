@@ -1,0 +1,52 @@
+// Reproduces Table 4.3: execution profile of Circus replicated procedure
+// calls — the percentage of total client CPU time spent in each of the
+// six 4.2BSD system calls, as a function of the degree of replication.
+// The paper's finding: sendmsg is the largest single contributor and the
+// six calls together account for more than half of the CPU time; the
+// linear growth of the sendmsg share with troupe size is what motivates
+// a true multicast implementation (Section 4.4.2).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using circus::sim::CpuStats;
+using circus::sim::Syscall;
+
+namespace {
+
+constexpr Syscall kProfiled[] = {
+    Syscall::kSendMsg,   Syscall::kRecvMsg,      Syscall::kSelect,
+    Syscall::kSetITimer, Syscall::kGetTimeOfDay, Syscall::kSigBlock,
+};
+
+// Paper's Table 4.3 for reference (percent of total CPU; sendmsg column).
+constexpr double kPaperSendmsgShare[] = {27.2, 28.8, 32.5, 32.9, 33.0};
+
+}  // namespace
+
+int main() {
+  constexpr int kCalls = 200;
+  std::printf("Table 4.3: execution profile for Circus replicated "
+              "procedure calls\n");
+  std::printf("(percentage of total client CPU time per system call)\n");
+  std::printf("%-7s", "degree");
+  for (Syscall s : kProfiled) {
+    std::printf(" %12s", std::string(SyscallName(s)).c_str());
+  }
+  std::printf(" %8s %10s\n", "six sum", "paper-sm*");
+  for (int n = 1; n <= 5; ++n) {
+    CpuStats cpu;
+    circus::bench::RunCircusEcho(n, kCalls, &cpu);
+    const double total_ms = cpu.total_time().ToMillisF();
+    std::printf("%-7d", n);
+    double sum = 0;
+    for (Syscall s : kProfiled) {
+      const double share = 100.0 * cpu.time(s).ToMillisF() / total_ms;
+      sum += share;
+      std::printf(" %12.1f", share);
+    }
+    std::printf(" %8.1f %10.1f\n", sum, kPaperSendmsgShare[n - 1]);
+  }
+  std::printf("(* paper's sendmsg share for comparison)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared scaffolding for the reproduction benches: the simulated
+// 4.2BSD/VAX testbed configuration and the echo workloads of Figures
+// 4.5-4.7, used by the Table 4.1/4.3 and Figure 4.8 benches.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/core/process.h"
+#include "src/net/socket.h"
+#include "src/net/stream.h"
+#include "src/net/world.h"
+
+namespace circus::bench {
+
+// Calibration of the simulated testbed against the paper's measurements:
+//  * network propagation + interrupt latency per packet (Table 4.1's
+//    26.5 ms UDP round trip = 13.3 ms client CPU + 10.9 ms server CPU +
+//    ~2 packet flights);
+//  * user-mode CPU of the Circus runtime per call (Table 4.1's user
+//    column: ~5.9 ms at degree 1, growing ~3-4 ms per extra member).
+inline constexpr sim::Duration kPacketDelay = sim::Duration::MillisF(1.15);
+inline constexpr sim::Duration kClientUserBase = sim::Duration::MillisF(2.9);
+inline constexpr sim::Duration kClientUserPerMember =
+    sim::Duration::MillisF(3.0);
+inline constexpr sim::Duration kServerUser = sim::Duration::MillisF(2.0);
+
+struct EchoTimings {
+  double real_ms = 0;
+  double total_cpu_ms = 0;
+  double user_cpu_ms = 0;
+  double kernel_cpu_ms = 0;
+};
+
+// One row of Table 4.1, measured the same way the paper measured it:
+// wall-clock and getrusage-style CPU deltas around a loop of calls,
+// averaged.
+inline EchoTimings MeasureOnClientHost(net::World& world, sim::Host* client,
+                                       int calls,
+                                       const std::function<void()>& kick) {
+  const sim::TimePoint t0 = world.now();
+  const sim::CpuStats cpu0 = client->cpu();
+  kick();  // runs the workload to completion (RunFor inside)
+  const sim::Duration real = world.now() - t0;
+  const sim::CpuStats used = client->cpu() - cpu0;
+  EchoTimings t;
+  t.real_ms = real.ToMillisF() / calls;
+  t.user_cpu_ms = used.user_time.ToMillisF() / calls;
+  t.kernel_cpu_ms = used.kernel_time().ToMillisF() / calls;
+  t.total_cpu_ms = t.user_cpu_ms + t.kernel_cpu_ms;
+  return t;
+}
+
+// The Figure 4.5 UDP echo pair: client does sendmsg / alarm / recvmsg /
+// alarm; server does recvmsg / sendmsg.
+EchoTimings RunUdpEcho(int calls);
+
+// The Figure 4.6 TCP echo pair: connect once, then write/read loop.
+EchoTimings RunTcpEcho(int calls);
+
+// The Figure 4.7 Circus echo: a replicated procedure call to an echo
+// troupe of `replication` members.
+EchoTimings RunCircusEcho(int replication, int calls,
+                          sim::CpuStats* client_cpu_out = nullptr);
+
+}  // namespace circus::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

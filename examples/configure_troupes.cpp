@@ -1,0 +1,100 @@
+// Programming-in-the-large (Section 7.5): the troupe configuration
+// language and configuration manager.
+//
+// A machine attribute database describes the department's machines; a
+// troupe specification in the configuration language says what the
+// troupe needs; the manager instantiates the troupe and later solves the
+// troupe extension problem when a chosen machine fails — swapping in a
+// replacement while disturbing the existing members as little as
+// possible (minimal symmetric difference).
+//
+//   $ ./examples/configure_troupes
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/config/manager.h"
+#include "src/config/parser.h"
+
+using circus::config::ConfigurationManager;
+using circus::config::MachineDatabase;
+using circus::config::MachineId;
+using circus::config::ParseTroupeSpec;
+using circus::config::SolveResult;
+using circus::config::TroupeSpec;
+using circus::config::Value;
+
+namespace {
+
+void PrintSelection(const MachineDatabase& db, const SolveResult& r) {
+  for (const auto& [var, machine] : r.assignment) {
+    const auto name = db.Attribute(machine, "name");
+    std::printf("   %s -> %s\n", var.c_str(),
+                name.has_value()
+                    ? std::get<std::string>(*name).c_str()
+                    : "?");
+  }
+  std::printf("   (symmetric difference from previous set: %zu)\n",
+              r.symmetric_difference);
+}
+
+}  // namespace
+
+int main() {
+  MachineDatabase db;
+  auto add = [&db](const std::string& name, double memory, bool fpu,
+                   const std::string& machine_room) {
+    return db.AddMachine({{"name", Value(name)},
+                          {"memory", Value(memory)},
+                          {"has-floating-point", Value(fpu)},
+                          {"machine-room", Value(machine_room)}});
+  };
+  // The universe: six VAX-11/750s, like the paper's testbed.
+  add("UCB-Monet", 10, true, "evans");
+  add("UCB-Degas", 4, true, "evans");
+  const MachineId renoir = add("UCB-Renoir", 8, true, "cory");
+  add("UCB-Matisse", 2, false, "cory");
+  add("UCB-Seurat", 8, true, "cory");
+  add("UCB-Arpa", 8, false, "evans");
+
+  std::printf("-- the troupe specification, in the configuration "
+              "language:\n");
+  const std::string spec_text =
+      "troupe (x, y, z) where\n"
+      "  x.memory >= 8 and x.has-floating-point and\n"
+      "  y.memory >= 8 and y.has-floating-point and\n"
+      "  z.memory >= 4 and z.has-floating-point";
+  std::printf("%s\n", spec_text.c_str());
+  circus::StatusOr<TroupeSpec> spec = ParseTroupeSpec(spec_text);
+  CIRCUS_CHECK(spec.ok());
+
+  ConfigurationManager manager(&db);
+  std::printf("-- instantiation (the troupe extension problem with an "
+              "empty set):\n");
+  circus::StatusOr<SolveResult> initial = manager.Instantiate(*spec);
+  CIRCUS_CHECK(initial.ok());
+  PrintSelection(db, *initial);
+
+  std::printf("-- UCB-Renoir crashes and is withdrawn from service;\n"
+              "-- re-solving keeps the surviving members:\n");
+  db.RemoveMachine(renoir);
+  circus::StatusOr<SolveResult> replaced =
+      manager.ExtendTroupe(*spec, initial->machines);
+  CIRCUS_CHECK(replaced.ok());
+  PrintSelection(db, *replaced);
+
+  std::printf("-- a stricter spec: every member in a different machine "
+              "room\n   cannot be expressed per-machine; but pinning one "
+              "works:\n");
+  circus::StatusOr<TroupeSpec> pinned = ParseTroupeSpec(
+      "troupe (x, y) where x.machine-room = \"evans\" and "
+      "y.machine-room = \"cory\" and x.memory >= 4 and y.memory >= 4");
+  CIRCUS_CHECK(pinned.ok());
+  circus::StatusOr<SolveResult> split = manager.Instantiate(*pinned);
+  CIRCUS_CHECK(split.ok());
+  PrintSelection(db, *split);
+
+  std::printf("done.\n");
+  return 0;
+}

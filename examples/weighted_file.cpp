@@ -1,0 +1,249 @@
+// Weighted voting over replicated procedure calls (Section 4.3.6 claims
+// the collator framework "is sufficiently general to express weighted
+// voting"; this example is the proof by construction, after Gifford
+// 1979).
+//
+// A replicated file has representatives with voting weights; reads
+// gather a read quorum r of weight and return the highest-versioned
+// copy; writes push a new version until a write quorum w has applied it.
+// With r + w greater than the total weight, every read quorum intersects
+// every write quorum, so reads always see the latest durable write —
+// even with stale or crashed representatives. The collators are plain
+// application code over the ReplyStream generator (Section 7.4).
+//
+//   $ ./examples/weighted_file
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/core/collator.h"
+#include "src/core/process.h"
+#include "src/marshal/marshal.h"
+#include "src/net/world.h"
+
+using circus::Bytes;
+using circus::Status;
+using circus::StatusOr;
+using circus::core::CallOptions;
+using circus::core::ModuleAddress;
+using circus::core::ModuleNumber;
+using circus::core::Reply;
+using circus::core::ReplyStream;
+using circus::core::RpcProcess;
+using circus::core::ServerCallContext;
+using circus::core::Troupe;
+using circus::net::World;
+using circus::sim::Duration;
+using circus::sim::Task;
+
+namespace {
+
+constexpr circus::core::ProcedureNumber kRead = 0;
+constexpr circus::core::ProcedureNumber kWrite = 1;
+
+struct Copy {
+  uint32_t version = 0;
+  std::string content;
+};
+
+Bytes EncodeCopy(const Copy& c) {
+  circus::marshal::Writer w;
+  w.WriteU32(c.version);
+  w.WriteString(c.content);
+  return w.Take();
+}
+
+Copy DecodeCopy(const Bytes& raw) {
+  circus::marshal::Reader r(raw);
+  Copy c;
+  c.version = r.ReadU32();
+  c.content = r.ReadString();
+  return c;
+}
+
+
+// Collator factories live OUTSIDE coroutines: GCC 12 miscompiles
+// capturing-lambda -> std::function conversions performed inside a
+// coroutine body (see README, compiler caveats).
+circus::core::Collator MakeReadCollator(
+    std::map<ModuleAddress, int> weights, int r) {
+  return [weights, r](ReplyStream& stream) -> Task<StatusOr<Bytes>> {
+    int heard = 0;
+    std::optional<Copy> best;
+    while (heard < r) {
+      std::optional<Reply> reply = co_await stream.Next();
+      if (!reply.has_value()) {
+        break;
+      }
+      if (!reply->result.ok()) {
+        continue;
+      }
+      Copy c = DecodeCopy(*reply->result);
+      auto w = weights.find(reply->member);
+      heard += (w == weights.end()) ? 0 : w->second;
+      if (!best.has_value() || c.version > best->version) {
+        best = std::move(c);
+      }
+    }
+    if (heard < r) {
+      co_return Status(circus::ErrorCode::kUnavailable,
+                       "read quorum unreachable");
+    }
+    co_return EncodeCopy(*best);
+  };
+}
+
+circus::core::Collator MakeWriteCollator(
+    std::map<ModuleAddress, int> weights, int w) {
+  return [weights, w](ReplyStream& stream) -> Task<StatusOr<Bytes>> {
+    int applied = 0;
+    while (true) {
+      std::optional<Reply> reply = co_await stream.Next();
+      if (!reply.has_value()) {
+        break;
+      }
+      if (reply->result.ok()) {
+        auto it = weights.find(reply->member);
+        applied += (it == weights.end()) ? 0 : it->second;
+        if (applied >= w) {
+          co_return Bytes{};
+        }
+      }
+    }
+    co_return Status(circus::ErrorCode::kUnavailable,
+                     "write quorum unreachable");
+  };
+}
+
+struct Representative {
+  std::unique_ptr<RpcProcess> process;
+  ModuleNumber module = 0;
+  int weight = 1;
+  Copy copy;
+};
+
+class WeightedFile {
+ public:
+  WeightedFile(World& world, const std::vector<int>& weights) {
+    troupe_.id = circus::core::TroupeId{4242};
+    for (size_t i = 0; i < weights.size(); ++i) {
+      auto rep = std::make_unique<Representative>();
+      rep->weight = weights[i];
+      circus::sim::Host* host =
+          world.AddHost("rep" + std::to_string(i));
+      rep->process =
+          std::make_unique<RpcProcess>(&world.network(), host, 9000);
+      rep->module = rep->process->ExportModule("file");
+      Representative* raw = rep.get();
+      rep->process->ExportProcedure(
+          rep->module, kRead,
+          [raw](ServerCallContext&, const Bytes&) -> Task<StatusOr<Bytes>> {
+            co_return EncodeCopy(raw->copy);
+          });
+      rep->process->ExportProcedure(
+          rep->module, kWrite,
+          [raw](ServerCallContext&,
+                const Bytes& args) -> Task<StatusOr<Bytes>> {
+            Copy incoming = DecodeCopy(args);
+            if (incoming.version > raw->copy.version) {
+              raw->copy = std::move(incoming);
+            }
+            co_return Bytes{};
+          });
+      rep->process->SetTroupeId(troupe_.id);
+      troupe_.members.push_back(rep->process->module_address(rep->module));
+      weight_of_[troupe_.members.back()] = rep->weight;
+      reps_.push_back(std::move(rep));
+    }
+  }
+
+  const Troupe& troupe() const { return troupe_; }
+  Representative& rep(size_t i) { return *reps_[i]; }
+
+  // Read with quorum r: lazy collator, stops once r weight has answered.
+  Task<StatusOr<Copy>> Read(RpcProcess* client, int r) {
+    CallOptions opts;
+    opts.custom_collator = MakeReadCollator(weight_of_, r);
+    StatusOr<Bytes> raw = co_await client->Call(
+        client->NewRootThread(), troupe_, 0, kRead, {}, opts);
+    if (!raw.ok()) {
+      co_return raw.status();
+    }
+    co_return DecodeCopy(*raw);
+  }
+
+  // Write with quorum w.
+  Task<Status> Write(RpcProcess* client, Copy copy, int w) {
+    CallOptions opts;
+    opts.custom_collator = MakeWriteCollator(weight_of_, w);
+    StatusOr<Bytes> r = co_await client->Call(
+        client->NewRootThread(), troupe_, 0, kWrite, EncodeCopy(copy),
+        opts);
+    co_return r.status();
+  }
+
+ private:
+  Troupe troupe_;
+  std::vector<std::unique_ptr<Representative>> reps_;
+  std::map<ModuleAddress, int> weight_of_;
+};
+
+Task<void> Main(World* world, WeightedFile* file) {
+  circus::sim::Host* host = world->AddHost("client");
+  RpcProcess client(&world->network(), host, 8000);
+  // Weights 2,1,1 (total 4); r = 2, w = 3: r + w > 4.
+  constexpr int kReadQuorum = 2;
+  constexpr int kWriteQuorum = 3;
+
+  std::printf("-- write v1 with a write quorum of %d/4 weight\n",
+              kWriteQuorum);
+  // Named values rather than braced temporaries in co_await statements:
+  // GCC 12 miscompiles aggregate-prvalue coroutine arguments with
+  // non-trivial members (the frame copy aliases the temporary).
+  const Copy draft{1, "draft"};
+  Status w1 = co_await file->Write(&client, draft, kWriteQuorum);
+  CIRCUS_CHECK(w1.ok());
+
+  std::printf("-- a light representative sleeps through the next write\n");
+  file->rep(2).process->host()->Crash();
+  const Copy final_version{2, "final"};
+  Status w2 = co_await file->Write(&client, final_version, kWriteQuorum);
+  CIRCUS_CHECK(w2.ok());
+  file->rep(2).process->host()->Restart();
+  std::printf("   rep2 rebooted, stale at version %u\n",
+              file->rep(2).copy.version);
+
+  std::printf("-- reads with r=%d always intersect the write quorum\n",
+              kReadQuorum);
+  StatusOr<Copy> read = co_await file->Read(&client, kReadQuorum);
+  CIRCUS_CHECK(read.ok());
+  std::printf("   read -> version %u, \"%s\"\n", read->version,
+              read->content.c_str());
+  CIRCUS_CHECK(read->version == 2);
+
+  std::printf("-- crash both light representatives: the heavy one alone\n"
+              "   (weight 2) satisfies r=2 but not w=3\n");
+  file->rep(1).process->host()->Crash();
+  StatusOr<Copy> still = co_await file->Read(&client, kReadQuorum);
+  CIRCUS_CHECK(still.ok());
+  std::printf("   read still ok: version %u\n", still->version);
+  const Copy blocked_version{3, "blocked"};
+  Status blocked =
+      co_await file->Write(&client, blocked_version, kWriteQuorum);
+  std::printf("   write with w=3: %s\n", blocked.ToString().c_str());
+  CIRCUS_CHECK(!blocked.ok());
+  std::printf("done.\n");
+}
+
+}  // namespace
+
+int main() {
+  World world(/*seed=*/1979);  // Gifford's year
+  WeightedFile file(world, {2, 1, 1});
+  world.executor().Spawn(Main(&world, &file));
+  world.RunFor(Duration::Seconds(600));
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "src/avail/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace circus::avail {
+
+double HarmonicNumber(int n) {
+  double h = 0;
+  for (int k = 1; k <= n; ++k) {
+    h += 1.0 / k;
+  }
+  return h;
+}
+
+double ExpectedMaxOfExponentials(int n, double mean) {
+  return HarmonicNumber(n) * mean;
+}
+
+double SimulateMaxOfExponentials(sim::Rng& rng, int n, double mean,
+                                 int trials) {
+  CIRCUS_CHECK(n >= 1 && trials >= 1);
+  double sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    double max_value = 0;
+    for (int i = 0; i < n; ++i) {
+      const double u = rng.UniformDouble();
+      const double x = -mean * std::log(1.0 - u);
+      max_value = std::max(max_value, x);
+    }
+    sum += max_value;
+  }
+  return sum / trials;
+}
+
+double CommitDeadlockProbability(int k, int n) {
+  CIRCUS_CHECK(k >= 1 && n >= 1);
+  // (1/k!)^(n-1), computed in log space to stay finite for large k.
+  double log_k_factorial = 0;
+  for (int i = 2; i <= k; ++i) {
+    log_k_factorial += std::log(static_cast<double>(i));
+  }
+  const double p_same = std::exp(-log_k_factorial * (n - 1));
+  return 1.0 - p_same;
+}
+
+double SimulateCommitDeadlockProbability(sim::Rng& rng, int k, int n,
+                                         int trials) {
+  CIRCUS_CHECK(k >= 1 && n >= 1 && trials >= 1);
+  int deadlocks = 0;
+  std::vector<int> reference(k);
+  std::vector<int> order(k);
+  for (int t = 0; t < trials; ++t) {
+    std::iota(reference.begin(), reference.end(), 0);
+    std::shuffle(reference.begin(), reference.end(), rng.engine());
+    bool all_same = true;
+    for (int member = 1; member < n; ++member) {
+      std::iota(order.begin(), order.end(), 0);
+      std::shuffle(order.begin(), order.end(), rng.engine());
+      if (order != reference) {
+        all_same = false;
+        // Keep drawing the remaining members' orders so the number of
+        // random draws per trial is constant (deterministic streams).
+      }
+    }
+    if (!all_same) {
+      ++deadlocks;
+    }
+  }
+  return static_cast<double>(deadlocks) / trials;
+}
+
+double TroupeAvailability(int n, double lambda, double mu) {
+  CIRCUS_CHECK(n >= 1 && lambda > 0 && mu > 0);
+  return 1.0 - std::pow(lambda / (lambda + mu), n);
+}
+
+std::vector<double> BirthDeathDistribution(int n, double lambda,
+                                           double mu) {
+  CIRCUS_CHECK(n >= 1 && lambda > 0 && mu > 0);
+  const double rho = lambda / mu;
+  std::vector<double> p(n + 1);
+  // p_k = C(n, k) rho^k / (1 + rho)^n (machine-repair M/M/n/n,
+  // Kleinrock). Compute C(n, k) iteratively.
+  const double denom = std::pow(1.0 + rho, n);
+  double binom = 1;
+  double rho_k = 1;
+  for (int k = 0; k <= n; ++k) {
+    p[k] = binom * rho_k / denom;
+    binom = binom * (n - k) / (k + 1);
+    rho_k *= rho;
+  }
+  return p;
+}
+
+double MaxReplacementTimeOverLifetime(int n, double target_availability) {
+  CIRCUS_CHECK(n >= 1);
+  CIRCUS_CHECK(target_availability > 0 && target_availability < 1);
+  // From Equation 6.2: 1/mu = (1/lambda) * x / (1 - x) with
+  // x = (1 - A)^(1/n).
+  const double x = std::pow(1.0 - target_availability, 1.0 / n);
+  return x / (1.0 - x);
+}
+
+BirthDeathSample SimulateBirthDeath(sim::Rng& rng, int n, double lambda,
+                                    double mu, double duration_units) {
+  CIRCUS_CHECK(n >= 1 && duration_units > 0);
+  BirthDeathSample sample;
+  sample.state_time.assign(n + 1, 0.0);
+  int failed = 0;
+  double t = 0;
+  while (t < duration_units) {
+    const double fail_rate = (n - failed) * lambda;
+    const double repair_rate = failed * mu;
+    const double total_rate = fail_rate + repair_rate;
+    // Exponential holding time in the current state.
+    const double u = rng.UniformDouble();
+    double dwell = -std::log(1.0 - u) / total_rate;
+    if (t + dwell > duration_units) {
+      dwell = duration_units - t;
+      sample.state_time[failed] += dwell;
+      break;
+    }
+    sample.state_time[failed] += dwell;
+    t += dwell;
+    // Choose the transition.
+    if (rng.UniformDouble() * total_rate < fail_rate) {
+      ++failed;
+      ++sample.total_failures;
+    } else {
+      --failed;
+    }
+  }
+  for (double& s : sample.state_time) {
+    s /= duration_units;
+  }
+  sample.availability = 1.0 - sample.state_time[n];
+  return sample;
+}
+
+}  // namespace circus::avail

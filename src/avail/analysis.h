@@ -1,0 +1,74 @@
+// The dissertation's analytical models, as a small numerics library, each
+// paired with a Monte Carlo validator so the benches can show closed form
+// and simulation agreeing.
+//
+//  * Theorem 4.3: the expected maximum of n independent exponentials with
+//    mean 1/mu is H_n/mu, where H_n is the n-th harmonic number — hence
+//    the expected time of a multicast replicated call grows only
+//    logarithmically with troupe size (Section 4.4.2).
+//  * Equation 5.1: with k conflicting transactions and an n-member
+//    troupe, the probability that the troupe commit protocol deadlocks
+//    is 1 - (1/k!)^(n-1) under independent uniform serialization orders.
+//  * Equations 6.1/6.2: the birth-death (M/M/n/n) model of troupe
+//    availability — A = 1 - (lambda/(lambda+mu))^n — and the maximum
+//    replacement time that still achieves a target availability
+//    (Section 6.4.2, Figure 6.3).
+#ifndef SRC_AVAIL_ANALYSIS_H_
+#define SRC_AVAIL_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace circus::avail {
+
+// H_n = 1 + 1/2 + ... + 1/n; H_0 = 0.
+double HarmonicNumber(int n);
+
+// Theorem 4.3: E[max of n iid Exp(mean)] = H_n * mean.
+double ExpectedMaxOfExponentials(int n, double mean);
+
+// Monte Carlo estimate of the same quantity.
+double SimulateMaxOfExponentials(sim::Rng& rng, int n, double mean,
+                                 int trials);
+
+// Equation 5.1: P[deadlock] = 1 - (1/k!)^(n-1) for k conflicting
+// transactions at an n-member troupe.
+double CommitDeadlockProbability(int k, int n);
+
+// Monte Carlo: each of n members draws an independent uniform
+// serialization order of k transactions; a trial deadlocks unless all
+// orders are identical.
+double SimulateCommitDeadlockProbability(sim::Rng& rng, int k, int n,
+                                         int trials);
+
+// Equation 6.1: troupe availability with n members, failure rate lambda
+// (1/mean lifetime), repair rate mu (1/mean replacement time).
+double TroupeAvailability(int n, double lambda, double mu);
+
+// The full birth-death equilibrium distribution: p[k] = probability of k
+// failed members, k = 0..n (the M/M/n/n machine-repair model of
+// Figure 6.3): p_k = C(n,k) rho^k / (1+rho)^n with rho = lambda/mu.
+std::vector<double> BirthDeathDistribution(int n, double lambda, double mu);
+
+// Equation 6.2: the largest mean replacement time 1/mu that still
+// achieves availability `target` given member lifetime 1/lambda;
+// returned as a multiple of the lifetime.
+double MaxReplacementTimeOverLifetime(int n, double target_availability);
+
+struct BirthDeathSample {
+  double availability = 0;           // fraction of time not all failed
+  std::vector<double> state_time;    // fraction of time with k failed
+  uint64_t total_failures = 0;
+};
+
+// Continuous-time Monte Carlo of the birth-death process: n members,
+// exponential lifetimes (rate lambda each) and repairs (rate mu each),
+// run for `duration_units` of model time.
+BirthDeathSample SimulateBirthDeath(sim::Rng& rng, int n, double lambda,
+                                    double mu, double duration_units);
+
+}  // namespace circus::avail
+
+#endif  // SRC_AVAIL_ANALYSIS_H_

@@ -1,0 +1,281 @@
+#include "src/binding/client.h"
+
+#include <utility>
+
+#include "src/binding/codec.h"
+#include "src/binding/ringmaster.h"
+#include "src/common/log.h"
+#include "src/marshal/marshal.h"
+
+namespace circus::binding {
+
+using circus::Status;
+using circus::StatusOr;
+using core::ModuleAddress;
+using core::Troupe;
+using core::TroupeId;
+using sim::Task;
+
+BindingClient::BindingClient(core::RpcProcess* process,
+                             core::Troupe ringmaster)
+    : process_(process), ringmaster_(std::move(ringmaster)) {}
+
+Task<StatusOr<circus::Bytes>> BindingClient::Invoke(
+    core::ProcedureNumber proc, circus::Bytes args) {
+  // Binding traffic is runtime-internal: each process talks to the
+  // binding agent on its own behalf, so the call is unreplicated even if
+  // the process belongs to a troupe.
+  core::CallOptions opts;
+  opts.as_unreplicated_client = true;
+  const core::ModuleNumber module =
+      ringmaster_.members.empty() ? 0 : ringmaster_.members.front().module;
+  co_return co_await process_->Call(process_->NewRootThread(), ringmaster_,
+                                    module, proc, std::move(args), opts);
+}
+
+Task<StatusOr<TroupeId>> BindingClient::RegisterTroupe(
+    const std::string& name, const Troupe& troupe) {
+  marshal::Writer w;
+  w.WriteString(name);
+  WriteTroupe(w, troupe);
+  StatusOr<circus::Bytes> r =
+      co_await Invoke(kRegisterTroupe, w.Take());
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  marshal::Reader reader(*r);
+  const TroupeId id{reader.ReadU64()};
+  if (!reader.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad register result");
+  }
+  co_return id;
+}
+
+Task<StatusOr<TroupeId>> BindingClient::AddTroupeMember(
+    const std::string& name, ModuleAddress member) {
+  marshal::Writer w;
+  w.WriteString(name);
+  WriteModuleAddress(w, member);
+  StatusOr<circus::Bytes> r =
+      co_await Invoke(kAddTroupeMember, w.Take());
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  marshal::Reader reader(*r);
+  const TroupeId id{reader.ReadU64()};
+  if (!reader.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad add_member result");
+  }
+  co_return id;
+}
+
+Task<StatusOr<TroupeId>> BindingClient::RemoveTroupeMember(
+    const std::string& name, ModuleAddress member) {
+  marshal::Writer w;
+  w.WriteString(name);
+  WriteModuleAddress(w, member);
+  StatusOr<circus::Bytes> r =
+      co_await Invoke(kRemoveTroupeMember, w.Take());
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  marshal::Reader reader(*r);
+  const TroupeId id{reader.ReadU64()};
+  if (!reader.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad remove_member result");
+  }
+  co_return id;
+}
+
+Task<StatusOr<Troupe>> BindingClient::LookupByName(const std::string& name) {
+  marshal::Writer w;
+  w.WriteString(name);
+  StatusOr<circus::Bytes> r = co_await Invoke(kLookupByName, w.Take());
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  marshal::Reader reader(*r);
+  Troupe t = ReadTroupe(reader);
+  if (!reader.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad lookup result");
+  }
+  co_return t;
+}
+
+Task<StatusOr<Troupe>> BindingClient::LookupById(TroupeId id) {
+  marshal::Writer w;
+  w.WriteU64(id.value);
+  StatusOr<circus::Bytes> r = co_await Invoke(kLookupById, w.Take());
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  marshal::Reader reader(*r);
+  Troupe t = ReadTroupe(reader);
+  if (!reader.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad lookup result");
+  }
+  co_return t;
+}
+
+Task<StatusOr<Troupe>> BindingClient::Rebind(const std::string& name,
+                                             TroupeId stale) {
+  marshal::Writer w;
+  w.WriteString(name);
+  w.WriteU64(stale.value);
+  StatusOr<circus::Bytes> r = co_await Invoke(kRebind, w.Take());
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  marshal::Reader reader(*r);
+  Troupe t = ReadTroupe(reader);
+  if (!reader.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad rebind result");
+  }
+  co_return t;
+}
+
+Task<StatusOr<std::vector<std::string>>> BindingClient::Enumerate() {
+  StatusOr<circus::Bytes> r = co_await Invoke(kEnumerate, {});
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  marshal::Reader reader(*r);
+  std::vector<std::string> names = reader.ReadSequence<std::string>(
+      [](marshal::Reader& rr) { return rr.ReadString(); });
+  if (!reader.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad enumerate result");
+  }
+  co_return names;
+}
+
+// ---------------------------------------------------------------------
+// BindingCache
+
+Task<StatusOr<Troupe>> BindingCache::Import(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    co_return it->second;
+  }
+  StatusOr<Troupe> t = co_await client_->LookupByName(name);
+  if (t.ok()) {
+    by_name_[name] = *t;
+    by_id_[t->id] = *t;
+  }
+  co_return t;
+}
+
+Task<StatusOr<Troupe>> BindingCache::ResolveId(TroupeId id) {
+  auto it = by_id_.find(id);
+  if (it != by_id_.end()) {
+    co_return it->second;
+  }
+  StatusOr<Troupe> t = co_await client_->LookupById(id);
+  if (t.ok()) {
+    by_id_[id] = *t;
+  }
+  co_return t;
+}
+
+Task<StatusOr<circus::Bytes>> BindingCache::CallByName(
+    core::RpcProcess* process, core::ThreadId thread,
+    const std::string& name, core::ProcedureNumber procedure,
+    circus::Bytes args, core::CallOptions opts, int max_rebinds) {
+  for (int attempt = 0; attempt <= max_rebinds; ++attempt) {
+    StatusOr<Troupe> troupe = co_await Import(name);
+    if (!troupe.ok()) {
+      co_return troupe.status();
+    }
+    const core::ModuleNumber module = troupe->members.front().module;
+    StatusOr<circus::Bytes> r = co_await process->Call(
+        thread, *troupe, module, procedure, args, opts);
+    if (r.ok() || r.status().code() != ErrorCode::kStaleBinding) {
+      co_return r;
+    }
+    // Masking stale binding information (Section 6.1): invalidate,
+    // rebind, retry.
+    Invalidate(name);
+    StatusOr<Troupe> fresh = co_await client_->Rebind(name, troupe->id);
+    if (fresh.ok()) {
+      by_name_[name] = *fresh;
+      by_id_[fresh->id] = *fresh;
+    }
+  }
+  co_return Status(ErrorCode::kStaleBinding,
+                   "binding for " + name + " kept going stale");
+}
+
+core::RpcProcess::TroupeResolver BindingCache::MakeResolver() {
+  return [this](TroupeId id) -> Task<StatusOr<Troupe>> {
+    co_return co_await ResolveId(id);
+  };
+}
+
+// ---------------------------------------------------------------------
+// JoinTroupe
+
+Task<Status> JoinTroupe(core::RpcProcess* process,
+                        core::ModuleNumber module, BindingClient* binding,
+                        const std::string& name,
+                        std::function<void(const circus::Bytes&)>
+                            accept_state) {
+  StatusOr<Troupe> existing = co_await binding->LookupByName(name);
+  if (existing.ok() && !existing->members.empty()) {
+    // Initialize our state from the existing members. The replicated
+    // get_state call checks consistency across members for free (the
+    // unanimous collator flags divergent replicas); an unreplicated call
+    // to any single member would also suffice (Section 6.4.1).
+    marshal::Writer w;
+    w.WriteU16(existing->members.front().module);
+    core::CallOptions opts;
+    opts.as_unreplicated_client = true;
+    StatusOr<circus::Bytes> state = co_await process->Call(
+        process->NewRootThread(), *existing, core::kRuntimeModule,
+        core::kGetState, w.Take(), opts);
+    if (!state.ok()) {
+      co_return state.status();
+    }
+    if (accept_state) {
+      accept_state(*state);
+    }
+  }
+  StatusOr<TroupeId> id = co_await binding->AddTroupeMember(
+      name, process->module_address(module));
+  co_return id.status();
+}
+
+// ---------------------------------------------------------------------
+// GcAgent
+
+Task<StatusOr<int>> GcAgent::SweepOnce() {
+  StatusOr<std::vector<std::string>> names = co_await binding_->Enumerate();
+  if (!names.ok()) {
+    co_return names.status();
+  }
+  int collected = 0;
+  for (const std::string& name : *names) {
+    StatusOr<Troupe> troupe = co_await binding_->LookupByName(name);
+    if (!troupe.ok()) {
+      continue;
+    }
+    for (const ModuleAddress& member : troupe->members) {
+      // The "are you there?" null call (Section 6.1).
+      core::CallOptions opts;
+      opts.as_unreplicated_client = true;
+      StatusOr<circus::Bytes> pong = co_await process_->Call(
+          process_->NewRootThread(), Troupe::Direct(member),
+          core::kRuntimeModule, core::kPing, {}, opts);
+      if (!pong.ok() &&
+          (pong.status().code() == ErrorCode::kCrashDetected ||
+           pong.status().code() == ErrorCode::kUnavailable)) {
+        StatusOr<TroupeId> removed =
+            co_await binding_->RemoveTroupeMember(name, member);
+        if (removed.ok()) {
+          ++collected;
+        }
+      }
+    }
+  }
+  co_return collected;
+}
+
+}  // namespace circus::binding

@@ -1,0 +1,117 @@
+// Client-side binding machinery (Chapter 6):
+//
+//  * BindingClient — typed stubs for the Ringmaster interface, invoked as
+//    replicated procedure calls on the (possibly replicated) Ringmaster
+//    troupe, bootstrapped from well-known addresses (Section 6.3).
+//  * BindingCache — import-by-name with caching and transparent rebind:
+//    a call that fails with kStaleBinding invalidates the cached entry,
+//    re-imports, and retries (Section 6.1). Lookups by troupe ID are
+//    immutable (the ID changes with every membership change), so the ID
+//    cache never goes stale — this is the Section 6.2 design point.
+//  * JoinTroupe — the Section 6.4.1 recipe for a replacement member:
+//    fetch the module state from the existing members with get_state,
+//    internalize it, then add_troupe_member.
+//  * GcAgent — the external garbage collector of Section 6.1: enumerates
+//    registered troupes, probes members with the null call, and removes
+//    the ones that do not respond.
+#ifndef SRC_BINDING_CLIENT_H_
+#define SRC_BINDING_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/process.h"
+#include "src/core/types.h"
+
+namespace circus::binding {
+
+class BindingClient {
+ public:
+  // `ringmaster` is the bootstrap binding: the member addresses are
+  // known out of band (well-known port + configured machine set); the
+  // troupe ID is left unbound.
+  BindingClient(core::RpcProcess* process, core::Troupe ringmaster);
+
+  const core::Troupe& ringmaster() const { return ringmaster_; }
+
+  sim::Task<circus::StatusOr<core::TroupeId>> RegisterTroupe(
+      const std::string& name, const core::Troupe& troupe);
+  sim::Task<circus::StatusOr<core::TroupeId>> AddTroupeMember(
+      const std::string& name, core::ModuleAddress member);
+  sim::Task<circus::StatusOr<core::TroupeId>> RemoveTroupeMember(
+      const std::string& name, core::ModuleAddress member);
+  sim::Task<circus::StatusOr<core::Troupe>> LookupByName(
+      const std::string& name);
+  sim::Task<circus::StatusOr<core::Troupe>> LookupById(core::TroupeId id);
+  sim::Task<circus::StatusOr<core::Troupe>> Rebind(const std::string& name,
+                                                   core::TroupeId stale);
+  sim::Task<circus::StatusOr<std::vector<std::string>>> Enumerate();
+
+ private:
+  sim::Task<circus::StatusOr<circus::Bytes>> Invoke(
+      core::ProcedureNumber proc, circus::Bytes args);
+
+  core::RpcProcess* process_;
+  core::Troupe ringmaster_;
+};
+
+class BindingCache {
+ public:
+  explicit BindingCache(BindingClient* client) : client_(client) {}
+
+  // Import by interface name; cached after the first lookup.
+  sim::Task<circus::StatusOr<core::Troupe>> Import(const std::string& name);
+  void Invalidate(const std::string& name) { by_name_.erase(name); }
+
+  // Resolve a troupe ID; safe to cache forever (IDs are incarnations).
+  sim::Task<circus::StatusOr<core::Troupe>> ResolveId(core::TroupeId id);
+
+  // A replicated call with transparent rebinding: on kStaleBinding the
+  // cache re-imports `name` and retries, up to `max_rebinds` times.
+  sim::Task<circus::StatusOr<circus::Bytes>> CallByName(
+      core::RpcProcess* process, core::ThreadId thread,
+      const std::string& name, core::ProcedureNumber procedure,
+      circus::Bytes args, core::CallOptions opts = {}, int max_rebinds = 2);
+
+  // A resolver suitable for RpcProcess::SetClientTroupeResolver.
+  core::RpcProcess::TroupeResolver MakeResolver();
+
+  size_t cached_names() const { return by_name_.size(); }
+
+ private:
+  BindingClient* client_;
+  std::map<std::string, core::Troupe> by_name_;
+  std::map<core::TroupeId, core::Troupe> by_id_;
+};
+
+// Brings `process`'s module `module` into the troupe named `name`:
+// transfers state from the existing members (if any) through get_state,
+// hands it to `accept_state`, and registers with the binding agent. The
+// dissertation brackets the two steps in one atomic transaction
+// (Section 6.4.1); see src/txn for the transactional variant.
+sim::Task<circus::Status> JoinTroupe(
+    core::RpcProcess* process, core::ModuleNumber module,
+    BindingClient* binding, const std::string& name,
+    std::function<void(const circus::Bytes&)> accept_state);
+
+// External garbage collector: probes every member of every registered
+// troupe with the null call and removes the silent ones.
+class GcAgent {
+ public:
+  GcAgent(core::RpcProcess* process, BindingClient* binding)
+      : process_(process), binding_(binding) {}
+
+  // One sweep; returns the number of members collected.
+  sim::Task<circus::StatusOr<int>> SweepOnce();
+
+ private:
+  core::RpcProcess* process_;
+  BindingClient* binding_;
+};
+
+}  // namespace circus::binding
+
+#endif  // SRC_BINDING_CLIENT_H_

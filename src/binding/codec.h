@@ -1,0 +1,45 @@
+// External representations of binding-agent types (Figure 6.1): module
+// addresses, troupes, and troupe IDs as they travel in call and return
+// messages between clients and the Ringmaster.
+#ifndef SRC_BINDING_CODEC_H_
+#define SRC_BINDING_CODEC_H_
+
+#include "src/core/types.h"
+#include "src/marshal/marshal.h"
+
+namespace circus::binding {
+
+inline void WriteModuleAddress(marshal::Writer& w,
+                               const core::ModuleAddress& a) {
+  w.WriteU32(a.process.host);
+  w.WriteU16(a.process.port);
+  w.WriteU16(a.module);
+}
+
+inline core::ModuleAddress ReadModuleAddress(marshal::Reader& r) {
+  core::ModuleAddress a;
+  a.process.host = r.ReadU32();
+  a.process.port = r.ReadU16();
+  a.module = r.ReadU16();
+  return a;
+}
+
+inline void WriteTroupe(marshal::Writer& w, const core::Troupe& t) {
+  w.WriteU64(t.id.value);
+  w.WriteSequence(t.members,
+                  [](marshal::Writer& writer, const core::ModuleAddress& m) {
+                    WriteModuleAddress(writer, m);
+                  });
+}
+
+inline core::Troupe ReadTroupe(marshal::Reader& r) {
+  core::Troupe t;
+  t.id.value = r.ReadU64();
+  t.members = r.ReadSequence<core::ModuleAddress>(
+      [](marshal::Reader& reader) { return ReadModuleAddress(reader); });
+  return t;
+}
+
+}  // namespace circus::binding
+
+#endif  // SRC_BINDING_CODEC_H_

@@ -1,0 +1,25 @@
+#include "src/binding/deploy.h"
+
+namespace circus::binding {
+
+RingmasterDeployment DeployRingmaster(net::World& world,
+                                      const std::vector<sim::Host*>& hosts,
+                                      core::RpcOptions options) {
+  RingmasterDeployment d;
+  d.troupe.id = kRingmasterTroupeId;
+  for (sim::Host* host : hosts) {
+    auto process = std::make_unique<core::RpcProcess>(
+        &world.network(), host, kRingmasterPort, options);
+    auto server = std::make_unique<RingmasterServer>(process.get());
+    d.troupe.members.push_back(
+        process->module_address(server->module_number()));
+    d.processes.push_back(std::move(process));
+    d.servers.push_back(std::move(server));
+  }
+  for (auto& server : d.servers) {
+    server->BootstrapSelf(d.troupe);
+  }
+  return d;
+}
+
+}  // namespace circus::binding

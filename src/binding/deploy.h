@@ -1,0 +1,32 @@
+// Convenience deployment of a Ringmaster troupe across a set of hosts,
+// used by tests, examples, and benches. Mirrors the Section 6.3
+// bootstrap: the member addresses come from configuration (here, the
+// host list) and the well-known port.
+#ifndef SRC_BINDING_DEPLOY_H_
+#define SRC_BINDING_DEPLOY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/binding/ringmaster.h"
+#include "src/core/process.h"
+#include "src/net/world.h"
+
+namespace circus::binding {
+
+struct RingmasterDeployment {
+  std::vector<std::unique_ptr<core::RpcProcess>> processes;
+  std::vector<std::unique_ptr<RingmasterServer>> servers;
+  // The bootstrap binding clients use to reach the Ringmaster troupe.
+  core::Troupe troupe;
+};
+
+// Starts one RingmasterServer per host, bootstraps each replica with the
+// full membership, and returns the deployment.
+RingmasterDeployment DeployRingmaster(net::World& world,
+                                      const std::vector<sim::Host*>& hosts,
+                                      core::RpcOptions options = {});
+
+}  // namespace circus::binding
+
+#endif  // SRC_BINDING_DEPLOY_H_

@@ -1,0 +1,118 @@
+#include "src/binding/reconfigurer.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/log.h"
+
+namespace circus::binding {
+
+using circus::Status;
+using circus::StatusOr;
+using core::ModuleAddress;
+using core::Troupe;
+using sim::Task;
+
+Reconfigurer::Reconfigurer(core::RpcProcess* agent_process,
+                           BindingClient* binding,
+                           config::MachineDatabase* database)
+    : agent_(agent_process),
+      binding_(binding),
+      database_(database),
+      manager_(database) {}
+
+void Reconfigurer::Manage(const std::string& troupe_name,
+                          config::TroupeSpec spec, Launcher launcher) {
+  troupe_name_ = troupe_name;
+  spec_ = std::move(spec);
+  launcher_ = std::move(launcher);
+}
+
+Task<bool> Reconfigurer::MemberAlive(const ModuleAddress& member) {
+  core::CallOptions opts;
+  opts.as_unreplicated_client = true;
+  StatusOr<circus::Bytes> pong = co_await agent_->Call(
+      agent_->NewRootThread(), Troupe::Direct(member), core::kRuntimeModule,
+      core::kPing, {}, opts);
+  co_return pong.ok();
+}
+
+Task<StatusOr<ReconfigReport>> Reconfigurer::SweepOnce() {
+  ReconfigReport report;
+
+  // 1. Current membership (an unknown name means first instantiation).
+  std::vector<ModuleAddress> members;
+  StatusOr<Troupe> current = co_await binding_->LookupByName(troupe_name_);
+  if (current.ok()) {
+    members = current->members;
+  }
+
+  // 2. Probe and retire the dead (Section 6.1's garbage collection,
+  //    plus withdrawing their machines from service so the solver will
+  //    not re-select them).
+  std::vector<config::MachineId> surviving_machines;
+  for (const ModuleAddress& member : members) {
+    const bool alive = co_await MemberAlive(member);
+    auto machine = machine_of_.find(member.process);
+    if (alive) {
+      if (machine != machine_of_.end()) {
+        surviving_machines.push_back(machine->second);
+      }
+      continue;
+    }
+    StatusOr<core::TroupeId> removed =
+        co_await binding_->RemoveTroupeMember(troupe_name_, member);
+    if (removed.ok()) {
+      ++report.members_removed;
+    }
+    if (machine != machine_of_.end()) {
+      database_->RemoveMachine(machine->second);
+      machine_of_.erase(machine);
+    }
+  }
+
+  // 3. Solve the troupe extension problem against the survivors.
+  StatusOr<config::SolveResult> solution =
+      manager_.ExtendTroupe(spec_, surviving_machines);
+  if (!solution.ok()) {
+    co_return solution.status();
+  }
+
+  // 4. Launch and join a member on every newly selected machine.
+  const std::set<config::MachineId> survivors(surviving_machines.begin(),
+                                              surviving_machines.end());
+  for (config::MachineId machine : solution->machines) {
+    if (survivors.contains(machine)) {
+      continue;
+    }
+    StatusOr<LaunchedMember> launched = launcher_(machine);
+    if (!launched.ok()) {
+      CIRCUS_LOG(LogLevel::kWarning)
+          << "launch on machine " << machine
+          << " failed: " << launched.status().ToString();
+      continue;
+    }
+    // get_state transfer + add_troupe_member (Section 6.4.1).
+    BindingClient member_binding(launched->process,
+                                 binding_->ringmaster());
+    Status joined = co_await JoinTroupe(
+        launched->process, launched->module, &member_binding, troupe_name_,
+        launched->accept_state);
+    if (!joined.ok()) {
+      CIRCUS_LOG(LogLevel::kWarning)
+          << "join of replacement on machine " << machine
+          << " failed: " << joined.ToString();
+      continue;
+    }
+    machine_of_[launched->process->process_address()] = machine;
+    ++report.members_added;
+  }
+
+  StatusOr<Troupe> final_troupe =
+      co_await binding_->LookupByName(troupe_name_);
+  report.final_size = final_troupe.ok() ? final_troupe->members.size() : 0;
+  co_return report;
+}
+
+}  // namespace circus::binding

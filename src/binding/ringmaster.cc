@@ -1,0 +1,295 @@
+#include "src/binding/ringmaster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/binding/codec.h"
+#include "src/common/log.h"
+#include "src/marshal/marshal.h"
+
+namespace circus::binding {
+
+using circus::Status;
+using circus::StatusOr;
+using core::ModuleAddress;
+using core::Troupe;
+using core::TroupeId;
+using sim::Task;
+
+namespace {
+
+uint64_t Fnv64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+circus::Bytes EncodeId(TroupeId id) {
+  marshal::Writer w;
+  w.WriteU64(id.value);
+  return w.Take();
+}
+
+circus::Bytes EncodeTroupeResult(const Troupe& t) {
+  marshal::Writer w;
+  WriteTroupe(w, t);
+  return w.Take();
+}
+
+}  // namespace
+
+core::TroupeId RingmasterServer::MakeTroupeId(const std::string& name,
+                                              uint16_t version) {
+  // Deterministic across replicas: a pure function of (name, version).
+  // The version makes every membership change produce a fresh ID, which
+  // is what turns troupe IDs into incarnation numbers (Section 6.2).
+  const uint64_t value = (Fnv64(name) << 16) | version;
+  return TroupeId{value == 0 ? 1 : value};
+}
+
+RingmasterServer::RingmasterServer(core::RpcProcess* process)
+    : process_(process) {
+  module_ = process_->ExportModule("binding");
+  process_->ExportProcedure(
+      module_, kRegisterTroupe,
+      [this](core::ServerCallContext&,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        co_return Register(args);
+      });
+  process_->ExportProcedure(
+      module_, kAddTroupeMember,
+      [this](core::ServerCallContext& ctx,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        co_return co_await AddMember(ctx, args);
+      });
+  process_->ExportProcedure(
+      module_, kRemoveTroupeMember,
+      [this](core::ServerCallContext& ctx,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        co_return co_await RemoveMember(ctx, args);
+      });
+  process_->ExportProcedure(
+      module_, kLookupByName,
+      [this](core::ServerCallContext&,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        co_return Lookup(args, /*by_id=*/false);
+      });
+  process_->ExportProcedure(
+      module_, kLookupById,
+      [this](core::ServerCallContext&,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        co_return Lookup(args, /*by_id=*/true);
+      });
+  process_->ExportProcedure(
+      module_, kRebind,
+      [this](core::ServerCallContext&,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        // rebind(name, stale_id): the stale binding is only a hint
+        // (Section 6.1); return the current binding.
+        marshal::Reader r(args);
+        const std::string name = r.ReadString();
+        r.ReadU64();  // the hint; not blindly trusted
+        if (!r.AtEnd()) {
+          co_return Status(ErrorCode::kProtocolError, "bad rebind args");
+        }
+        std::optional<Troupe> t = FindByName(name);
+        if (!t.has_value()) {
+          co_return Status(ErrorCode::kNotFound,
+                           "no troupe named " + name);
+        }
+        co_return EncodeTroupeResult(*t);
+      });
+  process_->ExportProcedure(
+      module_, kEnumerate,
+      [this](core::ServerCallContext&,
+             const circus::Bytes&) -> Task<StatusOr<circus::Bytes>> {
+        marshal::Writer w;
+        std::vector<std::string> names;
+        names.reserve(by_name_.size());
+        for (const auto& [name, entry] : by_name_) {
+          names.push_back(name);
+        }
+        w.WriteSequence(names, [](marshal::Writer& writer,
+                                  const std::string& s) {
+          writer.WriteString(s);
+        });
+        co_return w.Take();
+      });
+  // State transfer for extending the Ringmaster troupe itself.
+  process_->SetStateProvider(module_, [this] {
+    marshal::Writer w;
+    w.WriteU32(static_cast<uint32_t>(by_name_.size()));
+    for (const auto& [name, entry] : by_name_) {
+      w.WriteString(name);
+      w.WriteU16(entry.version);
+      WriteTroupe(w, entry.troupe);
+    }
+    return w.Take();
+  });
+  // The Ringmaster resolves client troupe IDs from its own registry; no
+  // recursive lookup is needed (or possible, for its own troupe).
+  process_->SetClientTroupeResolver(
+      [this](TroupeId id) -> Task<StatusOr<Troupe>> {
+        std::optional<Troupe> t = FindById(id);
+        if (!t.has_value()) {
+          co_return Status(ErrorCode::kNotFound, "unknown client troupe");
+        }
+        co_return *t;
+      });
+}
+
+void RingmasterServer::BootstrapSelf(const core::Troupe& self_troupe) {
+  Entry entry;
+  entry.version = 1;
+  entry.troupe = self_troupe;
+  entry.troupe.id = kRingmasterTroupeId;
+  id_to_name_[entry.troupe.id] = kRingmasterName;
+  by_name_[kRingmasterName] = std::move(entry);
+  process_->SetTroupeId(kRingmasterTroupeId);
+}
+
+std::optional<Troupe> RingmasterServer::FindByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second.troupe;
+}
+
+std::optional<Troupe> RingmasterServer::FindById(TroupeId id) const {
+  auto it = id_to_name_.find(id);
+  if (it == id_to_name_.end()) {
+    return std::nullopt;
+  }
+  return FindByName(it->second);
+}
+
+StatusOr<circus::Bytes> RingmasterServer::Register(
+    const circus::Bytes& args) {
+  marshal::Reader r(args);
+  const std::string name = r.ReadString();
+  Troupe troupe = ReadTroupe(r);
+  if (!r.AtEnd()) {
+    return Status(ErrorCode::kProtocolError, "bad register args");
+  }
+  if (by_name_.contains(name)) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "troupe already registered: " + name);
+  }
+  Entry entry;
+  entry.version = 1;
+  entry.troupe = std::move(troupe);
+  entry.troupe.id = MakeTroupeId(name, entry.version);
+  id_to_name_[entry.troupe.id] = name;
+  const TroupeId id = entry.troupe.id;
+  by_name_[name] = std::move(entry);
+  return EncodeId(id);
+}
+
+Task<Status> RingmasterServer::PropagateTroupeId(
+    core::ServerCallContext& ctx, const Troupe& troupe) {
+  // set_troupe_id(troupe_id) at troupe (Figure 6.2): every member must
+  // learn the new ID. Addressed as an unbound call because the members'
+  // current IDs are in flux.
+  marshal::Writer w;
+  w.WriteU64(troupe.id.value);
+  Troupe unbound = troupe;
+  unbound.id = TroupeId{};
+  StatusOr<circus::Bytes> r = co_await ctx.Call(
+      unbound, core::kRuntimeModule, core::kSetTroupeId, w.Take());
+  co_return r.status();
+}
+
+Task<StatusOr<circus::Bytes>> RingmasterServer::AddMember(
+    core::ServerCallContext& ctx, const circus::Bytes& args) {
+  marshal::Reader r(args);
+  const std::string name = r.ReadString();
+  const ModuleAddress member = ReadModuleAddress(r);
+  if (!r.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad add_member args");
+  }
+  Entry& entry = by_name_[name];  // creates on first export (Section 6.3)
+  for (const ModuleAddress& m : entry.troupe.members) {
+    if (m == member) {
+      co_return Status(ErrorCode::kAlreadyExists,
+                       "member already in troupe " + name);
+    }
+  }
+  if (entry.version != 0) {
+    id_to_name_.erase(entry.troupe.id);
+  }
+  ++entry.version;
+  entry.troupe.members.push_back(member);
+  entry.troupe.id = MakeTroupeId(name, entry.version);
+  id_to_name_[entry.troupe.id] = name;
+  Status propagate = co_await PropagateTroupeId(ctx, entry.troupe);
+  if (!propagate.ok()) {
+    CIRCUS_LOG(LogLevel::kWarning)
+        << "set_troupe_id propagation for " << name
+        << " failed: " << propagate.ToString();
+  }
+  co_return EncodeId(by_name_[name].troupe.id);
+}
+
+Task<StatusOr<circus::Bytes>> RingmasterServer::RemoveMember(
+    core::ServerCallContext& ctx, const circus::Bytes& args) {
+  marshal::Reader r(args);
+  const std::string name = r.ReadString();
+  const ModuleAddress member = ReadModuleAddress(r);
+  if (!r.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad remove_member args");
+  }
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    co_return Status(ErrorCode::kNotFound, "no troupe named " + name);
+  }
+  Entry& entry = it->second;
+  auto pos = std::find(entry.troupe.members.begin(),
+                       entry.troupe.members.end(), member);
+  if (pos == entry.troupe.members.end()) {
+    co_return Status(ErrorCode::kNotFound, "member not in troupe " + name);
+  }
+  id_to_name_.erase(entry.troupe.id);
+  entry.troupe.members.erase(pos);
+  ++entry.version;
+  entry.troupe.id = MakeTroupeId(name, entry.version);
+  id_to_name_[entry.troupe.id] = name;
+  if (!entry.troupe.members.empty()) {
+    Status propagate = co_await PropagateTroupeId(ctx, entry.troupe);
+    if (!propagate.ok()) {
+      CIRCUS_LOG(LogLevel::kWarning)
+          << "set_troupe_id propagation for " << name
+          << " failed: " << propagate.ToString();
+    }
+  }
+  co_return EncodeId(it->second.troupe.id);
+}
+
+StatusOr<circus::Bytes> RingmasterServer::Lookup(const circus::Bytes& args,
+                                                 bool by_id) const {
+  marshal::Reader r(args);
+  std::optional<Troupe> found;
+  if (by_id) {
+    const TroupeId id{r.ReadU64()};
+    if (!r.AtEnd()) {
+      return Status(ErrorCode::kProtocolError, "bad lookup args");
+    }
+    found = FindById(id);
+  } else {
+    const std::string name = r.ReadString();
+    if (!r.AtEnd()) {
+      return Status(ErrorCode::kProtocolError, "bad lookup args");
+    }
+    found = FindByName(name);
+  }
+  if (!found.has_value() || found->members.empty()) {
+    return Status(ErrorCode::kNotFound, "no such troupe");
+  }
+  return EncodeTroupeResult(*found);
+}
+
+}  // namespace circus::binding

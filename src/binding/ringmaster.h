@@ -1,0 +1,100 @@
+// The Ringmaster (Section 6.3): the binding agent for troupes. A
+// specialized name server that lets programs import and export troupes by
+// name. It is itself intended to run as a troupe whose procedures are
+// invoked by replicated procedure calls; its handlers are deterministic
+// state-machine updates, so replicas stay consistent.
+//
+// Troupe IDs double as incarnation numbers (Section 6.2): every
+// membership change assigns a fresh ID and informs the existing members
+// via set_troupe_id, so a client holding a stale member set can never
+// reach only part of the troupe undetected.
+#ifndef SRC_BINDING_RINGMASTER_H_
+#define SRC_BINDING_RINGMASTER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/process.h"
+#include "src/core/types.h"
+
+namespace circus::binding {
+
+// Well-known port of the Ringmaster's degenerate bootstrap binding
+// (Section 6.3: a well-known port on a configured set of machines).
+inline constexpr net::Port kRingmasterPort = 17;
+
+// The Ringmaster troupe's own well-known troupe ID. It cannot be
+// assigned by a binding agent (the Ringmaster cannot import itself,
+// Section 6.3), so it is fixed by convention, like the port.
+inline constexpr core::TroupeId kRingmasterTroupeId{1};
+
+// Name under which the Ringmaster registers its own troupe.
+inline constexpr const char* kRingmasterName = "binding";
+
+// Procedure numbers of the binding interface (Figure 6.1).
+enum RingmasterProcedure : core::ProcedureNumber {
+  kRegisterTroupe = 0,     // (name, troupe) -> troupe_id
+  kAddTroupeMember = 1,    // (name, member) -> troupe_id
+  kLookupByName = 2,       // (name) -> troupe
+  kLookupById = 3,         // (troupe_id) -> troupe
+  kRemoveTroupeMember = 4, // (name, member) -> troupe_id
+  kRebind = 5,             // (name, stale id hint) -> troupe
+  kEnumerate = 6,          // () -> sequence of names (for the GC agent)
+};
+
+// Server half: installs the binding interface into an RpcProcess. One
+// RingmasterServer per troupe member process.
+class RingmasterServer {
+ public:
+  explicit RingmasterServer(core::RpcProcess* process);
+
+  core::ModuleNumber module_number() const { return module_; }
+  core::RpcProcess* process() const { return process_; }
+
+  // Installs the Ringmaster's own troupe in its registry under the
+  // well-known ID and adopts that ID, so that replicated calls *from*
+  // the Ringmaster (set_troupe_id propagation) are grouped correctly at
+  // their targets. Every replica must be bootstrapped with the same
+  // membership.
+  void BootstrapSelf(const core::Troupe& self_troupe);
+
+  // Registry introspection (tests, local resolver).
+  size_t troupe_count() const { return by_name_.size(); }
+  std::optional<core::Troupe> FindByName(const std::string& name) const;
+  std::optional<core::Troupe> FindById(core::TroupeId id) const;
+
+ private:
+  struct Entry {
+    core::Troupe troupe;
+    uint16_t version = 0;  // bumped on every membership change
+  };
+
+  circus::StatusOr<circus::Bytes> Register(const circus::Bytes& args);
+  sim::Task<circus::StatusOr<circus::Bytes>> AddMember(
+      core::ServerCallContext& ctx, const circus::Bytes& args);
+  sim::Task<circus::StatusOr<circus::Bytes>> RemoveMember(
+      core::ServerCallContext& ctx, const circus::Bytes& args);
+  circus::StatusOr<circus::Bytes> Lookup(const circus::Bytes& args,
+                                         bool by_id) const;
+
+  // Deterministic fresh ID: all replicas derive the same value from the
+  // name and its monotonically increasing version.
+  static core::TroupeId MakeTroupeId(const std::string& name,
+                                     uint16_t version);
+
+  // Propagates a new troupe ID to all members with a nested replicated
+  // set_troupe_id call (Figure 6.2).
+  sim::Task<circus::Status> PropagateTroupeId(core::ServerCallContext& ctx,
+                                              const core::Troupe& troupe);
+
+  core::RpcProcess* process_;
+  core::ModuleNumber module_;
+  std::map<std::string, Entry> by_name_;
+  std::map<core::TroupeId, std::string> id_to_name_;
+};
+
+}  // namespace circus::binding
+
+#endif  // SRC_BINDING_RINGMASTER_H_

@@ -1,0 +1,26 @@
+// Byte-buffer aliases shared by the network, paired-message, and marshal
+// layers. Message contents are uninterpreted byte sequences below the stub
+// layer (Section 4.2.1 of the dissertation).
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace circus {
+
+using Bytes = std::vector<uint8_t>;
+
+inline Bytes BytesFromString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string StringFromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace circus
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,28 @@
+// Assertion macros for invariants that must hold if the implementation is
+// correct. A failed check aborts the process: these are programmer errors,
+// never expected protocol conditions (those use circus::Status).
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CIRCUS_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "CIRCUS_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define CIRCUS_CHECK_MSG(cond, msg)                                           \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "CIRCUS_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

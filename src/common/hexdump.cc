@@ -1,0 +1,35 @@
+#include "src/common/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace circus {
+
+std::string HexDump(const Bytes& data) {
+  std::string out;
+  char line[32];
+  for (size_t offset = 0; offset < data.size(); offset += 16) {
+    std::snprintf(line, sizeof(line), "%08zx  ", offset);
+    out += line;
+    for (size_t i = 0; i < 16; ++i) {
+      if (offset + i < data.size()) {
+        std::snprintf(line, sizeof(line), "%02x ", data[offset + i]);
+        out += line;
+      } else {
+        out += "   ";
+      }
+      if (i == 7) {
+        out += ' ';
+      }
+    }
+    out += " |";
+    for (size_t i = 0; i < 16 && offset + i < data.size(); ++i) {
+      const int c = data[offset + i];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace circus

@@ -1,0 +1,17 @@
+// Debug helper: renders a byte buffer as a classic offset/hex/ASCII dump.
+#ifndef SRC_COMMON_HEXDUMP_H_
+#define SRC_COMMON_HEXDUMP_H_
+
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace circus {
+
+// Formats `data` 16 bytes per line, e.g.
+// 00000000  00 01 00 03 00 00 00 2a  |.......*|
+std::string HexDump(const Bytes& data);
+
+}  // namespace circus
+
+#endif  // SRC_COMMON_HEXDUMP_H_

@@ -1,0 +1,44 @@
+#include "src/common/log.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+namespace circus {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+void EmitLog(LogLevel level, int64_t sim_time_ns, const std::string& message) {
+  if (sim_time_ns >= 0) {
+    std::fprintf(stderr, "[%s %10.6fs] %s\n", LevelName(level),
+                 static_cast<double>(sim_time_ns) / 1e9, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
+}
+
+}  // namespace internal
+}  // namespace circus

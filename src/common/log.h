@@ -1,0 +1,59 @@
+// Minimal leveled logger. Protocol layers log with the simulated timestamp
+// so traces read like the event log of a real distributed run. Logging is
+// off by default (kWarning threshold) to keep tests and benches quiet.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace circus {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+};
+
+// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Emits one formatted line to stderr; `sim_time_ns` < 0 means "no sim time".
+void EmitLog(LogLevel level, int64_t sim_time_ns, const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, int64_t sim_time_ns)
+      : level_(level), sim_time_ns_(sim_time_ns) {}
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) {
+      EmitLog(level_, sim_time_ns_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  int64_t sim_time_ns_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace circus
+
+#define CIRCUS_LOG(level) ::circus::internal::LogLine(level, -1)
+#define CIRCUS_LOG_AT(level, ns) ::circus::internal::LogLine(level, ns)
+
+#endif  // SRC_COMMON_LOG_H_

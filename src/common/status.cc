@@ -1,0 +1,55 @@
+#include "src/common/status.h"
+
+namespace circus {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kCrashDetected:
+      return "CRASH_DETECTED";
+    case ErrorCode::kStaleBinding:
+      return "STALE_BINDING";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kProtocolError:
+      return "PROTOCOL_ERROR";
+    case ErrorCode::kDisagreement:
+      return "DISAGREEMENT";
+    case ErrorCode::kNoMajority:
+      return "NO_MAJORITY";
+    case ErrorCode::kAborted:
+      return "ABORTED";
+    case ErrorCode::kDeadlock:
+      return "DEADLOCK";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kRemoteError:
+      return "REMOTE_ERROR";
+    case ErrorCode::kCancelled:
+      return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace circus

@@ -1,0 +1,99 @@
+// Lightweight status / status-or-value types used throughout Circus for
+// recoverable protocol-level errors. Irrecoverable conditions (programmer
+// errors) use CIRCUS_CHECK; host crashes during simulation unwind with
+// circus::sim::HostCrashedError instead, so that fail-stop failures
+// propagate through coroutine stacks the way a machine crash tears down a
+// real process.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace circus {
+
+// Error taxonomy for the Circus runtime. The codes mirror the failure
+// classes the dissertation distinguishes: timeouts (crash suspicion),
+// stale bindings (Ch. 6), protocol violations, collator disagreement
+// (unanimous collator, Section 4.3.6), and transaction aborts (Ch. 5).
+enum class ErrorCode {
+  kOk = 0,
+  kTimeout,            // no response after repeated retransmissions
+  kCrashDetected,      // probe/timeout machinery declared the peer dead
+  kStaleBinding,       // troupe ID mismatch; client must rebind (Section 6.2)
+  kNotFound,           // name or ID unknown to the binding agent
+  kAlreadyExists,      // duplicate registration
+  kProtocolError,      // malformed segment or message
+  kDisagreement,       // unanimous collator saw differing replies
+  kNoMajority,         // majority collator found no majority value
+  kAborted,            // transaction aborted
+  kDeadlock,           // transaction aborted to break a deadlock
+  kUnavailable,        // no live troupe member reachable
+  kInvalidArgument,
+  kFailedPrecondition,
+  kRemoteError,        // server-side exception propagated through RPC
+  kCancelled,
+};
+
+// Human-readable name of an error code ("kTimeout" -> "TIMEOUT").
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error result with an optional diagnostic message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "TIMEOUT: no reply from 10.0.0.3:9000".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// A value of type T or an error Status. Minimal analogue of
+// absl::StatusOr, sufficient for the Circus runtime.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+  StatusOr(ErrorCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : status_.code(); }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace circus
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,79 @@
+#include "src/config/ast.h"
+
+#include <cstdio>
+
+namespace circus::config {
+
+std::string ValueToString(const Value& v) {
+  if (const std::string* s = std::get_if<std::string>(&v)) {
+    return "\"" + *s + "\"";
+  }
+  if (const double* d = std::get_if<double>(&v)) {
+    char buf[32];
+    if (*d == static_cast<long long>(*d)) {
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(*d));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%g", *d);
+    }
+    return buf;
+  }
+  return std::get<bool>(v) ? "true" : "false";
+}
+
+std::string CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string ExprToString(const Expr& e) {
+  struct Visitor {
+    std::string operator()(const AndExpr& x) const {
+      return "(" + ExprToString(*x.left) + " and " +
+             ExprToString(*x.right) + ")";
+    }
+    std::string operator()(const OrExpr& x) const {
+      return "(" + ExprToString(*x.left) + " or " +
+             ExprToString(*x.right) + ")";
+    }
+    std::string operator()(const NotExpr& x) const {
+      return "not " + ExprToString(*x.operand);
+    }
+    std::string operator()(const CompareExpr& x) const {
+      return x.variable + "." + x.attribute + " " +
+             CompareOpToString(x.op) + " " + ValueToString(x.value);
+    }
+    std::string operator()(const PropertyExpr& x) const {
+      return x.variable + "." + x.attribute;
+    }
+  };
+  return std::visit(Visitor{}, e.node);
+}
+
+std::string TroupeSpec::ToString() const {
+  std::string out = "troupe (";
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += variables[i];
+  }
+  out += ") where ";
+  out += formula ? ExprToString(*formula) : "true";
+  return out;
+}
+
+}  // namespace circus::config

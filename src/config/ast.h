@@ -1,0 +1,83 @@
+// AST for the troupe configuration language (Section 7.5.2): an extension
+// of propositional logic with variables ranging over the machines of the
+// distributed system. Each machine possesses an extensible list of
+// attributes (name/value pairs; values are strings, numbers, or truth
+// values). Example formula:
+//
+//   x.name = "UCB-Monet" and x.memory = 10 and x.has-floating-point
+//
+// A troupe specification binds n distinct machine variables:
+//
+//   troupe (x, y, z) where x.memory >= 4 and not y.diskless and ...
+#ifndef SRC_CONFIG_AST_H_
+#define SRC_CONFIG_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace circus::config {
+
+// An attribute value: string, number, or truth value. A Boolean-valued
+// attribute is called a property; properties make the Boolean constants
+// unnecessary in the language.
+using Value = std::variant<std::string, double, bool>;
+
+std::string ValueToString(const Value& v);
+
+enum class CompareOp {
+  kEq,   // =
+  kNe,   // != (also <>)
+  kLt,   // <
+  kLe,   // <=
+  kGt,   // >
+  kGe,   // >=
+};
+
+std::string CompareOpToString(CompareOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct AndExpr {
+  ExprPtr left, right;
+};
+struct OrExpr {
+  ExprPtr left, right;
+};
+struct NotExpr {
+  ExprPtr operand;
+};
+// var.attribute <op> value
+struct CompareExpr {
+  std::string variable;
+  std::string attribute;
+  CompareOp op;
+  Value value;
+};
+// var.property (true iff the machine has the property with value true)
+struct PropertyExpr {
+  std::string variable;
+  std::string attribute;
+};
+
+struct Expr {
+  std::variant<AndExpr, OrExpr, NotExpr, CompareExpr, PropertyExpr> node;
+};
+
+std::string ExprToString(const Expr& e);
+
+// troupe (x1, ..., xn) where formula. Any troupe satisfying the
+// specification has exactly n members; the language deliberately cannot
+// specify a troupe of variable size (Section 7.5.2).
+struct TroupeSpec {
+  std::vector<std::string> variables;
+  ExprPtr formula;
+
+  std::string ToString() const;
+};
+
+}  // namespace circus::config
+
+#endif  // SRC_CONFIG_AST_H_

@@ -1,0 +1,233 @@
+#include "src/config/manager.h"
+
+#include <algorithm>
+#include <set>
+
+namespace circus::config {
+
+MachineId MachineDatabase::AddMachine(
+    std::map<std::string, Value> attributes) {
+  const MachineId id = next_id_++;
+  machines_[id] = std::move(attributes);
+  return id;
+}
+
+void MachineDatabase::SetAttribute(MachineId id,
+                                   const std::string& attribute, Value v) {
+  auto it = machines_.find(id);
+  if (it != machines_.end()) {
+    it->second[attribute] = std::move(v);
+  }
+}
+
+void MachineDatabase::RemoveMachine(MachineId id) { machines_.erase(id); }
+
+std::vector<MachineId> MachineDatabase::AllMachines() const {
+  std::vector<MachineId> out;
+  out.reserve(machines_.size());
+  for (const auto& [id, attrs] : machines_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+const std::map<std::string, Value>* MachineDatabase::Attributes(
+    MachineId id) const {
+  auto it = machines_.find(id);
+  return it == machines_.end() ? nullptr : &it->second;
+}
+
+std::optional<Value> MachineDatabase::Attribute(
+    MachineId id, const std::string& attribute) const {
+  const std::map<std::string, Value>* attrs = Attributes(id);
+  if (attrs == nullptr) {
+    return std::nullopt;
+  }
+  auto it = attrs->find(attribute);
+  if (it == attrs->end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<MachineId> MachineDatabase::FindByName(
+    const std::string& name) const {
+  for (const auto& [id, attrs] : machines_) {
+    auto it = attrs.find("name");
+    if (it != attrs.end()) {
+      const std::string* s = std::get_if<std::string>(&it->second);
+      if (s != nullptr && *s == name) {
+        return id;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  // Comparable only within a kind; strings support all orderings
+  // (lexicographic), numbers numerically, booleans only (in)equality.
+  auto apply = [op](auto cmp) {
+    switch (op) {
+      case CompareOp::kEq:
+        return cmp == 0;
+      case CompareOp::kNe:
+        return cmp != 0;
+      case CompareOp::kLt:
+        return cmp < 0;
+      case CompareOp::kLe:
+        return cmp <= 0;
+      case CompareOp::kGt:
+        return cmp > 0;
+      case CompareOp::kGe:
+        return cmp >= 0;
+    }
+    return false;
+  };
+  if (const std::string* a = std::get_if<std::string>(&lhs)) {
+    const std::string* b = std::get_if<std::string>(&rhs);
+    if (b == nullptr) {
+      return false;
+    }
+    return apply(a->compare(*b));
+  }
+  if (const double* a = std::get_if<double>(&lhs)) {
+    const double* b = std::get_if<double>(&rhs);
+    if (b == nullptr) {
+      return false;
+    }
+    return apply(*a < *b ? -1 : (*a > *b ? 1 : 0));
+  }
+  const bool a = std::get<bool>(lhs);
+  const bool* b = std::get_if<bool>(&rhs);
+  if (b == nullptr || (op != CompareOp::kEq && op != CompareOp::kNe)) {
+    return false;
+  }
+  return apply(a == *b ? 0 : 1);
+}
+
+}  // namespace
+
+bool EvalFormula(const Expr& formula,
+                 const std::map<std::string, MachineId>& assignment,
+                 const MachineDatabase& db) {
+  struct Visitor {
+    const std::map<std::string, MachineId>& assignment;
+    const MachineDatabase& db;
+    bool operator()(const AndExpr& e) const {
+      return EvalFormula(*e.left, assignment, db) &&
+             EvalFormula(*e.right, assignment, db);
+    }
+    bool operator()(const OrExpr& e) const {
+      return EvalFormula(*e.left, assignment, db) ||
+             EvalFormula(*e.right, assignment, db);
+    }
+    bool operator()(const NotExpr& e) const {
+      return !EvalFormula(*e.operand, assignment, db);
+    }
+    bool operator()(const CompareExpr& e) const {
+      auto var = assignment.find(e.variable);
+      if (var == assignment.end()) {
+        return false;
+      }
+      std::optional<Value> v = db.Attribute(var->second, e.attribute);
+      if (!v.has_value()) {
+        return false;
+      }
+      return CompareValues(*v, e.op, e.value);
+    }
+    bool operator()(const PropertyExpr& e) const {
+      auto var = assignment.find(e.variable);
+      if (var == assignment.end()) {
+        return false;
+      }
+      std::optional<Value> v = db.Attribute(var->second, e.attribute);
+      if (!v.has_value()) {
+        return false;
+      }
+      const bool* b = std::get_if<bool>(&*v);
+      return b != nullptr && *b;
+    }
+  };
+  return std::visit(Visitor{assignment, db}, formula.node);
+}
+
+circus::StatusOr<SolveResult> ConfigurationManager::ExtendTroupe(
+    const TroupeSpec& spec, const std::vector<MachineId>& current) const {
+  if (spec.variables.empty()) {
+    return circus::Status(ErrorCode::kInvalidArgument,
+                          "specification has no machine variables");
+  }
+  const std::vector<MachineId> universe = db_->AllMachines();
+  const std::set<MachineId> current_set(current.begin(), current.end());
+
+  std::optional<SolveResult> best;
+  std::map<std::string, MachineId> assignment;
+  std::set<MachineId> used;
+
+  // Backtracking over assignments of distinct machines to variables,
+  // minimizing the symmetric difference with the current member set.
+  // (The formula is evaluated only on full assignments: atoms mentioning
+  // unassigned variables cannot be decided earlier in general because of
+  // disjunction and negation. Specifications are small, per the paper.)
+  auto evaluate_complete = [&]() {
+    if (spec.formula != nullptr &&
+        !EvalFormula(*spec.formula, assignment, *db_)) {
+      return;
+    }
+    SolveResult candidate;
+    candidate.assignment = assignment;
+    std::set<MachineId> chosen;
+    for (const std::string& v : spec.variables) {
+      candidate.machines.push_back(assignment.at(v));
+      chosen.insert(assignment.at(v));
+    }
+    size_t diff = 0;
+    for (MachineId m : chosen) {
+      if (!current_set.contains(m)) {
+        ++diff;  // added
+      }
+    }
+    for (MachineId m : current_set) {
+      if (!chosen.contains(m)) {
+        ++diff;  // dropped
+      }
+    }
+    candidate.symmetric_difference = diff;
+    if (!best.has_value() ||
+        candidate.symmetric_difference < best->symmetric_difference ||
+        (candidate.symmetric_difference == best->symmetric_difference &&
+         candidate.machines < best->machines)) {
+      best = std::move(candidate);
+    }
+  };
+
+  auto search = [&](auto&& self, size_t index) -> void {
+    if (index == spec.variables.size()) {
+      evaluate_complete();
+      return;
+    }
+    for (MachineId m : universe) {
+      if (used.contains(m)) {
+        continue;  // troupe members must be distinct machines
+      }
+      assignment[spec.variables[index]] = m;
+      used.insert(m);
+      self(self, index + 1);
+      used.erase(m);
+      assignment.erase(spec.variables[index]);
+    }
+  };
+  search(search, 0);
+
+  if (!best.has_value()) {
+    return circus::Status(ErrorCode::kNotFound,
+                          "no machine assignment satisfies: " +
+                              spec.ToString());
+  }
+  return *best;
+}
+
+}  // namespace circus::config

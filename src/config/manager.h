@@ -1,0 +1,80 @@
+// The machine attribute database and the troupe configuration manager
+// (Section 7.5.3). The manager solves the troupe extension problem: given
+// a specification phi(x1..xn), a universe U of machines, and a current
+// member set M, find M' ⊆ U satisfying phi with |M' ⊕ M| minimal (⊕ is
+// symmetric difference). Instantiation is the M = ∅ case. The search is
+// exhaustive with backtracking; the exponential worst case is acceptable
+// for the small variable counts of real troupe specifications, exactly as
+// the dissertation argues.
+#ifndef SRC_CONFIG_MANAGER_H_
+#define SRC_CONFIG_MANAGER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/config/ast.h"
+
+namespace circus::config {
+
+using MachineId = uint32_t;
+
+class MachineDatabase {
+ public:
+  // Adds a machine with its attribute list; returns its id. The
+  // machine's name, if any, is just another attribute ("name").
+  MachineId AddMachine(std::map<std::string, Value> attributes);
+
+  void SetAttribute(MachineId id, const std::string& attribute, Value v);
+  void RemoveMachine(MachineId id);
+
+  size_t size() const { return machines_.size(); }
+  std::vector<MachineId> AllMachines() const;
+  const std::map<std::string, Value>* Attributes(MachineId id) const;
+  std::optional<Value> Attribute(MachineId id,
+                                 const std::string& attribute) const;
+  // Finds the machine whose "name" attribute equals `name`.
+  std::optional<MachineId> FindByName(const std::string& name) const;
+
+ private:
+  std::map<MachineId, std::map<std::string, Value>> machines_;
+  MachineId next_id_ = 1;
+};
+
+// Evaluates `formula` under the assignment variable -> machine.
+// Comparisons against a missing attribute are false (and so is the
+// property test), so partially described machines simply fail to match.
+bool EvalFormula(const Expr& formula,
+                 const std::map<std::string, MachineId>& assignment,
+                 const MachineDatabase& db);
+
+struct SolveResult {
+  // variable -> machine, in spec order.
+  std::map<std::string, MachineId> assignment;
+  std::vector<MachineId> machines;  // in variable order
+  size_t symmetric_difference = 0;  // |M' ⊕ M|
+};
+
+class ConfigurationManager {
+ public:
+  explicit ConfigurationManager(const MachineDatabase* db) : db_(db) {}
+
+  // Solves the troupe extension problem. `current` is the existing
+  // member set M (empty for initial instantiation). Returns kNotFound if
+  // no assignment of distinct machines satisfies the formula.
+  circus::StatusOr<SolveResult> ExtendTroupe(
+      const TroupeSpec& spec, const std::vector<MachineId>& current) const;
+
+  circus::StatusOr<SolveResult> Instantiate(const TroupeSpec& spec) const {
+    return ExtendTroupe(spec, {});
+  }
+
+ private:
+  const MachineDatabase* db_;
+};
+
+}  // namespace circus::config
+
+#endif  // SRC_CONFIG_MANAGER_H_

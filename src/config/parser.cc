@@ -1,0 +1,383 @@
+#include "src/config/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace circus::config {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kString,
+  kNumber,
+  kDot,
+  kComma,
+  kLParen,
+  kRParen,
+  kCompare,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // ident/string contents
+  double number = 0;
+  CompareOp op = CompareOp::kEq;
+  size_t offset = 0;  // for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  circus::StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      const size_t at = pos_;
+      if (pos_ >= text_.size()) {
+        out.push_back({TokenKind::kEnd, "", 0, CompareOp::kEq, at});
+        return out;
+      }
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent(at));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        out.push_back(LexNumber(at));
+        continue;
+      }
+      switch (c) {
+        case '"': {
+          circus::StatusOr<Token> t = LexString(at);
+          if (!t.ok()) {
+            return t.status();
+          }
+          out.push_back(*t);
+          continue;
+        }
+        case '.':
+          ++pos_;
+          out.push_back({TokenKind::kDot, ".", 0, CompareOp::kEq, at});
+          continue;
+        case ',':
+          ++pos_;
+          out.push_back({TokenKind::kComma, ",", 0, CompareOp::kEq, at});
+          continue;
+        case '(':
+          ++pos_;
+          out.push_back({TokenKind::kLParen, "(", 0, CompareOp::kEq, at});
+          continue;
+        case ')':
+          ++pos_;
+          out.push_back({TokenKind::kRParen, ")", 0, CompareOp::kEq, at});
+          continue;
+        case '=':
+          ++pos_;
+          out.push_back(
+              {TokenKind::kCompare, "=", 0, CompareOp::kEq, at});
+          continue;
+        case '!':
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+            pos_ += 2;
+            out.push_back(
+                {TokenKind::kCompare, "!=", 0, CompareOp::kNe, at});
+            continue;
+          }
+          return Error(at, "unexpected '!'");
+        case '<':
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+            pos_ += 2;
+            out.push_back(
+                {TokenKind::kCompare, "<=", 0, CompareOp::kLe, at});
+          } else if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+            pos_ += 2;
+            out.push_back(
+                {TokenKind::kCompare, "<>", 0, CompareOp::kNe, at});
+          } else {
+            ++pos_;
+            out.push_back(
+                {TokenKind::kCompare, "<", 0, CompareOp::kLt, at});
+          }
+          continue;
+        case '>':
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+            pos_ += 2;
+            out.push_back(
+                {TokenKind::kCompare, ">=", 0, CompareOp::kGe, at});
+          } else {
+            ++pos_;
+            out.push_back(
+                {TokenKind::kCompare, ">", 0, CompareOp::kGt, at});
+          }
+          continue;
+        default:
+          return Error(at, std::string("unexpected character '") + c +
+                               "'");
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdent(size_t at) {
+    const size_t start = pos_;
+    // Hyphens are part of identifiers (has-floating-point), but a
+    // trailing hyphen is not consumed.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    size_t end = pos_;
+    while (end > start && text_[end - 1] == '-') {
+      --end;
+    }
+    pos_ = end;
+    return {TokenKind::kIdent, std::string(text_.substr(start, end - start)),
+            0, CompareOp::kEq, at};
+  }
+
+  Token LexNumber(size_t at) {
+    const size_t start = pos_;
+    if (text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      ++pos_;
+    }
+    const std::string s(text_.substr(start, pos_ - start));
+    return {TokenKind::kNumber, s, std::stod(s), CompareOp::kEq, at};
+  }
+
+  circus::StatusOr<Token> LexString(size_t at) {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      value += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+      return Error(at, "unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    return Token{TokenKind::kString, value, 0, CompareOp::kEq, at};
+  }
+
+  circus::Status Error(size_t at, const std::string& message) {
+    return circus::Status(ErrorCode::kInvalidArgument,
+                          message + " at offset " + std::to_string(at));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  circus::StatusOr<TroupeSpec> ParseSpec() {
+    TroupeSpec spec;
+    if (!ConsumeKeyword("troupe")) {
+      return Error("expected 'troupe'");
+    }
+    if (!Consume(TokenKind::kLParen)) {
+      return Error("expected '(' after 'troupe'");
+    }
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected machine variable name");
+      }
+      spec.variables.push_back(Next().text);
+      if (Consume(TokenKind::kComma)) {
+        continue;
+      }
+      break;
+    }
+    if (!Consume(TokenKind::kRParen)) {
+      return Error("expected ')' after variable list");
+    }
+    if (!ConsumeKeyword("where")) {
+      return Error("expected 'where'");
+    }
+    circus::StatusOr<ExprPtr> formula = ParseOr();
+    if (!formula.ok()) {
+      return formula.status();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after formula");
+    }
+    spec.formula = std::move(*formula);
+    return spec;
+  }
+
+  circus::StatusOr<ExprPtr> ParseBareFormula() {
+    circus::StatusOr<ExprPtr> f = ParseOr();
+    if (!f.ok()) {
+      return f;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after formula");
+    }
+    return f;
+  }
+
+ private:
+  circus::StatusOr<ExprPtr> ParseOr() {
+    circus::StatusOr<ExprPtr> left = ParseAnd();
+    if (!left.ok()) {
+      return left;
+    }
+    ExprPtr node = std::move(*left);
+    while (ConsumeKeyword("or")) {
+      circus::StatusOr<ExprPtr> right = ParseAnd();
+      if (!right.ok()) {
+        return right;
+      }
+      auto e = std::make_unique<Expr>();
+      e->node = OrExpr{std::move(node), std::move(*right)};
+      node = std::move(e);
+    }
+    return node;
+  }
+
+  circus::StatusOr<ExprPtr> ParseAnd() {
+    circus::StatusOr<ExprPtr> left = ParseUnary();
+    if (!left.ok()) {
+      return left;
+    }
+    ExprPtr node = std::move(*left);
+    while (ConsumeKeyword("and")) {
+      circus::StatusOr<ExprPtr> right = ParseUnary();
+      if (!right.ok()) {
+        return right;
+      }
+      auto e = std::make_unique<Expr>();
+      e->node = AndExpr{std::move(node), std::move(*right)};
+      node = std::move(e);
+    }
+    return node;
+  }
+
+  circus::StatusOr<ExprPtr> ParseUnary() {
+    if (ConsumeKeyword("not")) {
+      circus::StatusOr<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand;
+      }
+      auto e = std::make_unique<Expr>();
+      e->node = NotExpr{std::move(*operand)};
+      return ExprPtr(std::move(e));
+    }
+    if (Consume(TokenKind::kLParen)) {
+      circus::StatusOr<ExprPtr> inner = ParseOr();
+      if (!inner.ok()) {
+        return inner;
+      }
+      if (!Consume(TokenKind::kRParen)) {
+        return Error("expected ')'");
+      }
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  circus::StatusOr<ExprPtr> ParseAtom() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected variable reference");
+    }
+    const std::string variable = Next().text;
+    if (!Consume(TokenKind::kDot)) {
+      return Error("expected '.' after variable '" + variable + "'");
+    }
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected attribute name");
+    }
+    const std::string attribute = Next().text;
+    if (Peek().kind != TokenKind::kCompare) {
+      // Bare var.attribute is a property test.
+      auto e = std::make_unique<Expr>();
+      e->node = PropertyExpr{variable, attribute};
+      return ExprPtr(std::move(e));
+    }
+    const CompareOp op = Next().op;
+    Value value;
+    const Token& v = Peek();
+    if (v.kind == TokenKind::kString) {
+      value = Next().text;
+    } else if (v.kind == TokenKind::kNumber) {
+      value = Next().number;
+    } else if (v.kind == TokenKind::kIdent &&
+               (v.text == "true" || v.text == "false")) {
+      value = (Next().text == "true");
+    } else {
+      return Error("expected value after comparison operator");
+    }
+    auto e = std::make_unique<Expr>();
+    e->node = CompareExpr{variable, attribute, op, std::move(value)};
+    return ExprPtr(std::move(e));
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool Consume(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().kind == TokenKind::kIdent && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  circus::Status Error(const std::string& message) const {
+    return circus::Status(
+        ErrorCode::kInvalidArgument,
+        message + " at offset " + std::to_string(Peek().offset));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+circus::StatusOr<TroupeSpec> ParseTroupeSpec(std::string_view text) {
+  circus::StatusOr<std::vector<Token>> tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  return Parser(std::move(*tokens)).ParseSpec();
+}
+
+circus::StatusOr<ExprPtr> ParseFormula(std::string_view text) {
+  circus::StatusOr<std::vector<Token>> tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  return Parser(std::move(*tokens)).ParseBareFormula();
+}
+
+}  // namespace circus::config

@@ -1,0 +1,33 @@
+// Lexer and recursive-descent parser for the troupe configuration
+// language (Figure 7.12). Grammar (precedence: not > and > or):
+//
+//   spec     ::= "troupe" "(" ident { "," ident } ")" "where" formula
+//   formula  ::= conjunct { "or" conjunct }
+//   conjunct ::= unary { "and" unary }
+//   unary    ::= "not" unary | "(" formula ")" | atom
+//   atom     ::= ident "." ident [ cmp value ]        (bare = property)
+//   cmp      ::= "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//   value    ::= string-literal | number | "true" | "false"
+//
+// Identifiers may contain hyphens (e.g. has-floating-point), matching the
+// dissertation's examples.
+#ifndef SRC_CONFIG_PARSER_H_
+#define SRC_CONFIG_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/config/ast.h"
+
+namespace circus::config {
+
+// Parses a full "troupe (...) where ..." specification.
+circus::StatusOr<TroupeSpec> ParseTroupeSpec(std::string_view text);
+
+// Parses a bare formula (used by tests and by specs stored without the
+// troupe header).
+circus::StatusOr<ExprPtr> ParseFormula(std::string_view text);
+
+}  // namespace circus::config
+
+#endif  // SRC_CONFIG_PARSER_H_

@@ -1,0 +1,181 @@
+#include "src/core/collator.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace circus::core {
+
+namespace {
+
+// When no member produced a usable result, pick the most informative
+// failure: a stale-binding rejection means the client must rebind, which
+// outranks generic crash/timeout noise.
+circus::Status SummarizeFailures(const std::vector<circus::Status>& errors) {
+  if (errors.empty()) {
+    return circus::Status(ErrorCode::kUnavailable, "empty troupe");
+  }
+  for (const circus::Status& s : errors) {
+    if (s.code() == ErrorCode::kStaleBinding) {
+      return s;
+    }
+  }
+  // A deliberate server-side rejection (unknown procedure, handler
+  // error, argument disagreement...) is more informative than the
+  // crash/timeout noise of unreachable members.
+  for (const circus::Status& s : errors) {
+    if (s.code() != ErrorCode::kCrashDetected &&
+        s.code() != ErrorCode::kTimeout &&
+        s.code() != ErrorCode::kUnavailable) {
+      return s;
+    }
+  }
+  return circus::Status(ErrorCode::kUnavailable,
+                        "no member of the troupe responded: " +
+                            errors.front().ToString());
+}
+
+}  // namespace
+
+sim::Task<circus::StatusOr<circus::Bytes>> UnanimousCollate(
+    ReplyStream& stream) {
+  bool seen = false;
+  circus::Bytes representative;
+  std::vector<circus::Status> errors;
+  while (true) {
+    std::optional<Reply> r = co_await stream.Next();
+    if (!r.has_value()) {
+      break;
+    }
+    if (!r->result.ok()) {
+      errors.push_back(r->result.status());
+      continue;
+    }
+    if (!seen) {
+      representative = std::move(*r->result);
+      seen = true;
+    } else if (*r->result != representative) {
+      co_return circus::Status(
+          ErrorCode::kDisagreement,
+          "unanimous collator: troupe members returned different results");
+    }
+  }
+  if (!seen) {
+    co_return SummarizeFailures(errors);
+  }
+  co_return representative;
+}
+
+sim::Task<circus::StatusOr<circus::Bytes>> FirstComeCollate(
+    ReplyStream& stream) {
+  std::vector<circus::Status> errors;
+  while (true) {
+    std::optional<Reply> r = co_await stream.Next();
+    if (!r.has_value()) {
+      break;
+    }
+    if (r->result.ok()) {
+      // Return early, terminating the generator; late replies are
+      // discarded by call number (Section 4.3.4).
+      co_return std::move(*r->result);
+    }
+    errors.push_back(r->result.status());
+  }
+  co_return SummarizeFailures(errors);
+}
+
+sim::Task<circus::StatusOr<circus::Bytes>> MajorityCollate(
+    ReplyStream& stream) {
+  const int needed = stream.expected() / 2 + 1;
+  std::map<circus::Bytes, int> votes;
+  std::vector<circus::Status> errors;
+  int remaining = stream.expected();
+  while (remaining > 0) {
+    std::optional<Reply> r = co_await stream.Next();
+    if (!r.has_value()) {
+      break;
+    }
+    --remaining;
+    if (!r->result.ok()) {
+      errors.push_back(r->result.status());
+      continue;
+    }
+    const int count = ++votes[*r->result];
+    if (count >= needed) {
+      co_return std::move(*r->result);  // early exit: majority reached
+    }
+    // If no value can still reach a majority, stop waiting.
+    int best = 0;
+    for (const auto& [value, n] : votes) {
+      best = std::max(best, n);
+    }
+    if (best + remaining < needed) {
+      break;
+    }
+  }
+  if (votes.empty() && !errors.empty()) {
+    co_return SummarizeFailures(errors);
+  }
+  co_return circus::Status(ErrorCode::kNoMajority,
+                           "majority collator: no value achieved a "
+                           "majority of the expected troupe");
+}
+
+namespace {
+
+sim::Task<circus::StatusOr<circus::Bytes>> QuorumUnanimousCollate(
+    ReplyStream& stream, int minimum_successes) {
+  bool seen = false;
+  int successes = 0;
+  circus::Bytes representative;
+  std::vector<circus::Status> errors;
+  while (true) {
+    std::optional<Reply> r = co_await stream.Next();
+    if (!r.has_value()) {
+      break;
+    }
+    if (!r->result.ok()) {
+      errors.push_back(r->result.status());
+      continue;
+    }
+    ++successes;
+    if (!seen) {
+      representative = std::move(*r->result);
+      seen = true;
+    } else if (*r->result != representative) {
+      co_return circus::Status(
+          ErrorCode::kDisagreement,
+          "quorum collator: troupe members returned different results");
+    }
+  }
+  if (successes < minimum_successes) {
+    co_return circus::Status(
+        ErrorCode::kUnavailable,
+        "quorum collator: only " + std::to_string(successes) + " of " +
+            std::to_string(minimum_successes) +
+            " required members reachable (partition suspected)");
+  }
+  co_return representative;
+}
+
+}  // namespace
+
+Collator MakeQuorumUnanimousCollator(int minimum_successes) {
+  return [minimum_successes](ReplyStream& s) {
+    return QuorumUnanimousCollate(s, minimum_successes);
+  };
+}
+
+Collator BuiltinCollator(Collation c) {
+  switch (c) {
+    case Collation::kUnanimous:
+      return [](ReplyStream& s) { return UnanimousCollate(s); };
+    case Collation::kFirstCome:
+      return [](ReplyStream& s) { return FirstComeCollate(s); };
+    case Collation::kMajority:
+      return [](ReplyStream& s) { return MajorityCollate(s); };
+  }
+  return [](ReplyStream& s) { return UnanimousCollate(s); };
+}
+
+}  // namespace circus::core

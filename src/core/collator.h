@@ -1,0 +1,172 @@
+// Collators (Sections 4.3.6 and 7.4): functions that reduce the set of
+// reply messages from a server troupe to a single result. A ReplyStream
+// is the C++ rendering of the dissertation's "generator of messages from
+// a troupe" (Figure 7.11): awaiting Next() yields each member's reply as
+// it arrives, so a collator can finish as soon as it has seen enough —
+// the lazy evaluation the paper calls for.
+//
+// Three collators are supported at the protocol level, exactly as in the
+// paper: unanimous (Figure 7.8), first-come (Figure 7.9), and majority
+// (Figure 7.10). Programmers supply their own by passing any callable of
+// the Collator signature (explicit replication, Section 7.4).
+#ifndef SRC_CORE_COLLATOR_H_
+#define SRC_CORE_COLLATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/core/types.h"
+#include "src/sim/channel.h"
+#include "src/sim/task.h"
+
+namespace circus::core {
+
+// One server troupe member's contribution to a replicated call: either
+// its result bytes or the member-level failure (crash detected, stale
+// binding rejection, remote error...).
+struct Reply {
+  ModuleAddress member;
+  circus::StatusOr<circus::Bytes> result;
+};
+
+namespace internal {
+struct ReplyStreamState {
+  explicit ReplyStreamState(sim::Host* host, int expected_count)
+      : channel(host), expected(expected_count) {}
+  sim::Channel<Reply> channel;
+  int expected;
+};
+}  // namespace internal
+
+class ReplyStream {
+ public:
+  ReplyStream(sim::Host* host, int expected)
+      : state_(std::make_shared<internal::ReplyStreamState>(host, expected)) {
+  }
+
+  // The number of server troupe members a reply is expected from.
+  int expected() const { return state_->expected; }
+  int consumed() const { return consumed_; }
+
+  // Yields the next reply, or nullopt once every member has been
+  // accounted for. May suspend; wakes with HostCrashedError if the local
+  // host crashes.
+  sim::Task<std::optional<Reply>> Next() {
+    if (consumed_ >= state_->expected) {
+      co_return std::nullopt;
+    }
+    std::optional<Reply> r = co_await state_->channel.Receive();
+    ++consumed_;
+    co_return std::move(r);
+  }
+
+  // Producer side (held by the per-member await tasks, which may outlive
+  // an early-finishing collator; the shared state keeps late pushes
+  // safe).
+  std::shared_ptr<internal::ReplyStreamState> shared_state() {
+    return state_;
+  }
+
+ private:
+  std::shared_ptr<internal::ReplyStreamState> state_;
+  int consumed_ = 0;
+};
+
+// A collator maps the stream of replies to one result.
+using Collator =
+    std::function<sim::Task<circus::StatusOr<circus::Bytes>>(ReplyStream&)>;
+
+// Requires every reply that arrives to be identical; raises
+// kDisagreement otherwise (error detection as well as correction,
+// Section 4.3.4). Waits for all members, so execution time is governed
+// by the slowest member. This is the Circus default.
+sim::Task<circus::StatusOr<circus::Bytes>> UnanimousCollate(
+    ReplyStream& stream);
+
+// Accepts the first successful reply (execution time governed by the
+// fastest member; forfeits error detection).
+sim::Task<circus::StatusOr<circus::Bytes>> FirstComeCollate(
+    ReplyStream& stream);
+
+// Majority voting over the expected member set; returns as soon as some
+// value has more than half the expected votes, raises kNoMajority if
+// none can.
+sim::Task<circus::StatusOr<circus::Bytes>> MajorityCollate(
+    ReplyStream& stream);
+
+// A typed view over a ReplyStream: decodes each member's reply with a
+// caller-supplied decoder, giving application collators the type-safe
+// generator interface of Section 7.4 (a "generator () yields (T)").
+template <typename T>
+struct TypedReply {
+  ModuleAddress member;
+  circus::StatusOr<T> result;
+};
+
+template <typename T>
+class TypedReplyStream {
+ public:
+  using Decoder = std::function<circus::StatusOr<T>(const circus::Bytes&)>;
+
+  TypedReplyStream(ReplyStream& raw, Decoder decoder)
+      : raw_(raw), decoder_(std::move(decoder)) {}
+
+  int expected() const { return raw_.expected(); }
+
+  sim::Task<std::optional<TypedReply<T>>> Next() {
+    std::optional<Reply> r = co_await raw_.Next();
+    if (!r.has_value()) {
+      co_return std::nullopt;
+    }
+    if (!r->result.ok()) {
+      co_return TypedReply<T>{r->member, r->result.status()};
+    }
+    co_return TypedReply<T>{r->member, decoder_(*r->result)};
+  }
+
+ private:
+  ReplyStream& raw_;
+  Decoder decoder_;
+};
+
+// Adapts a typed collator (over decoded T replies) plus an encoder back
+// to the byte-level Collator the call machinery runs. Stub compilers use
+// this to give programmers type-safe explicit replication (Section 7.4).
+template <typename T>
+Collator MakeTypedCollator(
+    typename TypedReplyStream<T>::Decoder decoder,
+    std::function<circus::Bytes(const T&)> encoder,
+    std::function<sim::Task<circus::StatusOr<T>>(TypedReplyStream<T>&)>
+        collate) {
+  return [decoder, encoder,
+          collate](ReplyStream& raw) -> sim::Task<circus::StatusOr<circus::Bytes>> {
+    TypedReplyStream<T> typed(raw, decoder);
+    circus::StatusOr<T> result = co_await collate(typed);
+    if (!result.ok()) {
+      co_return result.status();
+    }
+    co_return encoder(*result);
+  };
+}
+
+// Unanimous with a quorum requirement: at least `minimum_successes`
+// members must reply (successfully and identically). Requiring a
+// majority of the expected set prevents troupe members in different
+// network partitions from diverging (Section 4.3.5): a client cut off
+// with a minority of the troupe cannot complete calls.
+Collator MakeQuorumUnanimousCollator(int minimum_successes);
+
+enum class Collation {
+  kUnanimous,
+  kFirstCome,
+  kMajority,
+};
+
+Collator BuiltinCollator(Collation c);
+
+}  // namespace circus::core
+
+#endif  // SRC_CORE_COLLATOR_H_

@@ -1,0 +1,524 @@
+#include "src/core/process.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/marshal/marshal.h"
+
+namespace circus::core {
+
+using circus::Status;
+using sim::Duration;
+using sim::Syscall;
+using sim::Task;
+
+RpcProcess::RpcProcess(net::Network* network, sim::Host* host,
+                       net::Port port, RpcOptions options)
+    : network_(network),
+      host_(host),
+      options_(options),
+      socket_(std::make_unique<net::DatagramSocket>(network, host, port)),
+      endpoint_(std::make_unique<msg::PairedEndpoint>(socket_.get(),
+                                                      options.endpoint)) {
+  // Seed message call numbers and local thread numbers from the clock,
+  // Birrell & Nelson-style: a process rebooted at the same address must
+  // not reuse identifiers its predecessor used, or peers' duplicate-
+  // suppression tables would swallow its first calls and stale buffered
+  // results would shadow new ones.
+  const uint64_t boot_us =
+      static_cast<uint64_t>(host->executor().now().nanos() / 1000);
+  next_msg_call_ = static_cast<uint32_t>(boot_us % 0x3FFFFFFF) + 1;
+  next_local_thread_ = static_cast<uint16_t>(boot_us % 0x7FFF) + 1;
+  InstallRuntimeModule();
+  host_->Spawn(DispatchLoop());
+}
+
+RpcProcess::~RpcProcess() = default;
+
+// ------------------------------------------------------------- exports --
+
+ModuleNumber RpcProcess::ExportModule(const std::string& interface_name) {
+  modules_.push_back(Module{interface_name, {}, nullptr});
+  return static_cast<ModuleNumber>(modules_.size() - 1);
+}
+
+void RpcProcess::ExportProcedure(ModuleNumber module,
+                                 ProcedureNumber procedure,
+                                 ProcedureHandler handler) {
+  CIRCUS_CHECK(module < modules_.size());
+  modules_[module].procedures[procedure] = std::move(handler);
+}
+
+void RpcProcess::SetStateProvider(ModuleNumber module,
+                                  std::function<circus::Bytes()> provider) {
+  CIRCUS_CHECK(module < modules_.size());
+  modules_[module].state_provider = std::move(provider);
+}
+
+std::optional<ModuleNumber> RpcProcess::FindModule(
+    const std::string& name) const {
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].name == name) {
+      return static_cast<ModuleNumber>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void RpcProcess::InstallRuntimeModule() {
+  // The runtime module is what the stub compiler would generate for
+  // every server: set_troupe_id (Section 6.2), the null call used for
+  // garbage-collection probing (Section 6.1), and get_state for bringing
+  // new troupe members up to date (Section 6.4.1). It lives at a
+  // reserved module number and is dispatched like any other module.
+  runtime_procedures_[kSetTroupeId] =
+      [this](ServerCallContext&,
+             const circus::Bytes& args) -> Task<circus::StatusOr<circus::Bytes>> {
+    marshal::Reader r(args);
+    const uint64_t id = r.ReadU64();
+    if (!r.AtEnd()) {
+      co_return Status(ErrorCode::kProtocolError, "bad set_troupe_id args");
+    }
+    SetTroupeId(TroupeId{id});
+    co_return circus::Bytes{};
+  };
+  runtime_procedures_[kPing] =
+      [](ServerCallContext&,
+         const circus::Bytes&) -> Task<circus::StatusOr<circus::Bytes>> {
+    co_return circus::Bytes{};
+  };
+  runtime_procedures_[kGetState] =
+      [this](ServerCallContext&,
+             const circus::Bytes& args) -> Task<circus::StatusOr<circus::Bytes>> {
+    marshal::Reader r(args);
+    const ModuleNumber module = r.ReadU16();
+    if (!r.AtEnd() || module >= modules_.size()) {
+      co_return Status(ErrorCode::kInvalidArgument, "bad get_state module");
+    }
+    if (!modules_[module].state_provider) {
+      co_return Status(ErrorCode::kFailedPrecondition,
+                       "module has no state provider");
+    }
+    co_return modules_[module].state_provider();
+  };
+}
+
+// -------------------------------------------------------------- client --
+
+ThreadId RpcProcess::NewRootThread() {
+  const net::NetAddress self = process_address();
+  return ThreadId{self.host, self.port, next_local_thread_++};
+}
+
+uint32_t RpcProcess::NextThreadSeq(const ThreadId& thread) {
+  return ++thread_seq_[thread];
+}
+
+Task<circus::StatusOr<circus::Bytes>> RpcProcess::Call(
+    ThreadId thread, const Troupe& server, ModuleNumber module,
+    ProcedureNumber procedure, circus::Bytes args, CallOptions opts) {
+  if (server.members.empty()) {
+    co_return Status(ErrorCode::kUnavailable, "troupe has no members");
+  }
+  // Troupe members must be distinct processes: replicas sharing one
+  // process would not have independent failure modes.
+  for (size_t i = 0; i < server.members.size(); ++i) {
+    for (size_t j = i + 1; j < server.members.size(); ++j) {
+      CIRCUS_CHECK_MSG(
+          server.members[i].process != server.members[j].process,
+          "troupe members must live in distinct processes");
+    }
+  }
+  ++stats_.calls_made;
+  // The measurement bracketing of Section 4.4.1 (gettimeofday before and
+  // after each call) is part of the runtime cost.
+  host_->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
+
+  CallBody body;
+  body.thread = thread;
+  body.thread_seq = NextThreadSeq(thread);
+  body.client_troupe = opts.as_unreplicated_client ? TroupeId{} : troupe_id_;
+  body.server_troupe = server.id;
+  body.module = module;
+  body.procedure = procedure;
+  body.arguments = std::move(args);
+  // Client-side history: the call event (Section 3.3.1).
+  RecordEvent(thread, model::MakeCall(module, procedure, body.arguments));
+  circus::Bytes encoded = body.Encode();
+
+  // Stub/user-mode bookkeeping cost (the user-time column of Table 4.1
+  // grows with the troupe size).
+  const Duration user_cost =
+      options_.client_user_cost_base +
+      options_.client_user_cost_per_member *
+          static_cast<int64_t>(server.members.size());
+  if (user_cost > Duration::Zero()) {
+    co_await host_->Compute(user_cost);
+  }
+
+  const uint32_t msg_call = NextMessageCallNumber();
+  ReplyStream stream(host_, static_cast<int>(server.members.size()));
+  if (opts.multicast_group.has_value()) {
+    co_await endpoint_->BlastMulticast(
+        net::NetAddress{*opts.multicast_group, 0}, msg::MessageType::kCall,
+        msg_call, encoded);
+    for (const ModuleAddress& member : server.members) {
+      host_->Spawn(AwaitMulticastReply(member, msg_call, encoded,
+                                       stream.shared_state()));
+    }
+  } else {
+    for (const ModuleAddress& member : server.members) {
+      host_->Spawn(
+          CallOneMember(member, msg_call, encoded, stream.shared_state()));
+    }
+  }
+
+  circus::StatusOr<circus::Bytes> result =
+      Status(ErrorCode::kUnavailable, "no collation ran");
+  if (opts.watchdog) {
+    // First-come with background verification (Section 4.3.4).
+    result = co_await FirstComeCollate(stream);
+    host_->Spawn(WatchdogTask(stream,
+                              result.ok() ? *result : circus::Bytes{},
+                              result.ok(), opts.watchdog));
+  } else {
+    Collator collator =
+        opts.custom_collator ? opts.custom_collator
+        : opts.minimum_successes > 0
+            ? MakeQuorumUnanimousCollator(opts.minimum_successes)
+            : BuiltinCollator(
+                  opts.collation.value_or(options_.default_collation));
+    result = co_await collator(stream);
+  }
+  host_->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
+  // Client-side history: the matching return event (error returns are
+  // recorded with the status text so divergent failures are visible).
+  RecordEvent(thread,
+              model::MakeReturn(
+                  module, procedure,
+                  result.ok() ? *result
+                              : circus::BytesFromString(
+                                    "!" + result.status().ToString())));
+  co_return result;
+}
+
+Task<void> RpcProcess::CallOneMember(
+    ModuleAddress member, uint32_t msg_call, circus::Bytes encoded,
+    std::shared_ptr<internal::ReplyStreamState> stream_state) {
+  Status sent = co_await endpoint_->SendMessage(
+      member.process, msg::MessageType::kCall, msg_call, std::move(encoded));
+  if (!sent.ok()) {
+    stream_state->channel.Send(Reply{member, sent});
+    co_return;
+  }
+  circus::StatusOr<msg::Message> m =
+      co_await endpoint_->AwaitReturn(member.process, msg_call);
+  if (!m.ok()) {
+    stream_state->channel.Send(Reply{member, m.status()});
+    co_return;
+  }
+  std::optional<ReturnBody> ret = ReturnBody::Decode(m->data);
+  if (!ret.has_value()) {
+    stream_state->channel.Send(Reply{
+        member, Status(ErrorCode::kProtocolError, "bad return message")});
+    co_return;
+  }
+  stream_state->channel.Send(Reply{member, std::move(*ret).ToStatusOr()});
+}
+
+Task<void> RpcProcess::AwaitMulticastReply(
+    ModuleAddress member, uint32_t msg_call, circus::Bytes encoded,
+    std::shared_ptr<internal::ReplyStreamState> stream_state) {
+  // Optimistic phase: the single multicast transmission usually reaches
+  // the member and its return message doubles as the acknowledgment.
+  std::optional<msg::Message> quick = co_await endpoint_->TryAwaitReturn(
+      member.process, msg_call, options_.multicast_fallback);
+  if (!quick.has_value()) {
+    // Fall back to the reliable point-to-point path; the server
+    // suppresses the duplicate if the multicast did arrive.
+    Status sent = co_await endpoint_->SendMessage(member.process,
+                                                  msg::MessageType::kCall,
+                                                  msg_call, std::move(encoded));
+    if (!sent.ok()) {
+      stream_state->channel.Send(Reply{member, sent});
+      co_return;
+    }
+    circus::StatusOr<msg::Message> m =
+        co_await endpoint_->AwaitReturn(member.process, msg_call);
+    if (!m.ok()) {
+      stream_state->channel.Send(Reply{member, m.status()});
+      co_return;
+    }
+    quick = std::move(*m);
+  }
+  std::optional<ReturnBody> ret = ReturnBody::Decode(quick->data);
+  if (!ret.has_value()) {
+    stream_state->channel.Send(Reply{
+        member, Status(ErrorCode::kProtocolError, "bad return message")});
+    co_return;
+  }
+  stream_state->channel.Send(Reply{member, std::move(*ret).ToStatusOr()});
+}
+
+Task<void> RpcProcess::WatchdogTask(
+    ReplyStream stream, circus::Bytes first_value, bool have_first,
+    std::function<void(const circus::Status&)> report) {
+  // The stream's consumed-count carries over: this continues where the
+  // first-come collation stopped.
+  bool mismatch = false;
+  while (true) {
+    std::optional<Reply> r = co_await stream.Next();
+    if (!r.has_value()) {
+      break;
+    }
+    if (!r->result.ok()) {
+      continue;  // a crashed member is a masked failure, not divergence
+    }
+    if (!have_first) {
+      first_value = std::move(*r->result);
+      have_first = true;
+      continue;
+    }
+    if (*r->result != first_value) {
+      mismatch = true;
+    }
+  }
+  report(mismatch
+             ? Status(ErrorCode::kDisagreement,
+                      "watchdog: a slower troupe member returned a "
+                      "different result")
+             : Status::Ok());
+}
+
+// -------------------------------------------------------------- server --
+
+Task<void> RpcProcess::DispatchLoop() {
+  while (true) {
+    msg::Message m = co_await endpoint_->NextIncomingCall();
+    ++stats_.call_messages_received;
+    std::optional<CallBody> body = CallBody::Decode(m.data);
+    if (!body.has_value()) {
+      CIRCUS_LOG_AT(LogLevel::kDebug, host_->executor().now().nanos())
+          << "undecodable call message from " << m.peer.ToString();
+      continue;
+    }
+    // Incarnation check (Section 6.2): a call addressed to a troupe ID we
+    // no longer carry means the client's binding cache is stale. An
+    // unbound (zero) destination is the binding-agent-free path.
+    if (body->server_troupe.bound() && body->server_troupe != troupe_id_) {
+      ++stats_.stale_bindings_rejected;
+      host_->Spawn(SendReturnTo(
+          m.peer, m.call_number,
+          ReturnBody::Error(ErrorCode::kStaleBinding,
+                            "troupe ID mismatch: rebind required")
+              .Encode()));
+      continue;
+    }
+    const InboundKey key{body->client_troupe, body->thread,
+                         body->thread_seq};
+    auto it = inbound_->find(key);
+    if (it == inbound_->end()) {
+      auto call = std::make_shared<InboundCall>(host_);
+      call->received[m.peer] = {m.call_number, body->arguments};
+      (*inbound_)[key] = call;
+      host_->Spawn(HandleInbound(key, call, std::move(*body)));
+      continue;
+    }
+    std::shared_ptr<InboundCall> call = it->second;
+    if (call->return_payload.has_value()) {
+      // A slow client troupe member's call arrived after execution: the
+      // buffered return message makes execution appear instantaneous to
+      // it (Section 4.3.4).
+      if (!call->replied_to.contains(m.peer)) {
+        call->replied_to.insert(m.peer);
+        ++stats_.late_members_served;
+        host_->Spawn(
+            SendReturnTo(m.peer, m.call_number, *call->return_payload));
+      }
+      continue;
+    }
+    call->received[m.peer] = {m.call_number, body->arguments};
+    call->arrivals.Send(1);
+  }
+}
+
+Task<void> RpcProcess::SendReturnTo(net::NetAddress peer,
+                                    uint32_t msg_call_number,
+                                    circus::Bytes payload) {
+  Status s = co_await endpoint_->SendMessage(
+      peer, msg::MessageType::kReturn, msg_call_number, std::move(payload));
+  if (!s.ok()) {
+    CIRCUS_LOG_AT(LogLevel::kDebug, host_->executor().now().nanos())
+        << "return to " << peer.ToString() << " undeliverable: "
+        << s.ToString();
+  }
+}
+
+Task<void> RpcProcess::HandleInbound(InboundKey key,
+                                     std::shared_ptr<InboundCall> call,
+                                     CallBody first_body) {
+  // 1. Learn the client troupe membership so we know how many call
+  //    messages to expect (Section 4.3.2).
+  size_t expected_count = 1;
+  if (key.client_troupe.bound() && troupe_resolver_) {
+    circus::StatusOr<Troupe> troupe =
+        co_await troupe_resolver_(key.client_troupe);
+    if (troupe.ok()) {
+      expected_count = troupe->members.size();
+    }
+  }
+
+  // 2. Wait for the call messages per the argument collation policy.
+  if (options_.argument_collation != Collation::kFirstCome &&
+      expected_count > 1) {
+    while (call->received.size() < expected_count) {
+      std::optional<int> more = co_await call->arrivals.ReceiveWithTimeout(
+          options_.straggler_timeout);
+      if (!more.has_value()) {
+        // Stragglers presumed crashed; proceed with the available
+        // members, as the client half does with crashed servers
+        // (Section 4.3.1).
+        break;
+      }
+    }
+  }
+
+  // 3. Collate the argument messages.
+  ServerCallContext ctx;
+  ctx.process = this;
+  ctx.thread = key.thread;
+  ctx.thread_seq = key.thread_seq;
+  ctx.client_troupe = key.client_troupe;
+  for (const auto& [peer, entry] : call->received) {
+    ctx.collected_arguments.emplace_back(peer, entry.second);
+  }
+  circus::Bytes return_payload;
+  bool argument_failure = false;
+  if (options_.argument_collation == Collation::kUnanimous &&
+      options_.argument_unanimity_check) {
+    for (const auto& [peer, argbytes] : ctx.collected_arguments) {
+      if (argbytes != ctx.collected_arguments.front().second) {
+        ++stats_.argument_disagreements;
+        return_payload =
+            ReturnBody::Error(ErrorCode::kDisagreement,
+                              "client troupe members sent different "
+                              "arguments")
+                .Encode();
+        argument_failure = true;
+        break;
+      }
+    }
+    ctx.arguments = ctx.collected_arguments.front().second;
+  } else if (options_.argument_collation == Collation::kMajority) {
+    std::map<circus::Bytes, int> votes;
+    const int needed = static_cast<int>(expected_count) / 2 + 1;
+    bool found = false;
+    for (const auto& [peer, argbytes] : ctx.collected_arguments) {
+      if (++votes[argbytes] >= needed) {
+        ctx.arguments = argbytes;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ++stats_.argument_disagreements;
+      return_payload = ReturnBody::Error(ErrorCode::kNoMajority,
+                                         "no argument majority")
+                           .Encode();
+      argument_failure = true;
+    }
+  } else {
+    ctx.arguments = ctx.collected_arguments.front().second;
+  }
+
+  // 4. Execute the procedure exactly once.
+  if (!argument_failure) {
+    ProcedureHandler* handler = nullptr;
+    if (first_body.module == kRuntimeModule) {
+      auto pit = runtime_procedures_.find(first_body.procedure);
+      if (pit != runtime_procedures_.end()) {
+        handler = &pit->second;
+      }
+    } else if (first_body.module < modules_.size()) {
+      auto pit =
+          modules_[first_body.module].procedures.find(first_body.procedure);
+      if (pit != modules_[first_body.module].procedures.end()) {
+        handler = &pit->second;
+      }
+    } else {
+      return_payload =
+          ReturnBody::Error(ErrorCode::kStaleBinding,
+                            "no such module exported here")
+              .Encode();
+    }
+    if (handler != nullptr) {
+      if (options_.server_user_cost > Duration::Zero()) {
+        co_await host_->Compute(options_.server_user_cost);
+      }
+      ++stats_.calls_executed;
+      // Server-side history: the execution of the call on the adopted
+      // thread. Nested calls made by the handler are recorded between
+      // this call event and its return event, giving exactly the
+      // invocation-tree structure of Section 3.3.1.
+      RecordEvent(key.thread, model::MakeCall(first_body.module,
+                                              first_body.procedure,
+                                              ctx.arguments));
+      circus::StatusOr<circus::Bytes> result =
+          co_await (*handler)(ctx, ctx.arguments);
+      RecordEvent(key.thread,
+                  model::MakeReturn(
+                      first_body.module, first_body.procedure,
+                      result.ok() ? *result
+                                  : circus::BytesFromString(
+                                        "!" + result.status().ToString())));
+      if (result.ok()) {
+        return_payload =
+            ReturnBody::Success(std::move(result).value()).Encode();
+      } else {
+        // The handler's error code travels verbatim in the error result
+        // (exception passing through the return message, Section 4.3).
+        return_payload = ReturnBody::Error(result.status().code(),
+                                           result.status().message())
+                             .Encode();
+      }
+    } else if (return_payload.empty()) {
+      return_payload = ReturnBody::Error(ErrorCode::kNotFound,
+                                         "no such procedure")
+                           .Encode();
+    }
+  }
+
+  // 5. Send the return message to every client troupe member heard from.
+  call->return_payload = return_payload;
+  for (const auto& [peer, entry] : call->received) {
+    if (call->replied_to.insert(peer).second) {
+      host_->Spawn(SendReturnTo(peer, entry.first, return_payload));
+    }
+  }
+
+  // 6. Retire the call record after the retention window (late members
+  //    arriving within it are served from the buffer by the dispatcher).
+  host_->executor().ScheduleAfter(
+      options_.inbound_retention,
+      [weak = std::weak_ptr(inbound_), key] {
+        if (std::shared_ptr<std::map<InboundKey,
+                                     std::shared_ptr<InboundCall>>>
+                map = weak.lock()) {
+          map->erase(key);
+        }
+      });
+}
+
+// ------------------------------------------------- nested calls (ctx) --
+
+Task<circus::StatusOr<circus::Bytes>> ServerCallContext::Call(
+    const Troupe& server, ModuleNumber module, ProcedureNumber procedure,
+    circus::Bytes args) {
+  // The server process adopts the caller's thread ID for the duration of
+  // the execution, so nested calls propagate it (Section 3.4.1).
+  return process->Call(thread, server, module, procedure, std::move(args));
+}
+
+}  // namespace circus::core

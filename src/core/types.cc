@@ -1,0 +1,24 @@
+#include "src/core/types.h"
+
+#include <cstdio>
+
+namespace circus::core {
+
+std::string ModuleAddress::ToString() const {
+  return process.ToString() + "#" + std::to_string(module);
+}
+
+std::string TroupeId::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "troupe:%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string ThreadId::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "thread:%08x:%u:%u", machine, port, local);
+  return buf;
+}
+
+}  // namespace circus::core

@@ -1,0 +1,77 @@
+// Identifiers for troupes, modules, and distributed threads.
+//
+//  * A module address (Section 4.3) is a process address plus a 16-bit
+//    module number indexing the process's table of exported interfaces.
+//  * A troupe (Section 3.5.1) is a set of module addresses plus the
+//    troupe ID assigned by the binding agent; the ID doubles as an
+//    incarnation number for stale-binding detection (Section 6.2).
+//  * A thread ID (Section 3.4.1) names one logical distributed thread of
+//    control: the base process's machine and port plus a local counter.
+//    Every call message bears the caller's thread ID, and a server
+//    process adopts it while performing the call.
+#ifndef SRC_CORE_TYPES_H_
+#define SRC_CORE_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/address.h"
+
+namespace circus::core {
+
+using ModuleNumber = uint16_t;
+using ProcedureNumber = uint16_t;
+
+// Module number of the runtime-internal module every process exports
+// (set_troupe_id, ping, get_state plumbing).
+inline constexpr ModuleNumber kRuntimeModule = 0xFFFF;
+
+struct ModuleAddress {
+  net::NetAddress process;
+  ModuleNumber module = 0;
+
+  constexpr auto operator<=>(const ModuleAddress&) const = default;
+  std::string ToString() const;
+};
+
+// Permanently unique troupe ID (Section 6.3). Zero means "unbound": a
+// direct, binding-agent-free call (used for the Ringmaster's own
+// degenerate bootstrap binding and for plain unreplicated RPC).
+struct TroupeId {
+  uint64_t value = 0;
+
+  constexpr auto operator<=>(const TroupeId&) const = default;
+  bool bound() const { return value != 0; }
+  std::string ToString() const;
+};
+
+struct ThreadId {
+  uint32_t machine = 0;  // base process's host address
+  uint16_t port = 0;     // base process's port
+  uint16_t local = 0;    // distinguishes threads within the base process
+
+  constexpr auto operator<=>(const ThreadId&) const = default;
+  std::string ToString() const;
+};
+
+// A troupe as known to clients: the ID plus the member module addresses.
+// Individual members do not know this set (they are unaware of one
+// another); only clients and the binding agent hold it.
+struct Troupe {
+  TroupeId id;
+  std::vector<ModuleAddress> members;
+
+  size_t size() const { return members.size(); }
+  bool operator==(const Troupe&) const = default;
+
+  // A degenerate single-member "troupe" for direct unreplicated calls.
+  static Troupe Direct(ModuleAddress member) {
+    return Troupe{TroupeId{}, {member}};
+  }
+};
+
+}  // namespace circus::core
+
+#endif  // SRC_CORE_TYPES_H_

@@ -1,0 +1,67 @@
+#include "src/core/wire.h"
+
+#include "src/marshal/marshal.h"
+
+namespace circus::core {
+
+circus::Bytes CallBody::Encode() const {
+  marshal::Writer w;
+  w.WriteU32(thread.machine);
+  w.WriteU16(thread.port);
+  w.WriteU16(thread.local);
+  w.WriteU32(thread_seq);
+  w.WriteU64(client_troupe.value);
+  w.WriteU64(server_troupe.value);
+  w.WriteU16(module);
+  w.WriteU16(procedure);
+  w.WriteBytes(arguments);
+  return w.Take();
+}
+
+std::optional<CallBody> CallBody::Decode(const circus::Bytes& raw) {
+  marshal::Reader r(raw);
+  CallBody b;
+  b.thread.machine = r.ReadU32();
+  b.thread.port = r.ReadU16();
+  b.thread.local = r.ReadU16();
+  b.thread_seq = r.ReadU32();
+  b.client_troupe.value = r.ReadU64();
+  b.server_troupe.value = r.ReadU64();
+  b.module = r.ReadU16();
+  b.procedure = r.ReadU16();
+  b.arguments = r.ReadBytes();
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return b;
+}
+
+circus::Bytes ReturnBody::Encode() const {
+  marshal::Writer w;
+  w.WriteU16(is_error ? 1 : 0);
+  if (is_error) {
+    w.WriteU16(static_cast<uint16_t>(error_code));
+    w.WriteString(error_message);
+  } else {
+    w.WriteBytes(results);
+  }
+  return w.Take();
+}
+
+std::optional<ReturnBody> ReturnBody::Decode(const circus::Bytes& raw) {
+  marshal::Reader r(raw);
+  ReturnBody b;
+  b.is_error = (r.ReadU16() == 1);
+  if (b.is_error) {
+    b.error_code = static_cast<ErrorCode>(r.ReadU16());
+    b.error_message = r.ReadString();
+  } else {
+    b.results = r.ReadBytes();
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return b;
+}
+
+}  // namespace circus::core

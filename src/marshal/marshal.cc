@@ -1,0 +1,111 @@
+#include "src/marshal/marshal.h"
+
+#include <cstring>
+
+namespace circus::marshal {
+
+void Writer::WriteU16(uint16_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void Writer::WriteU32(uint32_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 24));
+  out_.push_back(static_cast<uint8_t>(v >> 16));
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void Writer::WriteU64(uint64_t v) {
+  WriteU32(static_cast<uint32_t>(v >> 32));
+  WriteU32(static_cast<uint32_t>(v));
+}
+
+void Writer::WriteF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void Writer::WriteString(const std::string& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void Writer::WriteBytes(const circus::Bytes& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+bool Reader::Need(size_t n) {
+  if (!ok_ || data_.size() - offset_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::ReadU8() {
+  if (!Need(1)) {
+    return 0;
+  }
+  return data_[offset_++];
+}
+
+uint16_t Reader::ReadU16() {
+  if (!Need(2)) {
+    return 0;
+  }
+  uint16_t v = (static_cast<uint16_t>(data_[offset_]) << 8) |
+               data_[offset_ + 1];
+  offset_ += 2;
+  return v;
+}
+
+uint32_t Reader::ReadU32() {
+  if (!Need(4)) {
+    return 0;
+  }
+  uint32_t v = (static_cast<uint32_t>(data_[offset_]) << 24) |
+               (static_cast<uint32_t>(data_[offset_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[offset_ + 2]) << 8) |
+               data_[offset_ + 3];
+  offset_ += 4;
+  return v;
+}
+
+uint64_t Reader::ReadU64() {
+  const uint64_t hi = ReadU32();
+  const uint64_t lo = ReadU32();
+  return (hi << 32) | lo;
+}
+
+double Reader::ReadF64() {
+  const uint64_t bits = ReadU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return ok_ ? v : 0.0;
+}
+
+std::string Reader::ReadString() {
+  const uint32_t len = ReadU32();
+  if (!Need(len)) {
+    return {};
+  }
+  std::string v(data_.begin() + offset_, data_.begin() + offset_ + len);
+  offset_ += len;
+  return v;
+}
+
+circus::Bytes Reader::ReadBytes() {
+  const uint32_t len = ReadU32();
+  if (!Need(len)) {
+    return {};
+  }
+  circus::Bytes v(data_.begin() + offset_, data_.begin() + offset_ + len);
+  offset_ += len;
+  return v;
+}
+
+}  // namespace circus::marshal

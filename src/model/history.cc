@@ -1,0 +1,248 @@
+#include "src/model/history.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace circus::model {
+
+std::string ProcedureRef::ToString() const {
+  return std::to_string(module) + "." + std::to_string(procedure);
+}
+
+std::string Event::ToString() const {
+  return std::string(op == Op::kCall ? "call " : "ret  ") +
+         proc.ToString() + "(" + std::to_string(val.size()) + "b)";
+}
+
+Event MakeCall(uint32_t module, uint32_t procedure, circus::Bytes val) {
+  Event e;
+  e.op = Op::kCall;
+  e.proc = ProcedureRef{module, procedure};
+  e.val = std::move(val);
+  return e;
+}
+
+Event MakeReturn(uint32_t module, uint32_t procedure, circus::Bytes val) {
+  Event e;
+  e.op = Op::kReturn;
+  e.proc = ProcedureRef{module, procedure};
+  e.val = std::move(val);
+  return e;
+}
+
+EventSequence EventSequence::RestrictToModule(uint32_t module) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.proc.module == module) {
+      out.push_back(e);
+    }
+  }
+  return EventSequence(std::move(out));
+}
+
+bool EventSequence::IsBalancedInterval(size_t begin, size_t end) const {
+  // Definition 3.1 unfolds to the usual parenthesis condition with
+  // matching procedures: scanning left to right, returns must match the
+  // innermost open call, the interval must open with a call, close with
+  // its matching return, and never dip to depth zero in between.
+  if (end >= events_.size() || begin > end || end - begin < 1) {
+    return false;
+  }
+  std::vector<const Event*> stack;
+  for (size_t i = begin; i <= end; ++i) {
+    const Event& e = events_[i];
+    if (e.op == Op::kCall) {
+      stack.push_back(&e);
+    } else {
+      if (stack.empty() || stack.back()->proc != e.proc) {
+        return false;
+      }
+      stack.pop_back();
+      if (stack.empty() && i != end) {
+        return false;  // balanced prefix ended early: not one interval
+      }
+    }
+  }
+  return stack.empty();
+}
+
+bool EventSequence::IsBalancedConcatenation() const {
+  if (empty()) {
+    return true;
+  }
+  if (events_.front().op != Op::kCall) {
+    return false;
+  }
+  std::vector<const Event*> stack;
+  for (const Event& e : events_) {
+    if (e.op == Op::kCall) {
+      stack.push_back(&e);
+    } else {
+      if (stack.empty() || stack.back()->proc != e.proc) {
+        return false;
+      }
+      stack.pop_back();
+    }
+  }
+  return stack.empty();
+}
+
+bool EventSequence::IsValidThreadHistory() const {
+  if (empty()) {
+    return true;
+  }
+  // Condition 1: every return determines a unique call that returns at
+  // it (scan with a stack; any mismatch violates it). Additionally the
+  // initial event of a history must be a call (a consequence the model
+  // derives, but structurally required for the stack scan too).
+  if (events_.front().op != Op::kCall) {
+    return false;
+  }
+  std::vector<const Event*> stack;
+  for (const Event& e : events_) {
+    if (e.op == Op::kCall) {
+      stack.push_back(&e);
+    } else {
+      if (stack.empty() || stack.back()->proc != e.proc) {
+        return false;
+      }
+      stack.pop_back();
+    }
+  }
+  // Condition 2 applies to finite histories: H must be balanced. A
+  // recorded sequence represents a finite history only if the stack
+  // drained; we treat a non-empty final stack as a (valid) prefix of an
+  // ongoing history — callers that require completion check IsBalanced.
+  return true;
+}
+
+std::optional<size_t> EventSequence::ReturnOf(size_t call_index) const {
+  CIRCUS_CHECK(call_index < events_.size());
+  CIRCUS_CHECK(events_[call_index].op == Op::kCall);
+  size_t depth = 0;
+  for (size_t i = call_index; i < events_.size(); ++i) {
+    if (events_[i].op == Op::kCall) {
+      ++depth;
+    } else {
+      --depth;
+      if (depth == 0) {
+        return i;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> EventSequence::CallStack(size_t index) const {
+  CIRCUS_CHECK(index < events_.size());
+  // Callstack(c): calls c' <= c whose execution contains c, i.e. calls
+  // not yet returned at `index`.
+  std::vector<size_t> stack;
+  for (size_t i = 0; i <= index; ++i) {
+    if (events_[i].op == Op::kCall) {
+      stack.push_back(i);
+    } else if (!stack.empty()) {
+      stack.pop_back();
+    }
+  }
+  return stack;
+}
+
+circus::StatusOr<EventSequence::Decomposition> EventSequence::Decompose(
+    size_t index) const {
+  if (index >= events_.size()) {
+    return circus::Status(ErrorCode::kInvalidArgument,
+                          "index out of range");
+  }
+  Decomposition d;
+  if (index == 0) {
+    d.c = 0;
+    return d;
+  }
+  // Theorem 3.4: e's predecessor in Callstack(e) (or the matching call
+  // if e is a return), followed by the maximal balanced intervals
+  // between c and e.
+  size_t c;
+  if (events_[index].op == Op::kReturn) {
+    // Find the call that returns at `index`.
+    std::vector<size_t> stack;
+    std::optional<size_t> match;
+    for (size_t i = 0; i < index; ++i) {
+      if (events_[i].op == Op::kCall) {
+        stack.push_back(i);
+      } else if (!stack.empty()) {
+        stack.pop_back();
+      }
+    }
+    if (stack.empty()) {
+      return circus::Status(ErrorCode::kInvalidArgument,
+                            "return without matching call");
+    }
+    match = stack.back();
+    c = *match;
+  } else {
+    std::vector<size_t> stack = CallStack(index);
+    // The call stack ends with `index` itself; c is its predecessor.
+    CIRCUS_CHECK(!stack.empty() && stack.back() == index);
+    if (stack.size() < 2) {
+      return circus::Status(ErrorCode::kInvalidArgument,
+                            "event is the initial call");
+    }
+    c = stack[stack.size() - 2];
+  }
+  d.c = c;
+  // The events strictly between c and `index` form B_1..B_n; each
+  // balanced interval starts at depth(c)+1 relative to c.
+  size_t i = c + 1;
+  while (i < index) {
+    CIRCUS_CHECK(events_[i].op == Op::kCall);
+    std::optional<size_t> r = ReturnOf(i);
+    CIRCUS_CHECK(r.has_value() && *r < index);
+    d.balanced.emplace_back(i, *r);
+    i = *r + 1;
+  }
+  return d;
+}
+
+bool EventSequence::SameBehaviour(const EventSequence& other) const {
+  if (size() != other.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < size(); ++i) {
+    if (!events_[i].SameBehaviour(other.events_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<size_t> EventSequence::FirstDivergence(
+    const EventSequence& other) const {
+  const size_t common = std::min(size(), other.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (!events_[i].SameBehaviour(other.events_[i])) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string EventSequence::ToString() const {
+  std::string out;
+  size_t depth = 0;
+  for (const Event& e : events_) {
+    if (e.op == Op::kReturn && depth > 0) {
+      --depth;
+    }
+    out.append(2 * depth, ' ');
+    out += e.ToString();
+    out += '\n';
+    if (e.op == Op::kCall) {
+      ++depth;
+    }
+  }
+  return out;
+}
+
+}  // namespace circus::model

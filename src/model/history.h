@@ -1,0 +1,139 @@
+// The Chapter 3 formal model of modules and threads, executable: events,
+// event sequences, balanced intervals (Definition 3.1), thread execution
+// histories (Definition 3.2), call stacks and depth (Definition 3.3),
+// and the unique decomposition of Theorem 3.4.
+//
+// The model is used two ways in this repository:
+//  * directly, as a verified implementation of the dissertation's
+//    definitions (tests/model_test.cc exercises the theorems);
+//  * operationally, through TraceRecorder: troupe members record their
+//    observable histories and CompareTraces checks the global-
+//    determinism property of Section 3.5.2 — replicas of a deterministic
+//    module make the same calls and returns, with the same arguments and
+//    results, in the same order. A mismatch is exactly the kind of
+//    nondeterminism that breaks replication transparency.
+#ifndef SRC_MODEL_HISTORY_H_
+#define SRC_MODEL_HISTORY_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace circus::model {
+
+enum class Op : uint8_t {
+  kCall = 0,
+  kReturn = 1,
+};
+
+// A procedure identity in the model: module and procedure. (The formal
+// model's Procs(M); module(P) is the module field.)
+struct ProcedureRef {
+  uint32_t module = 0;
+  uint32_t procedure = 0;
+  constexpr auto operator<=>(const ProcedureRef&) const = default;
+  std::string ToString() const;
+};
+
+// An event (op, proc, val, id) per Section 3.3.1. `id` uniquely
+// identifies the event within its sequence; it does not participate in
+// behavioural equality.
+struct Event {
+  Op op = Op::kCall;
+  ProcedureRef proc;
+  circus::Bytes val;
+  uint64_t id = 0;
+
+  // Behavioural equality: everything but the id.
+  bool SameBehaviour(const Event& other) const {
+    return op == other.op && proc == other.proc && val == other.val;
+  }
+  std::string ToString() const;
+};
+
+// An event sequence E = <e_0, e_1, ...> with the operations the model
+// defines on it. Indices play the role of the ordering.
+class EventSequence {
+ public:
+  EventSequence() = default;
+  explicit EventSequence(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  void Append(Event e) {
+    e.id = next_id_++;
+    events_.push_back(std::move(e));
+  }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const Event& at(size_t i) const { return events_[i]; }
+  const std::vector<Event>& events() const { return events_; }
+
+  // E^M: the subsequence of M-events (restriction to a module).
+  EventSequence RestrictToModule(uint32_t module) const;
+
+  // Definition 3.1: is [begin, end] (inclusive) a balanced interval?
+  bool IsBalancedInterval(size_t begin, size_t end) const;
+  // Is the whole sequence a single balanced interval? (A complete
+  // thread execution history H = Exec(c_0) is, per Definition 3.2.)
+  bool IsBalanced() const {
+    return empty() || IsBalancedInterval(0, size() - 1);
+  }
+
+  // Is the sequence a concatenation B_1 B_2 ... B_n of balanced
+  // intervals? This is the shape of a module restriction E^M of a
+  // balanced history, and of a server member's recorded trace (one
+  // balanced interval per call it executed).
+  bool IsBalancedConcatenation() const;
+
+  // Definition 3.2: is this a valid thread execution history? (Every
+  // return matches a unique call; if finite, the whole is balanced.)
+  bool IsValidThreadHistory() const;
+
+  // The index of the return matching the call at `call_index`
+  // ("c returns at r"), or nullopt if the call never returns.
+  std::optional<size_t> ReturnOf(size_t call_index) const;
+
+  // Definition 3.3: the call stack after the event at `index` — the
+  // calls at or before `index` that have not returned by `index`.
+  // Returned as indices, outermost first.
+  std::vector<size_t> CallStack(size_t index) const;
+  // depth(c) = |Callstack(c)|.
+  size_t Depth(size_t index) const { return CallStack(index).size(); }
+
+  // Theorem 3.4 decomposition of H_{<=e}: the unique form
+  // <c_0, ..., c> B_1 ... B_n <e>. Returns the index of c (the deepest
+  // unreturned call before e) and the [begin, end] index pairs of the
+  // balanced intervals B_1..B_n between c and e.
+  struct Decomposition {
+    size_t c = 0;  // the enclosing call (c_0 <= c < e), or == e if e==c_0
+    std::vector<std::pair<size_t, size_t>> balanced;
+  };
+  circus::StatusOr<Decomposition> Decompose(size_t index) const;
+
+  // Behavioural equality of two sequences (ids ignored).
+  bool SameBehaviour(const EventSequence& other) const;
+
+  // The first position where the behaviours diverge, or nullopt if one
+  // is a prefix of the other (or they are equal).
+  std::optional<size_t> FirstDivergence(const EventSequence& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Event> events_;
+  uint64_t next_id_ = 1;
+};
+
+// Convenience constructors for tests and recorders.
+Event MakeCall(uint32_t module, uint32_t procedure, circus::Bytes val = {});
+Event MakeReturn(uint32_t module, uint32_t procedure,
+                 circus::Bytes val = {});
+
+}  // namespace circus::model
+
+#endif  // SRC_MODEL_HISTORY_H_

@@ -1,0 +1,59 @@
+#include "src/model/recorder.h"
+
+#include <set>
+
+namespace circus::model {
+
+std::optional<TraceDivergence> CompareRecorders(
+    const std::vector<const TraceRecorder*>& recorders, bool allow_prefix) {
+  if (recorders.size() < 2) {
+    return std::nullopt;
+  }
+  std::set<std::string> all_threads;
+  for (const TraceRecorder* r : recorders) {
+    for (const std::string& t : r->Threads()) {
+      all_threads.insert(t);
+    }
+  }
+  static const EventSequence kEmpty;
+  for (const std::string& thread : all_threads) {
+    const EventSequence* reference = recorders[0]->TraceOf(thread);
+    if (reference == nullptr) {
+      reference = &kEmpty;
+    }
+    for (size_t i = 1; i < recorders.size(); ++i) {
+      const EventSequence* other = recorders[i]->TraceOf(thread);
+      if (other == nullptr) {
+        other = &kEmpty;
+      }
+      std::optional<size_t> divergence =
+          reference->FirstDivergence(*other);
+      if (!divergence.has_value()) {
+        if (reference->size() == other->size()) {
+          continue;  // identical
+        }
+        if (allow_prefix) {
+          continue;  // one is a prefix: a lagging or crashed member
+        }
+        divergence = std::min(reference->size(), other->size());
+      }
+      TraceDivergence d;
+      d.thread_key = thread;
+      d.recorder_a = 0;
+      d.recorder_b = static_cast<int>(i);
+      d.index = *divergence;
+      const auto describe = [&](const EventSequence& seq) {
+        return d.index < seq.size() ? seq.at(d.index).ToString()
+                                    : std::string("<missing>");
+      };
+      d.description = "thread " + thread + " event " +
+                      std::to_string(d.index) + ": replica 0 saw " +
+                      describe(*reference) + ", replica " +
+                      std::to_string(i) + " saw " + describe(*other);
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace circus::model

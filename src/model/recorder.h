@@ -1,0 +1,77 @@
+// TraceRecorder: records per-thread execution histories (Section 3.3) as
+// a program runs, so that the global-determinism property underpinning
+// replication transparency (Section 3.5.2) can be *checked* rather than
+// assumed: deterministic troupe members produce behaviourally identical
+// histories for every logical thread. CompareRecorders pinpoints the
+// first divergence — the runtime analogue of the watchdog's error
+// detection (Section 4.3.4).
+//
+// Keys are opaque strings (the RPC layer uses ThreadId::ToString()), so
+// the model layer stays independent of the RPC layer.
+#ifndef SRC_MODEL_RECORDER_H_
+#define SRC_MODEL_RECORDER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/history.h"
+
+namespace circus::model {
+
+class TraceRecorder {
+ public:
+  void Record(const std::string& thread_key, Event e) {
+    traces_[thread_key].Append(std::move(e));
+  }
+
+  const EventSequence* TraceOf(const std::string& thread_key) const {
+    auto it = traces_.find(thread_key);
+    return it == traces_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<std::string> Threads() const {
+    std::vector<std::string> out;
+    out.reserve(traces_.size());
+    for (const auto& [key, seq] : traces_) {
+      out.push_back(key);
+    }
+    return out;
+  }
+
+  size_t total_events() const {
+    size_t n = 0;
+    for (const auto& [key, seq] : traces_) {
+      n += seq.size();
+    }
+    return n;
+  }
+
+ private:
+  std::map<std::string, EventSequence> traces_;
+};
+
+// A determinism violation between two replicas' recorded histories.
+struct TraceDivergence {
+  std::string thread_key;
+  int recorder_a = 0;
+  int recorder_b = 0;
+  // Index of the first differing event, or the length of the shorter
+  // trace if one is a proper prefix of the other.
+  size_t index = 0;
+  std::string description;
+};
+
+// Checks that every recorder saw behaviourally identical per-thread
+// histories (replicas of a deterministic troupe must). Prefixes are
+// tolerated when `allow_prefix` is set — a member that crashed or
+// lagged mid-run has recorded a prefix of the others' histories, which
+// is not a determinism violation.
+std::optional<TraceDivergence> CompareRecorders(
+    const std::vector<const TraceRecorder*>& recorders,
+    bool allow_prefix = true);
+
+}  // namespace circus::model
+
+#endif  // SRC_MODEL_RECORDER_H_

@@ -1,0 +1,407 @@
+#include "src/msg/paired_endpoint.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace circus::msg {
+
+using circus::Status;
+using sim::Duration;
+using sim::Syscall;
+
+PairedEndpoint::PairedEndpoint(net::DatagramSocket* socket,
+                               EndpointOptions options)
+    : socket_(socket),
+      options_(options),
+      incoming_calls_(
+          std::make_unique<sim::Channel<Message>>(socket->host())) {
+  host()->Spawn(ReceiverLoop());
+}
+
+PairedEndpoint::~PairedEndpoint() = default;
+
+// --------------------------------------------------------------- Sending
+
+sim::Task<void> PairedEndpoint::TransmitSegment(const net::NetAddress& to,
+                                                const Segment& seg,
+                                                bool retransmission) {
+  // Critical region around protocol state (the paper's user-mode
+  // implementation masks software interrupts with sigblock).
+  host()->ChargeSyscallInstant(Syscall::kSigBlock);
+  if (seg.ack) {
+    ++counters_.ack_segments_sent;
+  } else if (seg.is_probe()) {
+    ++counters_.probe_segments_sent;
+  } else {
+    ++counters_.data_segments_sent;
+  }
+  if (retransmission) {
+    ++counters_.retransmitted_segments;
+  }
+  co_await socket_->Send(to, seg.Encode());
+}
+
+sim::Task<circus::Status> PairedEndpoint::SendMessage(net::NetAddress to,
+                                                      MessageType type,
+                                                      uint32_t call_number,
+                                                      circus::Bytes data) {
+  std::vector<Segment> segments =
+      Segmentize(type, call_number, data, options_.segment_data_bytes);
+  const ExchangeKey key{to, type, call_number};
+  auto state = std::make_shared<SenderState>();
+  state->progress = std::make_unique<sim::Channel<uint32_t>>(host());
+  for (const Segment& s : segments) {
+    state->unacked.push_back(s);
+  }
+  senders_[key] = state;
+
+  Status result;
+  if (options_.mode == EndpointOptions::Mode::kSlidingWindow) {
+    // Circus: transmit every segment up front, then retransmit the first
+    // unacknowledged one periodically with please-ack set.
+    for (const Segment& s : segments) {
+      co_await TransmitSegment(to, s, false);
+    }
+    int retries = 0;
+    while (!state->unacked.empty()) {
+      host()->ChargeSyscallInstant(Syscall::kSetITimer);
+      host()->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
+      std::optional<uint32_t> progress =
+          co_await state->progress->ReceiveWithTimeout(
+              options_.retransmit_interval);
+      if (progress.has_value()) {
+        retries = 0;
+        continue;
+      }
+      if (++retries > options_.max_retransmits) {
+        result = Status(ErrorCode::kCrashDetected,
+                        "no acknowledgment from " + to.ToString());
+        break;
+      }
+      Segment again = state->unacked.front();
+      again.please_ack = true;
+      co_await TransmitSegment(to, again, true);
+    }
+  } else {
+    // Xerox PARC RPC: explicit acknowledgment of every segment but the
+    // last, so at most one segment's worth of buffering per connection.
+    for (size_t i = 0; i < segments.size() && result.ok(); ++i) {
+      const bool last = (i + 1 == segments.size());
+      Segment s = segments[i];
+      if (!last) {
+        s.please_ack = true;
+      }
+      co_await TransmitSegment(to, s, false);
+      int attempts = 0;
+      while (!state->unacked.empty() &&
+             state->unacked.front().segment_number <= s.segment_number) {
+        host()->ChargeSyscallInstant(Syscall::kSetITimer);
+        host()->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
+        std::optional<uint32_t> progress =
+            co_await state->progress->ReceiveWithTimeout(
+                options_.retransmit_interval);
+        if (progress.has_value()) {
+          attempts = 0;
+          continue;
+        }
+        if (++attempts > options_.max_retransmits) {
+          result = Status(ErrorCode::kCrashDetected,
+                          "no acknowledgment from " + to.ToString());
+          break;
+        }
+        Segment again = state->unacked.front();
+        again.please_ack = true;
+        co_await TransmitSegment(to, again, true);
+      }
+    }
+  }
+  senders_.erase(key);
+  co_return result;
+}
+
+sim::Task<void> PairedEndpoint::BlastMulticast(net::NetAddress group,
+                                               MessageType type,
+                                               uint32_t call_number,
+                                               circus::Bytes data) {
+  std::vector<Segment> segments =
+      Segmentize(type, call_number, data, options_.segment_data_bytes);
+  for (const Segment& s : segments) {
+    co_await TransmitSegment(group, s, false);
+  }
+}
+
+// ------------------------------------------------------------- Receiving
+
+sim::Task<Message> PairedEndpoint::NextIncomingCall() {
+  co_return co_await ReceiveValue(*incoming_calls_);
+}
+
+sim::Channel<Message>& PairedEndpoint::ReturnSlot(const ExchangeKey& key) {
+  auto it = return_slots_.find(key);
+  if (it == return_slots_.end()) {
+    it = return_slots_
+             .emplace(key, std::make_unique<sim::Channel<Message>>(host()))
+             .first;
+  }
+  return *it->second;
+}
+
+sim::Task<circus::StatusOr<Message>> PairedEndpoint::AwaitReturn(
+    net::NetAddress peer, uint32_t call_number) {
+  const ExchangeKey key{peer, MessageType::kReturn, call_number};
+  int silent_probes = 0;
+  while (true) {
+    host()->ChargeSyscallInstant(Syscall::kSetITimer);
+    host()->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
+    std::optional<Message> m =
+        co_await ReturnSlot(key).ReceiveWithTimeout(options_.probe_interval);
+    if (m.has_value()) {
+      return_slots_.erase(key);
+      co_return std::move(*m);
+    }
+    // No reply yet. If we heard anything at all from the peer recently,
+    // it is alive but slow; only silence counts against it.
+    auto activity = last_activity_.find(peer);
+    if (activity != last_activity_.end() &&
+        host()->executor().now() - activity->second <
+            options_.probe_interval) {
+      silent_probes = 0;
+    } else if (++silent_probes > options_.max_silent_probes) {
+      return_slots_.erase(key);
+      co_return Status(ErrorCode::kCrashDetected,
+                       "no response to probes from " + peer.ToString());
+    }
+    // Probe: a control segment asking for the ack state of our call.
+    Segment probe;
+    probe.type = MessageType::kCall;
+    probe.call_number = call_number;
+    probe.please_ack = true;
+    probe.segment_number = 0;
+    probe.total_segments = 1;
+    co_await TransmitSegment(peer, probe, false);
+  }
+}
+
+sim::Task<std::optional<Message>> PairedEndpoint::TryAwaitReturn(
+    net::NetAddress peer, uint32_t call_number, sim::Duration timeout) {
+  const ExchangeKey key{peer, MessageType::kReturn, call_number};
+  host()->ChargeSyscallInstant(Syscall::kSetITimer);
+  std::optional<Message> m =
+      co_await ReturnSlot(key).ReceiveWithTimeout(timeout);
+  if (m.has_value()) {
+    return_slots_.erase(key);
+  }
+  co_return std::move(m);
+}
+
+void PairedEndpoint::DiscardReturn(net::NetAddress peer,
+                                   uint32_t call_number) {
+  return_slots_.erase(
+      ExchangeKey{peer, MessageType::kReturn, call_number});
+}
+
+sim::Task<void> PairedEndpoint::ReceiverLoop() {
+  while (true) {
+    net::Datagram d = co_await socket_->ReceiveRaw();
+    // The user-mode implementation learns of the datagram via a software
+    // interrupt, polls with select, reads it with recvmsg, and brackets
+    // its protocol bookkeeping in a sigblock critical region.
+    host()->ChargeSyscallInstant(Syscall::kSelect);
+    host()->ChargeSyscallInstant(Syscall::kSigBlock);
+    co_await host()->DoSyscall(Syscall::kRecvMsg);
+    std::optional<Segment> seg = Segment::Decode(d.payload);
+    if (!seg.has_value()) {
+      CIRCUS_LOG_AT(LogLevel::kDebug, host()->executor().now().nanos())
+          << "malformed segment from " << d.source.ToString();
+      continue;
+    }
+    HandleSegment(d.source, *seg);
+  }
+}
+
+void PairedEndpoint::HandleSegment(const net::NetAddress& from,
+                                   const Segment& seg) {
+  last_activity_[from] = host()->executor().now();
+  if (seg.ack) {
+    HandleAck(from, seg);
+  } else if (seg.is_probe()) {
+    HandleProbe(from, seg);
+  } else {
+    HandleData(from, seg);
+  }
+}
+
+void PairedEndpoint::HandleAck(const net::NetAddress& from,
+                               const Segment& seg) {
+  const ExchangeKey key{from, seg.type, seg.call_number};
+  auto it = senders_.find(key);
+  if (it == senders_.end()) {
+    return;  // stale ack for a finished exchange
+  }
+  SenderState& state = *it->second;
+  const uint8_t ack_number = seg.segment_number;
+  while (!state.unacked.empty() &&
+         state.unacked.front().segment_number <= ack_number) {
+    state.unacked.pop_front();
+  }
+  state.progress->Send(ack_number);
+}
+
+void PairedEndpoint::HandleProbe(const net::NetAddress& from,
+                                 const Segment& seg) {
+  if (!seg.please_ack) {
+    return;
+  }
+  const ExchangeKey key{from, seg.type, seg.call_number};
+  // Subsequent please-ack segments (after completion) must be answered
+  // promptly (Section 4.2.4).
+  auto done = completed_.find(key);
+  if (done != completed_.end()) {
+    SendAck(from, seg.type, seg.call_number, done->second, done->second);
+    return;
+  }
+  auto partial = reassembly_.find(key);
+  if (partial != reassembly_.end()) {
+    SendAck(from, seg.type, seg.call_number, partial->second.total_segments,
+            partial->second.ack_number);
+    return;
+  }
+  SendAck(from, seg.type, seg.call_number, seg.total_segments, 0);
+}
+
+void PairedEndpoint::ApplyImplicitAcks(const net::NetAddress& from,
+                                       const Segment& seg) {
+  auto full_ack = [this](std::map<ExchangeKey,
+                                  std::shared_ptr<SenderState>>::iterator
+                             it) {
+    it->second->unacked.clear();
+    it->second->progress->Send(UINT32_MAX);
+  };
+  if (seg.type == MessageType::kReturn) {
+    // A return segment implicitly acknowledges the call with the same
+    // call number.
+    auto it = senders_.find(
+        ExchangeKey{from, MessageType::kCall, seg.call_number});
+    if (it != senders_.end()) {
+      full_ack(it);
+    }
+  } else {
+    // A call segment implicitly acknowledges returns with earlier call
+    // numbers sent to that peer.
+    auto it = senders_.lower_bound(
+        ExchangeKey{from, MessageType::kReturn, 0});
+    while (it != senders_.end() && it->first.peer == from &&
+           it->first.type == MessageType::kReturn &&
+           it->first.call_number < seg.call_number) {
+      auto next = std::next(it);
+      full_ack(it);
+      it = next;
+    }
+  }
+}
+
+void PairedEndpoint::HandleData(const net::NetAddress& from,
+                                const Segment& seg) {
+  ApplyImplicitAcks(from, seg);
+  const ExchangeKey key{from, seg.type, seg.call_number};
+  auto done = completed_.find(key);
+  if (done != completed_.end()) {
+    // Duplicate of a completed exchange: re-acknowledge, never redeliver
+    // (this is what makes execution exactly-once at the message level).
+    ++counters_.duplicate_messages_suppressed;
+    if (seg.please_ack) {
+      SendAck(from, seg.type, seg.call_number, done->second, done->second);
+    }
+    return;
+  }
+  Reassembly& r = reassembly_[key];
+  if (r.total_segments == 0) {
+    r.total_segments = seg.total_segments;
+    r.parts.resize(seg.total_segments);
+  }
+  if (seg.total_segments != r.total_segments ||
+      seg.segment_number > r.total_segments) {
+    return;  // inconsistent header; drop like a garbled packet
+  }
+  const size_t index = seg.segment_number - 1;
+  r.parts[index] = seg.data;
+  while (r.ack_number < r.total_segments &&
+         r.parts[r.ack_number].has_value()) {
+    ++r.ack_number;
+  }
+  const bool complete = (r.ack_number == r.total_segments);
+  if (complete) {
+    std::vector<circus::Bytes> parts;
+    parts.reserve(r.parts.size());
+    for (std::optional<circus::Bytes>& p : r.parts) {
+      parts.push_back(std::move(*p));
+    }
+    const uint8_t total = r.total_segments;
+    reassembly_.erase(key);
+    RememberCompleted(key, total);
+    // Acknowledgment policy on completion (Section 4.2.4): for a call
+    // message, postpone in the hope that the return will serve as the
+    // implicit ack; for a return message, answer an explicit request.
+    if (seg.type == MessageType::kReturn && seg.please_ack) {
+      SendAck(from, seg.type, seg.call_number, total, total);
+    }
+    DeliverMessage(from, seg.type, seg.call_number, JoinSegments(parts));
+    return;
+  }
+  if (seg.please_ack) {
+    SendAck(from, seg.type, seg.call_number, r.total_segments,
+            r.ack_number);
+    return;
+  }
+  if (seg.segment_number > r.ack_number + 1) {
+    // Out-of-order arrival: a segment below this one was lost. Ack
+    // immediately so the sender retransmits the missing segment rather
+    // than an earlier one (Section 4.2.4).
+    SendAck(from, seg.type, seg.call_number, r.total_segments,
+            r.ack_number);
+  }
+}
+
+void PairedEndpoint::SendAck(const net::NetAddress& to, MessageType type,
+                             uint32_t call_number, uint8_t total_segments,
+                             uint8_t ack_number) {
+  Segment ack;
+  ack.type = type;
+  ack.ack = true;
+  ack.total_segments = total_segments == 0 ? 1 : total_segments;
+  ack.segment_number = ack_number;
+  ack.call_number = call_number;
+  // Acks are sent from within the receiver's critical region; fire and
+  // forget (they are themselves unreliable).
+  ++counters_.ack_segments_sent;
+  host()->ChargeSyscallInstant(Syscall::kSigBlock);
+  host()->ChargeSyscallInstant(Syscall::kSendMsg);
+  socket_->SendRaw(to, ack.Encode());
+}
+
+void PairedEndpoint::DeliverMessage(const net::NetAddress& from,
+                                    MessageType type, uint32_t call_number,
+                                    circus::Bytes data) {
+  ++counters_.messages_delivered;
+  Message m{from, type, call_number, std::move(data)};
+  if (type == MessageType::kCall) {
+    incoming_calls_->Send(std::move(m));
+  } else {
+    ReturnSlot(ExchangeKey{from, type, call_number}).Send(std::move(m));
+  }
+}
+
+void PairedEndpoint::RememberCompleted(const ExchangeKey& key,
+                                       uint8_t total_segments) {
+  completed_[key] = total_segments;
+  std::deque<ExchangeKey>& order = completed_order_[key.peer];
+  order.push_back(key);
+  while (order.size() > options_.completed_history_per_peer) {
+    completed_.erase(order.front());
+    order.pop_front();
+  }
+}
+
+}  // namespace circus::msg

@@ -1,0 +1,191 @@
+// The Circus paired message layer (Section 4.2): reliably delivered,
+// variable-length, paired (call/return) messages over unreliable
+// datagrams, with call numbers identifying each exchange. Connectionless:
+// a client just sends a call message. Features reproduced from the
+// dissertation:
+//
+//  * segmentation/reassembly with a sliding window (all segments sent
+//    before any is acknowledged), or the Xerox PARC-style stop-and-wait
+//    alternative for comparison (Section 4.2.5);
+//  * explicit acks (ack bit + acknowledgment number) and implicit acks
+//    (a return segment acks the call of the same call number; a call
+//    segment acks returns with earlier call numbers);
+//  * postponed acknowledgment of a just-completed call message, in the
+//    hope the return will arrive soon enough to serve as the ack;
+//  * immediate ack on out-of-order arrival, to trigger fast retransmit;
+//  * probing and retransmission timeouts for crash detection
+//    (Section 4.2.3);
+//  * duplicate suppression: completed exchanges are remembered so a
+//    retransmitted call is re-acknowledged, never re-delivered.
+//
+// The message contents are uninterpreted here; the replicated procedure
+// call layer (src/core) defines what goes inside.
+#ifndef SRC_MSG_PAIRED_ENDPOINT_H_
+#define SRC_MSG_PAIRED_ENDPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/msg/segment.h"
+#include "src/net/socket.h"
+#include "src/sim/channel.h"
+#include "src/sim/task.h"
+
+namespace circus::msg {
+
+// A fully reassembled incoming message.
+struct Message {
+  net::NetAddress peer;
+  MessageType type = MessageType::kCall;
+  uint32_t call_number = 0;
+  circus::Bytes data;
+};
+
+struct EndpointOptions {
+  // kSlidingWindow is the Circus protocol; kStopAndWait is the Xerox PARC
+  // RPC behaviour (explicit ack of every segment but the last), kept for
+  // the Section 4.2.5 ablation.
+  enum class Mode { kSlidingWindow, kStopAndWait };
+  Mode mode = Mode::kSlidingWindow;
+
+  // Maximum data bytes per segment (MTU minus the 8-byte header,
+  // Section 4.2.4).
+  size_t segment_data_bytes = 1024;
+
+  // Retransmission of the first unacknowledged segment.
+  sim::Duration retransmit_interval = sim::Duration::Millis(300);
+  int max_retransmits = 8;  // then the peer is presumed crashed
+
+  // Probing while awaiting a response (Section 4.2.3).
+  sim::Duration probe_interval = sim::Duration::Seconds(1);
+  int max_silent_probes = 5;
+
+  // How many completed exchanges to remember per peer for duplicate
+  // suppression ("kept until no delayed segments can arrive").
+  size_t completed_history_per_peer = 64;
+};
+
+class PairedEndpoint {
+ public:
+  // Takes ownership of nothing; `socket` must outlive the endpoint. The
+  // receiver loop starts immediately.
+  PairedEndpoint(net::DatagramSocket* socket, EndpointOptions options);
+  PairedEndpoint(const PairedEndpoint&) = delete;
+  PairedEndpoint& operator=(const PairedEndpoint&) = delete;
+  ~PairedEndpoint();
+
+  net::NetAddress local_address() const { return socket_->local_address(); }
+  sim::Host* host() const { return socket_->host(); }
+  const EndpointOptions& options() const { return options_; }
+
+  // Sends one message reliably to `to`. Returns kCrashDetected if the
+  // receiver never acknowledges despite repeated retransmission.
+  sim::Task<circus::Status> SendMessage(net::NetAddress to, MessageType type,
+                                        uint32_t call_number,
+                                        circus::Bytes data);
+
+  // Transmits the segments of a message once to a multicast group, with
+  // no per-member reliability: the caller (the replicated call layer)
+  // treats each member's return message as the acknowledgment and falls
+  // back to reliable unicast for silent members (Section 4.3.7).
+  sim::Task<void> BlastMulticast(net::NetAddress group, MessageType type,
+                                 uint32_t call_number, circus::Bytes data);
+
+  // Next fully assembled incoming call message (servers consume these).
+  sim::Task<Message> NextIncomingCall();
+
+  // Waits for the return message of call `call_number` from `peer`,
+  // probing periodically; returns kCrashDetected if the peer stays silent
+  // through `max_silent_probes` probes.
+  sim::Task<circus::StatusOr<Message>> AwaitReturn(net::NetAddress peer,
+                                                   uint32_t call_number);
+
+  // Waits up to `timeout` for the return of `call_number` from `peer`
+  // without probing; nullopt on timeout (the slot is kept, so a later
+  // AwaitReturn picks up where this left off). Used for the optimistic
+  // phase of multicast calls (Section 4.3.7).
+  sim::Task<std::optional<Message>> TryAwaitReturn(net::NetAddress peer,
+                                                   uint32_t call_number,
+                                                   sim::Duration timeout);
+
+  // Forgets a pending return slot (used when a collator finishes early
+  // and the remaining replies are to be discarded by call number,
+  // Section 4.3.4).
+  void DiscardReturn(net::NetAddress peer, uint32_t call_number);
+
+  // --- introspection for tests/benches ---
+  struct Counters {
+    uint64_t data_segments_sent = 0;
+    uint64_t ack_segments_sent = 0;
+    uint64_t probe_segments_sent = 0;
+    uint64_t retransmitted_segments = 0;
+    uint64_t duplicate_messages_suppressed = 0;
+    uint64_t messages_delivered = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct ExchangeKey {
+    net::NetAddress peer;
+    MessageType type;
+    uint32_t call_number;
+    auto operator<=>(const ExchangeKey&) const = default;
+  };
+
+  struct SenderState {
+    // Segments not yet acknowledged, in order.
+    std::deque<Segment> unacked;
+    // Signals ack progress; value is the new acknowledgment number
+    // (UINT32_MAX for an implicit full ack).
+    std::unique_ptr<sim::Channel<uint32_t>> progress;
+  };
+
+  struct Reassembly {
+    uint8_t total_segments = 0;
+    uint8_t ack_number = 0;  // highest consecutive segment received
+    std::vector<std::optional<circus::Bytes>> parts;
+    bool complete = false;
+  };
+
+  sim::Task<void> ReceiverLoop();
+  void HandleSegment(const net::NetAddress& from, const Segment& seg);
+  void HandleAck(const net::NetAddress& from, const Segment& seg);
+  void HandleProbe(const net::NetAddress& from, const Segment& seg);
+  void HandleData(const net::NetAddress& from, const Segment& seg);
+  void ApplyImplicitAcks(const net::NetAddress& from, const Segment& seg);
+  void SendAck(const net::NetAddress& to, MessageType type,
+               uint32_t call_number, uint8_t total_segments,
+               uint8_t ack_number);
+  void DeliverMessage(const net::NetAddress& from, MessageType type,
+                      uint32_t call_number, circus::Bytes data);
+  void RememberCompleted(const ExchangeKey& key, uint8_t total_segments);
+  sim::Channel<Message>& ReturnSlot(const ExchangeKey& key);
+  sim::Task<void> TransmitSegment(const net::NetAddress& to,
+                                  const Segment& seg, bool retransmission);
+
+  net::DatagramSocket* socket_;
+  EndpointOptions options_;
+  Counters counters_;
+
+  std::map<ExchangeKey, std::shared_ptr<SenderState>> senders_;
+  std::map<ExchangeKey, Reassembly> reassembly_;
+  // Completed exchange -> total segments (for re-acking duplicates).
+  std::map<ExchangeKey, uint8_t> completed_;
+  std::map<net::NetAddress, std::deque<ExchangeKey>> completed_order_;
+  std::unique_ptr<sim::Channel<Message>> incoming_calls_;
+  std::map<ExchangeKey, std::unique_ptr<sim::Channel<Message>>>
+      return_slots_;
+  // Last time any segment arrived from a peer (probe bookkeeping).
+  std::map<net::NetAddress, sim::TimePoint> last_activity_;
+};
+
+}  // namespace circus::msg
+
+#endif  // SRC_MSG_PAIRED_ENDPOINT_H_

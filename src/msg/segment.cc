@@ -1,0 +1,95 @@
+#include "src/msg/segment.h"
+
+#include "src/common/check.h"
+
+namespace circus::msg {
+
+namespace {
+constexpr uint8_t kPleaseAckBit = 0x01;
+constexpr uint8_t kAckBit = 0x02;
+}  // namespace
+
+circus::Bytes Segment::Encode() const {
+  circus::Bytes out;
+  out.reserve(kSegmentHeaderBytes + data.size());
+  out.push_back(static_cast<uint8_t>(type));
+  uint8_t control = 0;
+  if (please_ack) {
+    control |= kPleaseAckBit;
+  }
+  if (ack) {
+    control |= kAckBit;
+  }
+  out.push_back(control);
+  out.push_back(total_segments);
+  out.push_back(segment_number);
+  out.push_back(static_cast<uint8_t>(call_number >> 24));
+  out.push_back(static_cast<uint8_t>(call_number >> 16));
+  out.push_back(static_cast<uint8_t>(call_number >> 8));
+  out.push_back(static_cast<uint8_t>(call_number));
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+std::optional<Segment> Segment::Decode(const circus::Bytes& raw) {
+  if (raw.size() < kSegmentHeaderBytes) {
+    return std::nullopt;
+  }
+  if (raw[0] > 1) {
+    return std::nullopt;  // unknown message type
+  }
+  Segment s;
+  s.type = static_cast<MessageType>(raw[0]);
+  s.please_ack = (raw[1] & kPleaseAckBit) != 0;
+  s.ack = (raw[1] & kAckBit) != 0;
+  s.total_segments = raw[2];
+  s.segment_number = raw[3];
+  s.call_number = (static_cast<uint32_t>(raw[4]) << 24) |
+                  (static_cast<uint32_t>(raw[5]) << 16) |
+                  (static_cast<uint32_t>(raw[6]) << 8) | raw[7];
+  if (s.total_segments == 0) {
+    return std::nullopt;
+  }
+  s.data.assign(raw.begin() + kSegmentHeaderBytes, raw.end());
+  return s;
+}
+
+std::vector<Segment> Segmentize(MessageType type, uint32_t call_number,
+                                const circus::Bytes& data,
+                                size_t segment_data_bytes) {
+  CIRCUS_CHECK(segment_data_bytes > 0);
+  const size_t count =
+      data.empty() ? 1 : (data.size() + segment_data_bytes - 1) /
+                             segment_data_bytes;
+  CIRCUS_CHECK_MSG(count <= kMaxSegmentsPerMessage,
+                   "message too large for 255 segments");
+  std::vector<Segment> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Segment s;
+    s.type = type;
+    s.call_number = call_number;
+    s.total_segments = static_cast<uint8_t>(count);
+    s.segment_number = static_cast<uint8_t>(i + 1);
+    const size_t begin = i * segment_data_bytes;
+    const size_t end = std::min(begin + segment_data_bytes, data.size());
+    s.data.assign(data.begin() + begin, data.begin() + end);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+circus::Bytes JoinSegments(const std::vector<circus::Bytes>& parts) {
+  circus::Bytes out;
+  size_t total = 0;
+  for (const circus::Bytes& p : parts) {
+    total += p.size();
+  }
+  out.reserve(total);
+  for (const circus::Bytes& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace circus::msg

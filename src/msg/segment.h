@@ -1,0 +1,66 @@
+// Segment wire format of the Circus paired message protocol, following
+// Figure 4.2 of the dissertation byte for byte:
+//
+//   byte 0      message type (0 = call, 1 = return)
+//   byte 1      control bits (bit 0 = please ack, bit 1 = ack)
+//   byte 2      total segments in the message (1..255)
+//   byte 3      segment number (data: 1..total; ack: acknowledgment number)
+//   bytes 4..7  call number, unsigned 32-bit, most significant byte first
+//   bytes 8..   message data (data segments only)
+//
+// A data segment carries a slice of the message; a control segment is a
+// bare header used to send or request acknowledgment information.
+#ifndef SRC_MSG_SEGMENT_H_
+#define SRC_MSG_SEGMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace circus::msg {
+
+enum class MessageType : uint8_t {
+  kCall = 0,
+  kReturn = 1,
+};
+
+inline constexpr size_t kSegmentHeaderBytes = 8;
+// Paper: total segments must be in 1..255.
+inline constexpr int kMaxSegmentsPerMessage = 255;
+
+struct Segment {
+  MessageType type = MessageType::kCall;
+  bool please_ack = false;
+  bool ack = false;
+  uint8_t total_segments = 1;
+  // Data segment: 1..total_segments. Ack segment: all segments with
+  // numbers <= this value have been received. Probe (control, non-ack):
+  // 0.
+  uint8_t segment_number = 0;
+  uint32_t call_number = 0;
+  circus::Bytes data;
+
+  // Data segments carry segment_number >= 1; probes (ack requests) are
+  // non-ack control segments with segment_number == 0, so zero-length
+  // messages remain representable.
+  bool is_data() const { return !ack && segment_number >= 1; }
+  bool is_probe() const { return !ack && segment_number == 0; }
+
+  circus::Bytes Encode() const;
+  static std::optional<Segment> Decode(const circus::Bytes& raw);
+};
+
+// Splits message data into data segments of at most `segment_data_bytes`
+// each. CHECK-fails if the message would need more than 255 segments.
+std::vector<Segment> Segmentize(MessageType type, uint32_t call_number,
+                                const circus::Bytes& data,
+                                size_t segment_data_bytes);
+
+// Reassembles message data; `parts[i]` is the data of segment i+1.
+circus::Bytes JoinSegments(const std::vector<circus::Bytes>& parts);
+
+}  // namespace circus::msg
+
+#endif  // SRC_MSG_SEGMENT_H_

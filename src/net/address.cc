@@ -1,0 +1,14 @@
+#include "src/net/address.h"
+
+#include <cstdio>
+
+namespace circus::net {
+
+std::string NetAddress::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (host >> 24) & 0xFF,
+                (host >> 16) & 0xFF, (host >> 8) & 0xFF, host & 0xFF, port);
+  return buf;
+}
+
+}  // namespace circus::net

@@ -1,0 +1,184 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/net/socket.h"
+
+namespace circus::net {
+
+void Network::AttachHost(sim::Host* host, HostAddress address) {
+  CIRCUS_CHECK(!IsMulticastHost(address));
+  CIRCUS_CHECK(address_host_.find(address) == address_host_.end());
+  host_address_[host->id()] = address;
+  address_host_[address] = host->id();
+}
+
+HostAddress Network::AddressOfHost(sim::Host::HostId id) const {
+  auto it = host_address_.find(id);
+  CIRCUS_CHECK_MSG(it != host_address_.end(), "host not attached");
+  return it->second;
+}
+
+void Network::SetPairFaultPlan(sim::Host::HostId src_host,
+                               sim::Host::HostId dst_host,
+                               const FaultPlan& plan) {
+  pair_plans_[{src_host, dst_host}] = plan;
+}
+
+void Network::Partition(const std::vector<sim::Host::HostId>& island) {
+  const uint32_t island_id = next_island_++;
+  for (sim::Host::HostId h : island) {
+    partition_[h] = island_id;
+  }
+}
+
+void Network::HealPartitions() { partition_.clear(); }
+
+bool Network::Connected(sim::Host::HostId a, sim::Host::HostId b) const {
+  auto island = [this](sim::Host::HostId h) -> uint32_t {
+    auto it = partition_.find(h);
+    return it == partition_.end() ? 0 : it->second;
+  };
+  return island(a) == island(b);
+}
+
+void Network::JoinGroup(HostAddress group, DatagramSocket* socket) {
+  CIRCUS_CHECK(IsMulticastHost(group));
+  groups_[group].insert(socket);
+}
+
+void Network::LeaveGroup(HostAddress group, DatagramSocket* socket) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) {
+    it->second.erase(socket);
+    if (it->second.empty()) {
+      groups_.erase(it);
+    }
+  }
+}
+
+void Network::RegisterSocket(DatagramSocket* socket) {
+  const NetAddress addr = socket->local_address();
+  CIRCUS_CHECK_MSG(sockets_.find(addr) == sockets_.end(),
+                   "port already bound");
+  sockets_[addr] = socket;
+}
+
+void Network::UnregisterSocket(DatagramSocket* socket) {
+  sockets_.erase(socket->local_address());
+  for (auto& [group, members] : groups_) {
+    members.erase(socket);
+  }
+}
+
+Port Network::AllocateEphemeralPort(HostAddress host) {
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    Port p = next_ephemeral_port_++;
+    if (next_ephemeral_port_ == 0) {
+      next_ephemeral_port_ = 49152;
+    }
+    if (sockets_.find(NetAddress{host, p}) == sockets_.end()) {
+      return p;
+    }
+  }
+  CIRCUS_CHECK_MSG(false, "ephemeral ports exhausted");
+  return 0;
+}
+
+const FaultPlan& Network::PlanFor(sim::Host::HostId src,
+                                  sim::Host::HostId dst) const {
+  auto it = pair_plans_.find({src, dst});
+  return it == pair_plans_.end() ? default_plan_ : it->second;
+}
+
+void Network::Transmit(sim::Host* sender, Datagram datagram) {
+  CIRCUS_CHECK_MSG(datagram.payload.size() <= kMaxDatagramBytes,
+                   "datagram exceeds network MTU");
+  ++stats_.packets_sent;
+  if (observer_) {
+    observer_(datagram);
+  }
+  if (datagram.destination.is_multicast()) {
+    auto it = groups_.find(datagram.destination.host);
+    if (it == groups_.end()) {
+      ++stats_.packets_lost;
+      return;
+    }
+    // One physical multicast transmission; per-recipient fate is
+    // independent (Section 2.2: broadcast reliability may vary from
+    // recipient to recipient).
+    for (DatagramSocket* member : it->second) {
+      const FaultPlan& plan = PlanFor(sender->id(), member->host()->id());
+      if (!Connected(sender->id(), member->host()->id())) {
+        ++stats_.packets_blocked_by_partition;
+        continue;
+      }
+      DeliverTo(member, datagram, plan);
+    }
+    return;
+  }
+  DeliverUnicast(sender->id(), std::move(datagram));
+}
+
+void Network::DeliverUnicast(sim::Host::HostId src_host, Datagram datagram) {
+  auto it = sockets_.find(datagram.destination);
+  if (it == sockets_.end()) {
+    // No one listening; silently dropped, like a real datagram.
+    ++stats_.packets_lost;
+    return;
+  }
+  DatagramSocket* socket = it->second;
+  if (!Connected(src_host, socket->host()->id())) {
+    ++stats_.packets_blocked_by_partition;
+    return;
+  }
+  DeliverTo(socket, datagram, PlanFor(src_host, socket->host()->id()));
+}
+
+void Network::DeliverTo(DatagramSocket* socket, const Datagram& datagram,
+                        const FaultPlan& plan) {
+  int copies = 1;
+  if (rng_.Bernoulli(plan.loss_probability)) {
+    ++stats_.packets_lost;
+    return;
+  }
+  if (rng_.Bernoulli(plan.duplicate_probability)) {
+    ++stats_.packets_duplicated;
+    copies = 2;
+  }
+  for (int i = 0; i < copies; ++i) {
+    sim::Duration delay = plan.base_delay;
+    if (plan.mean_extra_delay > sim::Duration::Zero()) {
+      delay += rng_.Exponential(plan.mean_extra_delay);
+    }
+    if (i > 0) {
+      delay += plan.base_delay;  // the duplicate trails the original
+    }
+    const NetAddress dst = socket->local_address();
+    const uint32_t incarnation = socket->host()->incarnation();
+    Datagram copy = datagram;
+    executor_->ScheduleAfter(
+        delay, [this, dst, incarnation, d = std::move(copy)]() mutable {
+          // Re-resolve at delivery time: the socket may be gone and the
+          // host may have crashed or rebooted while the packet was in
+          // flight.
+          auto sit = sockets_.find(dst);
+          if (sit == sockets_.end()) {
+            ++stats_.packets_lost;
+            return;
+          }
+          DatagramSocket* target = sit->second;
+          if (!target->host()->up() ||
+              target->host()->incarnation() != incarnation) {
+            ++stats_.packets_lost;
+            return;
+          }
+          ++stats_.packets_delivered;
+          target->EnqueueIncoming(std::move(d));
+        });
+  }
+}
+
+}  // namespace circus::net

@@ -1,0 +1,92 @@
+#include "src/net/socket.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace circus::net {
+
+DatagramSocket::DatagramSocket(Network* network, sim::Host* host, Port port)
+    : network_(network), host_(host), incoming_(host) {
+  CIRCUS_CHECK_MSG(host->up(), "cannot open socket on a crashed host");
+  const HostAddress addr = network->AddressOfHost(host->id());
+  if (port == 0) {
+    port = network->AllocateEphemeralPort(addr);
+  }
+  local_ = NetAddress{addr, port};
+  network_->RegisterSocket(this);
+  crash_listener_ = host_->AddCrashListener([this] {
+    // Fail-stop: the socket vanishes with the machine.
+    network_->UnregisterSocket(this);
+    closed_ = true;
+  });
+}
+
+DatagramSocket::~DatagramSocket() { Close(); }
+
+void DatagramSocket::Close() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  network_->UnregisterSocket(this);
+  host_->RemoveCrashListener(crash_listener_);
+}
+
+sim::Task<void> DatagramSocket::Send(NetAddress to, circus::Bytes payload) {
+  if (!host_->up()) {
+    throw sim::HostCrashedError();
+  }
+  CIRCUS_CHECK(!closed_);
+  co_await host_->DoSyscall(sim::Syscall::kSendMsg);
+  network_->Transmit(host_, Datagram{local_, to, std::move(payload)});
+}
+
+void DatagramSocket::SendRaw(NetAddress to, circus::Bytes payload) {
+  if (!host_->up()) {
+    throw sim::HostCrashedError();
+  }
+  CIRCUS_CHECK(!closed_);
+  network_->Transmit(host_, Datagram{local_, to, std::move(payload)});
+}
+
+sim::Task<Datagram> DatagramSocket::ReceiveRaw() {
+  std::optional<Datagram> d = co_await incoming_.Receive();
+  CIRCUS_CHECK(d.has_value());
+  co_return std::move(*d);
+}
+
+sim::Task<Datagram> DatagramSocket::Receive() {
+  std::optional<Datagram> d = co_await incoming_.Receive();
+  CIRCUS_CHECK(d.has_value());
+  co_await host_->DoSyscall(sim::Syscall::kRecvMsg);
+  co_return std::move(*d);
+}
+
+sim::Task<std::optional<Datagram>> DatagramSocket::ReceiveWithTimeout(
+    sim::Duration timeout) {
+  std::optional<Datagram> d = co_await incoming_.ReceiveWithTimeout(timeout);
+  if (d.has_value()) {
+    co_await host_->DoSyscall(sim::Syscall::kRecvMsg);
+  }
+  co_return std::move(d);
+}
+
+std::optional<Datagram> DatagramSocket::Poll() {
+  host_->ChargeSyscallInstant(sim::Syscall::kSelect);
+  return incoming_.TryReceive();
+}
+
+void DatagramSocket::JoinGroup(HostAddress group) {
+  CIRCUS_CHECK(!closed_);
+  network_->JoinGroup(group, this);
+  joined_groups_.push_back(group);
+}
+
+void DatagramSocket::LeaveGroup(HostAddress group) {
+  network_->LeaveGroup(group, this);
+  std::erase(joined_groups_, group);
+}
+
+}  // namespace circus::net

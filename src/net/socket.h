@@ -1,0 +1,85 @@
+// Datagram sockets over the simulated network. A socket is bound to one
+// (host, port) pair; sending charges the sendmsg system call and receiving
+// charges recvmsg, reproducing the 4.2BSD cost structure the paper
+// measured (Section 4.4.1). Hosts are single-homed in this reproduction;
+// the paper's multi-homing workaround (an array of sockets multiplexed
+// with select) is discussed in EXPERIMENTS.md but not modelled.
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <optional>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/net/address.h"
+#include "src/net/network.h"
+#include "src/sim/channel.h"
+#include "src/sim/host.h"
+#include "src/sim/task.h"
+
+namespace circus::net {
+
+class DatagramSocket {
+ public:
+  // Binds to `port` on `host`; port 0 picks an ephemeral port. The socket
+  // detaches automatically when the host crashes.
+  DatagramSocket(Network* network, sim::Host* host, Port port);
+  DatagramSocket(const DatagramSocket&) = delete;
+  DatagramSocket& operator=(const DatagramSocket&) = delete;
+  ~DatagramSocket();
+
+  sim::Host* host() const { return host_; }
+  NetAddress local_address() const { return local_; }
+  bool closed() const { return closed_; }
+
+  // Sends one datagram (unicast or multicast destination). Charges one
+  // sendmsg system call; completes after the syscall's CPU cost. Delivery
+  // is unreliable per the network's fault plan.
+  sim::Task<void> Send(NetAddress to, circus::Bytes payload);
+
+  // Blocks until a datagram arrives; charges one recvmsg on wakeup.
+  sim::Task<Datagram> Receive();
+
+  // Blocks up to `timeout`; returns nullopt on timeout. Charges recvmsg
+  // only when a datagram is actually received. The caller is responsible
+  // for charging any timer-management syscalls it models (e.g. the UDP
+  // echo test's setitimer pair, Figure 4.5).
+  sim::Task<std::optional<Datagram>> ReceiveWithTimeout(
+      sim::Duration timeout);
+
+  // Non-blocking poll: charges one select call.
+  std::optional<Datagram> Poll();
+
+  // Kernel-level variants: no system-call charge. Used by protocols the
+  // paper locates inside the kernel (the TCP analogue), whose per-packet
+  // work is not visible as user-process system calls.
+  void SendRaw(NetAddress to, circus::Bytes payload);
+  sim::Task<Datagram> ReceiveRaw();
+  // Direct access to the receive queue for kernel-level protocols that
+  // need timeouts without recvmsg charges.
+  sim::Channel<Datagram>& incoming_channel() { return incoming_; }
+
+  void JoinGroup(HostAddress group);
+  void LeaveGroup(HostAddress group);
+
+  void Close();
+
+  size_t queued() const { return incoming_.size(); }
+
+ private:
+  friend class Network;
+
+  void EnqueueIncoming(Datagram d) { incoming_.Send(std::move(d)); }
+
+  Network* network_;
+  sim::Host* host_;
+  NetAddress local_;
+  sim::Channel<Datagram> incoming_;
+  std::vector<HostAddress> joined_groups_;
+  sim::Host::ListenerId crash_listener_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace circus::net
+
+#endif  // SRC_NET_SOCKET_H_

@@ -1,0 +1,232 @@
+#include "src/net/stream.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace circus::net {
+
+namespace {
+
+enum PacketType : uint8_t {
+  kSyn = 1,
+  kSynAck = 2,
+  kAck = 3,
+  kData = 4,
+  kDataAck = 5,
+};
+
+circus::Bytes EncodePacket(PacketType type, uint32_t seq,
+                           const circus::Bytes& payload) {
+  circus::Bytes out;
+  out.reserve(5 + payload.size());
+  out.push_back(type);
+  out.push_back(static_cast<uint8_t>(seq >> 24));
+  out.push_back(static_cast<uint8_t>(seq >> 16));
+  out.push_back(static_cast<uint8_t>(seq >> 8));
+  out.push_back(static_cast<uint8_t>(seq));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+struct DecodedPacket {
+  PacketType type;
+  uint32_t seq;
+  circus::Bytes payload;
+};
+
+std::optional<DecodedPacket> DecodePacket(const circus::Bytes& raw) {
+  if (raw.size() < 5) {
+    return std::nullopt;
+  }
+  DecodedPacket p;
+  p.type = static_cast<PacketType>(raw[0]);
+  p.seq = (static_cast<uint32_t>(raw[1]) << 24) |
+          (static_cast<uint32_t>(raw[2]) << 16) |
+          (static_cast<uint32_t>(raw[3]) << 8) | raw[4];
+  p.payload.assign(raw.begin() + 5, raw.end());
+  return p;
+}
+
+constexpr sim::Duration kRetransmitTimeout = sim::Duration::Millis(200);
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// StreamConnection
+
+StreamConnection::StreamConnection(Network* network, sim::Host* host,
+                                   NetAddress peer)
+    : network_(network),
+      host_(host),
+      peer_(peer),
+      socket_(std::make_unique<DatagramSocket>(network, host, 0)),
+      in_stream_(host),
+      ack_channel_(std::make_unique<sim::Channel<uint32_t>>(host)),
+      established_channel_(std::make_unique<sim::Channel<bool>>(host)) {}
+
+StreamConnection::~StreamConnection() = default;
+
+void StreamConnection::StartReceiverLoop() {
+  host_->Spawn(ReceiverLoop());
+}
+
+sim::Task<void> StreamConnection::ReceiverLoop() {
+  // "Kernel" protocol processing: no user-visible system calls.
+  while (true) {
+    Datagram d = co_await socket_->ReceiveRaw();
+    std::optional<DecodedPacket> p = DecodePacket(d.payload);
+    if (!p.has_value()) {
+      continue;
+    }
+    switch (p->type) {
+      case kData: {
+        if (p->seq == next_expected_seq_) {
+          ++next_expected_seq_;
+          in_stream_.Send(std::move(p->payload));
+        }
+        // Cumulative ack (covers duplicates of older segments too).
+        socket_->SendRaw(peer_,
+                         EncodePacket(kDataAck, next_expected_seq_, {}));
+        break;
+      }
+      case kDataAck: {
+        if (p->seq > highest_ack_) {
+          highest_ack_ = p->seq;
+        }
+        ack_channel_->Send(p->seq);
+        break;
+      }
+      case kAck: {
+        established_channel_->Send(true);
+        break;
+      }
+      case kSynAck:
+      case kSyn:
+        // Late handshake retransmissions; ignore.
+        break;
+    }
+  }
+}
+
+sim::Task<void> StreamConnection::SendSegmentReliably(
+    const circus::Bytes& segment) {
+  const uint32_t seq = next_send_seq_++;
+  const circus::Bytes packet = EncodePacket(kData, seq, segment);
+  while (highest_ack_ <= seq) {
+    socket_->SendRaw(peer_, packet);
+    std::optional<uint32_t> ack =
+        co_await ack_channel_->ReceiveWithTimeout(kRetransmitTimeout);
+    (void)ack;  // highest_ack_ is updated by the receiver loop
+  }
+}
+
+sim::Task<void> StreamConnection::Write(circus::Bytes data) {
+  co_await host_->DoSyscall(sim::Syscall::kWrite);
+  size_t offset = 0;
+  do {
+    const size_t len = std::min(kSegmentBytes, data.size() - offset);
+    circus::Bytes segment(data.begin() + offset,
+                          data.begin() + offset + len);
+    co_await SendSegmentReliably(segment);
+    offset += len;
+  } while (offset < data.size());
+}
+
+sim::Task<circus::Bytes> StreamConnection::Read() {
+  co_await host_->DoSyscall(sim::Syscall::kRead);
+  if (!read_buffer_.empty()) {
+    circus::Bytes out = std::move(read_buffer_);
+    read_buffer_.clear();
+    co_return out;
+  }
+  circus::Bytes chunk = co_await ReceiveValue(in_stream_);
+  // Drain anything else already queued (read(2) returns what is there).
+  while (std::optional<circus::Bytes> more = in_stream_.TryReceive()) {
+    chunk.insert(chunk.end(), more->begin(), more->end());
+  }
+  co_return chunk;
+}
+
+sim::Task<circus::Bytes> StreamConnection::ReadExactly(size_t n) {
+  circus::Bytes out;
+  while (out.size() < n) {
+    if (!read_buffer_.empty()) {
+      const size_t take = std::min(n - out.size(), read_buffer_.size());
+      out.insert(out.end(), read_buffer_.begin(),
+                 read_buffer_.begin() + take);
+      read_buffer_.erase(read_buffer_.begin(), read_buffer_.begin() + take);
+      continue;
+    }
+    circus::Bytes chunk = co_await Read();
+    read_buffer_ = std::move(chunk);
+  }
+  co_return out;
+}
+
+// ---------------------------------------------------------------------
+// StreamListener
+
+StreamListener::StreamListener(Network* network, sim::Host* host, Port port)
+    : network_(network), host_(host), socket_(network, host, port) {}
+
+sim::Task<std::unique_ptr<StreamConnection>> StreamListener::Accept() {
+  while (true) {
+    Datagram d = co_await socket_.ReceiveRaw();
+    std::optional<DecodedPacket> p = DecodePacket(d.payload);
+    if (!p.has_value() || p->type != kSyn) {
+      continue;  // duplicate or stray packet
+    }
+    auto conn =
+        std::make_unique<StreamConnection>(network_, host_, d.source);
+    conn->StartReceiverLoop();
+    // Retransmit SYN-ACK until the client's ACK (or first data) arrives.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      conn->socket_->SendRaw(conn->peer_, EncodePacket(kSynAck, 0, {}));
+      std::optional<bool> est =
+          co_await conn->established_channel_->ReceiveWithTimeout(
+              kRetransmitTimeout);
+      if (est.has_value()) {
+        co_return conn;
+      }
+      if (!conn->in_stream_.empty() || conn->next_expected_seq_ > 0) {
+        co_return conn;  // data arrived: connection implicitly established
+      }
+    }
+    // Client gave up; go back to listening.
+  }
+}
+
+// ---------------------------------------------------------------------
+// StreamConnect
+
+sim::Task<circus::StatusOr<std::unique_ptr<StreamConnection>>> StreamConnect(
+    Network* network, sim::Host* host, NetAddress server, int attempts,
+    sim::Duration syn_timeout) {
+  auto conn = std::make_unique<StreamConnection>(network, host, server);
+  for (int i = 0; i < attempts; ++i) {
+    conn->socket_->SendRaw(server, EncodePacket(kSyn, 0, {}));
+    // Wait for the SYN-ACK directly on the connection socket; the
+    // receiver loop is not yet running.
+    std::optional<Datagram> d =
+        co_await conn->socket_->incoming_channel().ReceiveWithTimeout(
+            syn_timeout);
+    if (!d.has_value()) {
+      continue;
+    }
+    std::optional<DecodedPacket> p = DecodePacket(d->payload);
+    if (!p.has_value() || p->type != kSynAck) {
+      continue;
+    }
+    conn->peer_ = d->source;  // the server's per-connection endpoint
+    conn->socket_->SendRaw(conn->peer_, EncodePacket(kAck, 0, {}));
+    conn->StartReceiverLoop();
+    co_return std::move(conn);
+  }
+  co_return circus::Status(circus::ErrorCode::kTimeout,
+                           "connect: no SYN-ACK from " + server.ToString());
+}
+
+}  // namespace circus::net

@@ -1,0 +1,37 @@
+#include "src/net/world.h"
+
+namespace circus::net {
+
+World::World(uint64_t seed, sim::SyscallCostModel cost_model)
+    : rng_(seed),
+      network_(&executor_, rng_.Fork()),
+      cost_model_(cost_model) {}
+
+World::~World() {
+  // Tear down in fail-stop style: crash everything so that coroutines
+  // suspended on host primitives unwind and free their frames.
+  for (auto& host : hosts_) {
+    host->Crash();
+  }
+  executor_.RunUntilIdle();
+}
+
+sim::Host* World::AddHost(const std::string& name) {
+  const uint32_t index = next_host_index_++;
+  auto host = std::make_unique<sim::Host>(&executor_, index + 1, name,
+                                          cost_model_);
+  network_.AttachHost(host.get(), MakeHostAddress(index));
+  hosts_.push_back(std::move(host));
+  return hosts_.back().get();
+}
+
+std::vector<sim::Host*> World::AddHosts(const std::string& prefix, int n) {
+  std::vector<sim::Host*> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(AddHost(prefix + std::to_string(i)));
+  }
+  return out;
+}
+
+}  // namespace circus::net

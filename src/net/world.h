@@ -1,0 +1,63 @@
+// World: one simulated distributed system — an executor, a set of
+// fail-stop hosts, and the network connecting them. Mirrors the paper's
+// testbed of six identically configured VAX-11/750s on one Ethernet
+// (Section 4.4.1); tests and benches build whatever topology they need.
+#ifndef SRC_NET_WORLD_H_
+#define SRC_NET_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/executor.h"
+#include "src/sim/host.h"
+#include "src/sim/random.h"
+
+namespace circus::net {
+
+class World {
+ public:
+  explicit World(uint64_t seed = 1,
+                 sim::SyscallCostModel cost_model =
+                     sim::SyscallCostModel::Berkeley42Bsd());
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  // Crashes every host and drains the executor so that all protocol
+  // coroutines unwind before members are destroyed.
+  ~World();
+
+  sim::Executor& executor() { return executor_; }
+  Network& network() { return network_; }
+  sim::Rng& rng() { return rng_; }
+
+  // Creates a host with the world's cost model and the next 10.x.y.z
+  // address.
+  sim::Host* AddHost(const std::string& name);
+  // Creates `n` hosts named <prefix>0..<prefix>n-1.
+  std::vector<sim::Host*> AddHosts(const std::string& prefix, int n);
+
+  sim::Host* host(size_t index) { return hosts_[index].get(); }
+  size_t host_count() const { return hosts_.size(); }
+
+  HostAddress AddressOf(const sim::Host* host) const {
+    return network_.AddressOfHost(host->id());
+  }
+
+  // Convenience wrappers over the executor.
+  void RunUntilIdle() { executor_.RunUntilIdle(); }
+  void RunFor(sim::Duration d) { executor_.RunFor(d); }
+  sim::TimePoint now() const { return executor_.now(); }
+
+ private:
+  sim::Rng rng_;
+  sim::Executor executor_;
+  Network network_;
+  sim::SyscallCostModel cost_model_;
+  std::vector<std::unique_ptr<sim::Host>> hosts_;
+  uint32_t next_host_index_ = 0;
+};
+
+}  // namespace circus::net
+
+#endif  // SRC_NET_WORLD_H_

@@ -1,0 +1,24 @@
+// The fail-stop crash signal. When a simulated host crashes, every
+// coroutine suspended on one of that host's wait primitives is resumed
+// with this exception, which unwinds the coroutine stack the way a real
+// crash destroys the processes on a machine (fail-stop processors,
+// Section 3.5.1). Protocol code never catches it below the top-level
+// process loop; peers learn of the crash only through timeouts and probes
+// (Section 4.2.3).
+#ifndef SRC_SIM_CRASH_H_
+#define SRC_SIM_CRASH_H_
+
+#include <exception>
+
+namespace circus::sim {
+
+class HostCrashedError : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "simulated host crashed";
+  }
+};
+
+}  // namespace circus::sim
+
+#endif  // SRC_SIM_CRASH_H_

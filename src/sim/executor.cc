@@ -1,0 +1,100 @@
+#include "src/sim/executor.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/sim/crash.h"
+
+namespace circus::sim {
+
+uint64_t Executor::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  const uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Executor::Cancel(uint64_t id) {
+  auto it = callbacks_.find(id);
+  if (it != callbacks_.end()) {
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+  }
+}
+
+bool Executor::RunOne() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto it = callbacks_.find(ev.id);
+    CIRCUS_CHECK(it != callbacks_.end());
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    CIRCUS_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Executor::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+void Executor::RunUntil(TimePoint deadline) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (ev.when > deadline) {
+      break;
+    }
+    if (!RunOne()) {
+      break;
+    }
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+namespace {
+
+// Fire-and-forget wrapper coroutine: owns the Task frame for the duration
+// of the run and self-destroys at completion.
+struct DetachedTask {
+  struct promise_type {
+    DetachedTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+DetachedTask RunDetached(Task<void> task, int64_t* live_counter) {
+  ++*live_counter;
+  try {
+    co_await std::move(task);
+  } catch (const HostCrashedError&) {
+    // The host running this task failed; the task simply ceases to exist,
+    // like a process on a crashed machine.
+  }
+  --*live_counter;
+}
+
+}  // namespace
+
+void Executor::Spawn(Task<void> task) {
+  RunDetached(std::move(task), &live_detached_);
+}
+
+}  // namespace circus::sim

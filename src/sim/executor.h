@@ -1,0 +1,104 @@
+// The discrete-event executor: a virtual clock plus a time-ordered queue
+// of callbacks. All coroutine resumptions are scheduled through it, so the
+// entire simulation executes as a flat, deterministic event loop.
+#ifndef SRC_SIM_EXECUTOR_H_
+#define SRC_SIM_EXECUTOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace circus::sim {
+
+class Executor {
+ public:
+  Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `fn` to run at simulated time `when` (clamped to now()).
+  // Events at equal times run in scheduling order. Returns an id usable
+  // with Cancel().
+  uint64_t ScheduleAt(TimePoint when, std::function<void()> fn);
+  uint64_t ScheduleAfter(Duration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Lazily cancels a scheduled event; a no-op if it already ran.
+  void Cancel(uint64_t id);
+
+  // Runs the earliest pending event; returns false if none remain.
+  bool RunOne();
+  // Runs until the queue is empty.
+  void RunUntilIdle();
+  // Runs events with time <= deadline; the clock finishes at `deadline`
+  // even if the queue drains earlier.
+  void RunUntil(TimePoint deadline);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  // Starts a detached coroutine. The coroutine begins running immediately
+  // (until its first suspension). A HostCrashedError escaping the task is
+  // swallowed: it means the host running the task failed, which is an
+  // expected event in a fault-tolerance simulator. Any other exception
+  // escaping a detached task aborts the process (programmer error).
+  void Spawn(Task<void> task);
+
+  // Number of detached tasks spawned and still running; useful for
+  // detecting tests that leave orphaned protocol loops behind.
+  int64_t live_detached_tasks() const { return live_detached_; }
+
+  // Awaitable god-level sleep (not tied to any host; never "crashes").
+  // Protocol code must use Host::SleepFor instead so that crashes wake it.
+  auto SleepFor(Duration d) {
+    struct Awaiter {
+      Executor* executor;
+      Duration delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        executor->ScheduleAfter(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+ private:
+  friend struct DetachedRunner;
+
+  struct Event {
+    TimePoint when;
+    uint64_t seq;
+    uint64_t id;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+  std::unordered_set<uint64_t> cancelled_;
+  int64_t live_detached_ = 0;
+};
+
+}  // namespace circus::sim
+
+#endif  // SRC_SIM_EXECUTOR_H_

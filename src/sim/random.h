@@ -1,0 +1,66 @@
+// Deterministic random number generation for the simulator. Every source
+// of randomness (network delays, losses, failure injection, workload
+// arrival times) draws from an Rng forked from the World's root generator,
+// so a run is a pure function of the root seed.
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+#include "src/sim/time.h"
+
+namespace circus::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // A new generator whose stream is independent of (but determined by)
+  // this one. Use one fork per logical randomness consumer so that adding
+  // draws in one component does not perturb another.
+  Rng Fork() { return Rng(engine_()); }
+
+  uint64_t NextUint64() { return engine_(); }
+
+  // Uniform in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Uniform integer in [lo, hi], inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return UniformDouble() < p;
+  }
+
+  // Exponentially distributed duration with the given mean. Used for
+  // network latency tails, member lifetimes, and repair times, matching
+  // the analytical assumptions of Sections 4.4.2 and 6.4.2.
+  Duration Exponential(Duration mean) {
+    if (mean <= Duration::Zero()) {
+      return Duration::Zero();
+    }
+    const double lambda = 1.0 / static_cast<double>(mean.nanos());
+    const double x = std::exponential_distribution<double>(lambda)(engine_);
+    return Duration::Nanos(static_cast<int64_t>(x));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace circus::sim
+
+#endif  // SRC_SIM_RANDOM_H_

@@ -1,0 +1,140 @@
+// Task<T>: a lazily started coroutine used for all protocol code in the
+// simulator. Awaiting a Task starts it and transfers control with symmetric
+// transfer; when the child finishes, the parent resumes. Exceptions thrown
+// inside a Task (notably HostCrashedError, the fail-stop crash signal)
+// propagate to the awaiter, so a machine crash unwinds an entire
+// distributed call stack exactly as a real crash would tear down the
+// processes representing it (Section 3.4.1 of the dissertation).
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace circus::sim {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      std::coroutine_handle<> c = h.promise().continuation;
+      return c ? c : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace internal
+
+// Owning handle to a coroutine frame. Move-only; destroying a Task that
+// has not run to completion destroys the frame (and, transitively, any
+// child Task objects held in its locals).
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = internal::Promise<T>;
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Awaiting starts the task (it is lazy) and resumes the awaiter when it
+  // completes, rethrowing any stored exception.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // Symmetric transfer into the child.
+      }
+      T await_resume() {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*h.promise().value);
+        }
+      }
+    };
+    CIRCUS_CHECK(handle_ != nullptr);
+    return Awaiter{handle_};
+  }
+
+  // Release ownership (used by the executor's detached-task machinery).
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+namespace internal {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace internal
+}  // namespace circus::sim
+
+#endif  // SRC_SIM_TASK_H_

@@ -1,0 +1,25 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace circus::sim {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  if (ns_ % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms",
+                  static_cast<long long>(ns_ / 1000000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms",
+                  static_cast<double>(ns_) / 1e6);
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6fs", static_cast<double>(ns_) / 1e9);
+  return buf;
+}
+
+}  // namespace circus::sim

@@ -1,0 +1,575 @@
+#include "src/stubgen/codegen.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace circus::stubgen {
+
+namespace {
+
+std::string UpperSnake(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::toupper(c));
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+// The C++ spelling of an IDL type.
+std::string CppType(const TypePtr& type) {
+  struct Visitor {
+    std::string operator()(Predefined p) const {
+      switch (p) {
+        case Predefined::kBoolean:
+          return "bool";
+        case Predefined::kCardinal:
+          return "uint16_t";
+        case Predefined::kLongCardinal:
+          return "uint32_t";
+        case Predefined::kInteger:
+          return "int16_t";
+        case Predefined::kLongInteger:
+          return "int32_t";
+        case Predefined::kString:
+          return "std::string";
+        case Predefined::kUnspecified:
+          return "uint16_t";
+      }
+      return "void";
+    }
+    std::string operator()(const NamedType& n) const { return n.name; }
+    std::string operator()(const SequenceType& s) const {
+      return "std::vector<" + CppType(s.element) + ">";
+    }
+    std::string operator()(const ArrayType& a) const {
+      return "std::array<" + CppType(a.element) + ", " +
+             std::to_string(a.size) + ">";
+    }
+    std::string operator()(const RecordType&) const {
+      CIRCUS_CHECK_MSG(false, "anonymous records must be declared types");
+      return "";
+    }
+    std::string operator()(const EnumerationType&) const {
+      CIRCUS_CHECK_MSG(false,
+                       "anonymous enumerations must be declared types");
+      return "";
+    }
+    std::string operator()(const ChoiceType&) const {
+      CIRCUS_CHECK_MSG(false, "anonymous choices must be declared types");
+      return "";
+    }
+  };
+  return std::visit(Visitor{}, type->node);
+}
+
+// Emits statements externalizing `expr` of `type` into writer `w`.
+void EmitWrite(std::ostringstream& out, const TypePtr& type,
+               const std::string& expr, const std::string& indent,
+               int depth);
+// Emits statements internalizing a value of `type` from reader `r` into
+// the already-declared lvalue `target`.
+void EmitRead(std::ostringstream& out, const TypePtr& type,
+              const std::string& target, const std::string& indent,
+              int depth);
+
+void EmitWrite(std::ostringstream& out, const TypePtr& type,
+               const std::string& expr, const std::string& indent,
+               int depth) {
+  struct Visitor {
+    std::ostringstream& out;
+    const std::string& expr;
+    const std::string& indent;
+    int depth;
+    void operator()(Predefined p) const {
+      switch (p) {
+        case Predefined::kBoolean:
+          out << indent << "w.WriteBool(" << expr << ");\n";
+          return;
+        case Predefined::kCardinal:
+        case Predefined::kUnspecified:
+          out << indent << "w.WriteU16(" << expr << ");\n";
+          return;
+        case Predefined::kLongCardinal:
+          out << indent << "w.WriteU32(" << expr << ");\n";
+          return;
+        case Predefined::kInteger:
+          out << indent << "w.WriteI16(" << expr << ");\n";
+          return;
+        case Predefined::kLongInteger:
+          out << indent << "w.WriteI32(" << expr << ");\n";
+          return;
+        case Predefined::kString:
+          out << indent << "w.WriteString(" << expr << ");\n";
+          return;
+      }
+    }
+    void operator()(const NamedType& n) const {
+      out << indent << "Write_" << n.name << "(w, " << expr << ");\n";
+    }
+    void operator()(const SequenceType& s) const {
+      const std::string elem = "e" + std::to_string(depth);
+      out << indent << "w.WriteU32(static_cast<uint32_t>(" << expr
+          << ".size()));\n";
+      out << indent << "for (const auto& " << elem << " : " << expr
+          << ") {\n";
+      EmitWrite(out, s.element, elem, indent + "  ", depth + 1);
+      out << indent << "}\n";
+    }
+    void operator()(const ArrayType& a) const {
+      const std::string elem = "e" + std::to_string(depth);
+      out << indent << "for (const auto& " << elem << " : " << expr
+          << ") {\n";
+      EmitWrite(out, a.element, elem, indent + "  ", depth + 1);
+      out << indent << "}\n";
+    }
+    void operator()(const RecordType& r) const {
+      for (const Field& f : r.fields) {
+        EmitWrite(out, f.type, expr + "." + f.name, indent, depth);
+      }
+    }
+    void operator()(const EnumerationType&) const {
+      out << indent << "w.WriteU16(static_cast<uint16_t>(" << expr
+          << "));\n";
+    }
+    void operator()(const ChoiceType& c) const {
+      out << indent << "switch (" << expr << ".index()) {\n";
+      for (size_t i = 0; i < c.arms.size(); ++i) {
+        out << indent << "  case " << i << ":\n";
+        out << indent << "    w.WriteUnionTag(" << c.arms[i].tag << ");\n";
+        EmitWrite(out, c.arms[i].type,
+                  "std::get<" + std::to_string(i) + ">(" + expr + ")",
+                  indent + "    ", depth + 1);
+        out << indent << "    break;\n";
+      }
+      out << indent << "  default: break;\n";
+      out << indent << "}\n";
+    }
+  };
+  std::visit(Visitor{out, expr, indent, depth}, type->node);
+}
+
+void EmitRead(std::ostringstream& out, const TypePtr& type,
+              const std::string& target, const std::string& indent,
+              int depth) {
+  struct Visitor {
+    std::ostringstream& out;
+    const std::string& target;
+    const std::string& indent;
+    int depth;
+    void operator()(Predefined p) const {
+      switch (p) {
+        case Predefined::kBoolean:
+          out << indent << target << " = r.ReadBool();\n";
+          return;
+        case Predefined::kCardinal:
+        case Predefined::kUnspecified:
+          out << indent << target << " = r.ReadU16();\n";
+          return;
+        case Predefined::kLongCardinal:
+          out << indent << target << " = r.ReadU32();\n";
+          return;
+        case Predefined::kInteger:
+          out << indent << target << " = r.ReadI16();\n";
+          return;
+        case Predefined::kLongInteger:
+          out << indent << target << " = r.ReadI32();\n";
+          return;
+        case Predefined::kString:
+          out << indent << target << " = r.ReadString();\n";
+          return;
+      }
+    }
+    void operator()(const NamedType& n) const {
+      out << indent << target << " = Read_" << n.name << "(r);\n";
+    }
+    void operator()(const SequenceType& s) const {
+      const std::string count = "n" + std::to_string(depth);
+      const std::string index = "i" + std::to_string(depth);
+      const std::string elem = "v" + std::to_string(depth);
+      out << indent << "{\n";
+      out << indent << "  const uint32_t " << count << " = r.ReadU32();\n";
+      out << indent << "  if (" << count << " > r.remaining()) {\n";
+      out << indent << "    r.Poison();\n";
+      out << indent << "  } else {\n";
+      out << indent << "    " << target << ".reserve(" << count << ");\n";
+      out << indent << "    for (uint32_t " << index << " = 0; " << index
+          << " < " << count << " && r.ok(); ++" << index << ") {\n";
+      out << indent << "      " << CppType(s.element) << " " << elem
+          << "{};\n";
+      EmitRead(out, s.element, elem, indent + "      ", depth + 1);
+      out << indent << "      " << target << ".push_back(std::move("
+          << elem << "));\n";
+      out << indent << "    }\n";
+      out << indent << "  }\n";
+      out << indent << "}\n";
+    }
+    void operator()(const ArrayType& a) const {
+      const std::string elem = "v" + std::to_string(depth);
+      out << indent << "for (auto& " << elem << " : " << target << ") {\n";
+      EmitRead(out, a.element, elem, indent + "  ", depth + 1);
+      out << indent << "}\n";
+    }
+    void operator()(const RecordType& rec) const {
+      for (const Field& f : rec.fields) {
+        EmitRead(out, f.type, target + "." + f.name, indent, depth);
+      }
+    }
+    void operator()(const EnumerationType& e) const {
+      // Enumeration targets need their declared C++ type; the caller
+      // declared `target` with it, so a cast suffices.
+      out << indent << target << " = static_cast<decltype(" << target
+          << ")>(r.ReadU16());\n";
+      (void)e;
+    }
+    void operator()(const ChoiceType& c) const {
+      const std::string tag = "t" + std::to_string(depth);
+      out << indent << "{\n";
+      out << indent << "  const uint16_t " << tag
+          << " = r.ReadUnionTag();\n";
+      out << indent << "  switch (" << tag << ") {\n";
+      for (size_t i = 0; i < c.arms.size(); ++i) {
+        const std::string arm = "a" + std::to_string(depth);
+        out << indent << "    case " << c.arms[i].tag << ": {\n";
+        out << indent << "      " << CppType(c.arms[i].type) << " " << arm
+            << "{};\n";
+        EmitRead(out, c.arms[i].type, arm, indent + "      ", depth + 1);
+        out << indent << "      " << target << ".emplace<" << i
+            << ">(std::move(" << arm << "));\n";
+        out << indent << "      break;\n";
+        out << indent << "    }\n";
+      }
+      out << indent << "    default: r.Poison(); break;\n";
+      out << indent << "  }\n";
+      out << indent << "}\n";
+    }
+  };
+  std::visit(Visitor{out, target, indent, depth}, type->node);
+}
+
+void EmitTypeDecl(std::ostringstream& out, const Program& program,
+                  const TypeDecl& decl) {
+  (void)program;
+  if (const RecordType* rec = std::get_if<RecordType>(&decl.type->node)) {
+    out << "struct " << decl.name << " {\n";
+    for (const Field& f : rec->fields) {
+      out << "  " << CppType(f.type) << " " << f.name << "{};\n";
+    }
+    out << "  bool operator==(const " << decl.name
+        << "&) const = default;\n";
+    out << "};\n\n";
+    return;
+  }
+  if (const EnumerationType* e =
+          std::get_if<EnumerationType>(&decl.type->node)) {
+    out << "enum class " << decl.name << " : uint16_t {\n";
+    for (const auto& [name, value] : e->values) {
+      out << "  " << name << " = " << value << ",\n";
+    }
+    out << "};\n\n";
+    return;
+  }
+  if (const ChoiceType* c = std::get_if<ChoiceType>(&decl.type->node)) {
+    out << "// CHOICE " << decl.name << ": arms";
+    for (const ChoiceArm& arm : c->arms) {
+      out << " " << arm.name << "(" << arm.tag << ")";
+    }
+    out << "\nusing " << decl.name << " = std::variant<";
+    for (size_t i = 0; i < c->arms.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << CppType(c->arms[i].type);
+    }
+    out << ">;\n\n";
+    return;
+  }
+  out << "using " << decl.name << " = " << CppType(decl.type) << ";\n\n";
+}
+
+void EmitMarshalFunctions(std::ostringstream& out, const TypeDecl& decl) {
+  out << "inline void Write_" << decl.name
+      << "(::circus::marshal::Writer& w, const " << decl.name
+      << "& v) {\n";
+  EmitWrite(out, decl.type, "v", "  ", 0);
+  out << "}\n\n";
+  out << "inline " << decl.name << " Read_" << decl.name
+      << "(::circus::marshal::Reader& r) {\n";
+  out << "  " << decl.name << " v{};\n";
+  EmitRead(out, decl.type, "v", "  ", 0);
+  out << "  return v;\n";
+  out << "}\n\n";
+}
+
+std::string ArgsStructName(const ProcedureDecl& p) {
+  return p.name + "Args";
+}
+std::string ResultsStructName(const ProcedureDecl& p) {
+  return p.name + "Results";
+}
+
+void EmitProcedureStructs(std::ostringstream& out,
+                          const ProcedureDecl& p) {
+  for (const auto* fields : {&p.arguments, &p.results}) {
+    const std::string name =
+        fields == &p.arguments ? ArgsStructName(p) : ResultsStructName(p);
+    out << "struct " << name << " {\n";
+    for (const Field& f : *fields) {
+      out << "  " << CppType(f.type) << " " << f.name << "{};\n";
+    }
+    out << "  bool operator==(const " << name << "&) const = default;\n";
+    out << "};\n";
+    // Marshal functions for the bundle.
+    out << "inline void Write_" << name
+        << "(::circus::marshal::Writer& w, const " << name << "& v) {\n";
+    for (const Field& f : *fields) {
+      EmitWrite(out, f.type, "v." + f.name, "  ", 0);
+    }
+    out << "  (void)w; (void)v;\n";
+    out << "}\n";
+    out << "inline " << name << " Read_" << name
+        << "(::circus::marshal::Reader& r) {\n";
+    out << "  " << name << " v{};\n";
+    for (const Field& f : *fields) {
+      EmitRead(out, f.type, "v." + f.name, "  ", 0);
+    }
+    out << "  (void)r;\n";
+    out << "  return v;\n";
+    out << "}\n\n";
+  }
+}
+
+std::string ParameterList(const ProcedureDecl& p, bool leading_comma) {
+  std::string out;
+  for (const Field& f : p.arguments) {
+    if (leading_comma || !out.empty()) {
+      out += ", ";
+    }
+    out += CppType(f.type) + " " + f.name;
+  }
+  return out;
+}
+
+void EmitClient(std::ostringstream& out, const Program& program) {
+  const std::string client = program.name + "Client";
+  out << "// Client stubs. Implicit binding uses the troupe set with\n"
+      << "// Bind(); explicit binding (the ...At flavour) takes the\n"
+      << "// binding handle as an extra parameter (Section 7.3);\n"
+      << "// explicit replication (the ...Raw flavour) exposes\n"
+      << "// CallOptions so the caller can supply a collator, paired\n"
+      << "// with a typed per-reply decoder (Section 7.4).\n";
+  out << "class " << client << " {\n";
+  out << " public:\n";
+  out << "  explicit " << client
+      << "(::circus::core::RpcProcess* process) : process_(process) {}\n\n";
+  out << "  void Bind(::circus::core::Troupe troupe) { troupe_ = "
+         "std::move(troupe); }\n";
+  out << "  const ::circus::core::Troupe& binding() const { return "
+         "troupe_; }\n\n";
+  for (const ProcedureDecl& p : program.procedures) {
+    const std::string results = ResultsStructName(p);
+    // Implicit binding.
+    out << "  ::circus::sim::Task<::circus::StatusOr<" << results << ">> "
+        << p.name << "(::circus::core::ThreadId thread"
+        << ParameterList(p, /*leading_comma=*/true) << ") {\n";
+    out << "    co_return co_await " << p.name << "At(troupe_, thread";
+    for (const Field& f : p.arguments) {
+      out << ", std::move(" << f.name << ")";
+    }
+    out << ");\n";
+    out << "  }\n\n";
+    // Explicit binding.
+    out << "  ::circus::sim::Task<::circus::StatusOr<" << results << ">> "
+        << p.name
+        << "At(const ::circus::core::Troupe& binding, "
+           "::circus::core::ThreadId thread"
+        << ParameterList(p, true) << ") {\n";
+    out << "    ::circus::marshal::Writer w;\n";
+    for (const Field& f : p.arguments) {
+      EmitWrite(out, f.type, f.name, "    ", 0);
+    }
+    out << "    ::circus::StatusOr<::circus::Bytes> reply =\n"
+        << "        co_await process_->Call(thread, binding, "
+           "ModuleNumberOf(binding), "
+        << p.number << ", w.Take());\n";
+    out << "    if (!reply.ok()) {\n";
+    out << "      co_return reply.status();\n";
+    out << "    }\n";
+    out << "    co_return Decode" << p.name << "Reply(*reply);\n";
+    out << "  }\n\n";
+    // Explicit replication.
+    out << "  ::circus::sim::Task<::circus::StatusOr<::circus::Bytes>> "
+        << p.name
+        << "Raw(const ::circus::core::Troupe& binding, "
+           "::circus::core::ThreadId thread, "
+           "::circus::core::CallOptions options"
+        << ParameterList(p, true) << ") {\n";
+    out << "    ::circus::marshal::Writer w;\n";
+    for (const Field& f : p.arguments) {
+      EmitWrite(out, f.type, f.name, "    ", 0);
+    }
+    out << "    co_return co_await process_->Call(thread, binding, "
+           "ModuleNumberOf(binding), "
+        << p.number << ", w.Take(), std::move(options));\n";
+    out << "  }\n\n";
+    // Typed reply decoder for custom collators.
+    out << "  static ::circus::StatusOr<" << results << "> Decode"
+        << p.name << "Reply(const ::circus::Bytes& reply) {\n";
+    out << "    ::circus::marshal::Reader r(reply);\n";
+    out << "    " << results << " results = Read_" << results << "(r);\n";
+    out << "    if (!r.AtEnd()) {\n";
+    out << "      return ::circus::Status("
+           "::circus::ErrorCode::kProtocolError, \"bad " << p.name
+        << " reply\");\n";
+    out << "    }\n";
+    out << "    return results;\n";
+    out << "  }\n\n";
+  }
+  out << " private:\n";
+  out << "  static ::circus::core::ModuleNumber ModuleNumberOf(\n"
+      << "      const ::circus::core::Troupe& troupe) {\n"
+      << "    return troupe.members.empty() ? 0 : "
+         "troupe.members.front().module;\n"
+      << "  }\n\n";
+  out << "  ::circus::core::RpcProcess* process_;\n";
+  out << "  ::circus::core::Troupe troupe_;\n";
+  out << "};\n\n";
+}
+
+void EmitServer(std::ostringstream& out, const Program& program) {
+  const std::string handler = program.name + "Handler";
+  out << "// Server skeleton: implement the handler and export it.\n";
+  out << "class " << handler << " {\n";
+  out << " public:\n";
+  out << "  virtual ~" << handler << "() = default;\n";
+  for (const ProcedureDecl& p : program.procedures) {
+    out << "  virtual ::circus::sim::Task<::circus::StatusOr<"
+        << ResultsStructName(p) << ">> " << p.name
+        << "(::circus::core::ServerCallContext& ctx, "
+        << ArgsStructName(p) << " args) = 0;\n";
+  }
+  out << "};\n\n";
+  out << "inline ::circus::core::ModuleNumber Export" << program.name
+      << "(::circus::core::RpcProcess* process, " << handler
+      << "* handler) {\n";
+  out << "  const ::circus::core::ModuleNumber module = "
+         "process->ExportModule(\""
+      << program.name << "\");\n";
+  for (const ProcedureDecl& p : program.procedures) {
+    out << "  process->ExportProcedure(module, " << p.number
+        << ",\n"
+           "      [handler](::circus::core::ServerCallContext& ctx,\n"
+           "                const ::circus::Bytes& raw)\n"
+           "          -> ::circus::sim::Task<::circus::StatusOr<"
+           "::circus::Bytes>> {\n";
+    out << "        ::circus::marshal::Reader r(raw);\n";
+    out << "        " << ArgsStructName(p) << " args = Read_"
+        << ArgsStructName(p) << "(r);\n";
+    out << "        if (!r.AtEnd()) {\n";
+    out << "          co_return ::circus::Status("
+           "::circus::ErrorCode::kProtocolError, \"bad " << p.name
+        << " args\");\n";
+    out << "        }\n";
+    out << "        ::circus::StatusOr<" << ResultsStructName(p)
+        << "> results =\n"
+           "            co_await handler->" << p.name
+        << "(ctx, std::move(args));\n";
+    out << "        if (!results.ok()) {\n";
+    out << "          co_return results.status();\n";
+    out << "        }\n";
+    out << "        ::circus::marshal::Writer w;\n";
+    out << "        Write_" << ResultsStructName(p) << "(w, *results);\n";
+    out << "        co_return w.Take();\n";
+    out << "      });\n";
+  }
+  out << "  return module;\n";
+  out << "}\n\n";
+}
+
+void EmitErrors(std::ostringstream& out, const Program& program) {
+  if (program.errors.empty()) {
+    return;
+  }
+  out << "// REPORTS errors travel through the error result of the "
+         "return\n// message; Report() builds one, GetReportedError() "
+         "recognizes one.\n";
+  out << "enum class Error : uint16_t {\n";
+  for (const ErrorDecl& e : program.errors) {
+    out << "  " << e.name << " = " << e.code << ",\n";
+  }
+  out << "};\n\n";
+  out << "inline std::string_view ErrorName(Error e) {\n";
+  out << "  switch (e) {\n";
+  for (const ErrorDecl& e : program.errors) {
+    out << "    case Error::" << e.name << ": return \"" << e.name
+        << "\";\n";
+  }
+  out << "  }\n";
+  out << "  return \"?\";\n";
+  out << "}\n\n";
+  out << "inline ::circus::Status Report(Error e) {\n";
+  out << "  return ::circus::Status(::circus::ErrorCode::kRemoteError,\n"
+      << "                          std::string(\"" << program.name
+      << ".\") + std::string(ErrorName(e)));\n";
+  out << "}\n\n";
+  out << "inline std::optional<Error> GetReportedError(\n"
+      << "    const ::circus::Status& status) {\n";
+  out << "  const std::string prefix = \"" << program.name << ".\";\n";
+  out << "  if (status.message().rfind(prefix, 0) != 0) {\n";
+  out << "    return std::nullopt;\n";
+  out << "  }\n";
+  out << "  const std::string name = status.message().substr("
+         "prefix.size());\n";
+  for (const ErrorDecl& e : program.errors) {
+    out << "  if (name == \"" << e.name << "\") { return Error::" << e.name
+        << "; }\n";
+  }
+  out << "  return std::nullopt;\n";
+  out << "}\n\n";
+}
+
+}  // namespace
+
+std::string GenerateHeader(const Program& program,
+                           const CodegenOptions& options) {
+  std::ostringstream out;
+  const std::string guard =
+      "CIRCUS_GEN_" + UpperSnake(program.name) + "_H_";
+  out << "// Generated by circus_stubgen from " << options.source_name
+      << ".\n// PROGRAM " << program.name << " number " << program.number
+      << " version " << program.version << ". DO NOT EDIT.\n";
+  out << "#ifndef " << guard << "\n#define " << guard << "\n\n";
+  out << "#include <array>\n#include <cstdint>\n#include <optional>\n"
+         "#include <string>\n#include <string_view>\n#include <variant>\n"
+         "#include <vector>\n\n";
+  out << "#include \"src/common/bytes.h\"\n";
+  out << "#include \"src/common/status.h\"\n";
+  out << "#include \"src/core/process.h\"\n";
+  out << "#include \"src/marshal/marshal.h\"\n\n";
+  out << "namespace circus::idl::" << program.name << " {\n\n";
+  out << "inline constexpr int kProgramNumber = " << program.number
+      << ";\ninline constexpr int kProgramVersion = " << program.version
+      << ";\n\n";
+  EmitErrors(out, program);
+  for (const TypeDecl& t : program.types) {
+    EmitTypeDecl(out, program, t);
+  }
+  for (const TypeDecl& t : program.types) {
+    EmitMarshalFunctions(out, t);
+  }
+  for (const ProcedureDecl& p : program.procedures) {
+    EmitProcedureStructs(out, p);
+  }
+  EmitClient(out, program);
+  EmitServer(out, program);
+  out << "}  // namespace circus::idl::" << program.name << "\n\n";
+  out << "#endif  // " << guard << "\n";
+  return out.str();
+}
+
+}  // namespace circus::stubgen

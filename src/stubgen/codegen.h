@@ -1,0 +1,36 @@
+// C++ stub generator (Sections 7.1, 7.3, 7.4). From one parsed PROGRAM it
+// emits a single self-contained header with:
+//
+//  * C++ types for every IDL type declaration (the natural correspondence
+//    of Section 7.2: records -> structs, sequences -> std::vector,
+//    enumerations -> enum class, choices -> std::variant);
+//  * externalize/internalize functions per declared type (Figure 7.1);
+//  * a client stub class with three stub flavours per procedure:
+//      - implicit binding (uses the troupe bound with Bind()),
+//      - explicit binding (binding-handle parameter, Section 7.3),
+//      - explicit replication (caller-supplied CallOptions with a custom
+//        collator plus a typed per-reply decoder, Section 7.4);
+//  * an abstract handler class plus an Export... function producing the
+//    server dispatch stubs;
+//  * typed error reporting for REPORTS clauses.
+#ifndef SRC_STUBGEN_CODEGEN_H_
+#define SRC_STUBGEN_CODEGEN_H_
+
+#include <string>
+
+#include "src/stubgen/idl_ast.h"
+
+namespace circus::stubgen {
+
+struct CodegenOptions {
+  // Include guard prefix and a comment naming the source file.
+  std::string source_name = "<idl>";
+};
+
+// Generates the complete header text.
+std::string GenerateHeader(const Program& program,
+                           const CodegenOptions& options = {});
+
+}  // namespace circus::stubgen
+
+#endif  // SRC_STUBGEN_CODEGEN_H_

@@ -1,0 +1,77 @@
+#include "src/stubgen/docgen.h"
+
+#include <sstream>
+
+#include "src/stubgen/printer.h"
+
+namespace circus::stubgen {
+
+namespace {
+
+std::string SignatureOf(const ProcedureDecl& p) {
+  std::string out = p.name + "(";
+  for (size_t i = 0; i < p.arguments.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += p.arguments[i].name + ": " + PrintType(p.arguments[i].type);
+  }
+  out += ")";
+  if (!p.results.empty()) {
+    out += " -> (";
+    for (size_t i = 0; i < p.results.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += p.results[i].name + ": " + PrintType(p.results[i].type);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GenerateMarkdownDocs(const Program& program) {
+  std::ostringstream out;
+  out << "# " << program.name << "\n\n";
+  out << "PROGRAM " << program.number << ", VERSION " << program.version
+      << ".\n\n";
+
+  if (!program.types.empty()) {
+    out << "## Types\n\n";
+    out << "| name | definition |\n|---|---|\n";
+    for (const TypeDecl& t : program.types) {
+      out << "| `" << t.name << "` | `" << PrintType(t.type) << "` |\n";
+    }
+    out << "\n";
+  }
+
+  if (!program.errors.empty()) {
+    out << "## Errors\n\n";
+    out << "| name | code |\n|---|---|\n";
+    for (const ErrorDecl& e : program.errors) {
+      out << "| `" << e.name << "` | " << e.code << " |\n";
+    }
+    out << "\n";
+  }
+
+  if (!program.procedures.empty()) {
+    out << "## Procedures\n\n";
+    for (const ProcedureDecl& p : program.procedures) {
+      out << "### `" << SignatureOf(p) << "`\n\n";
+      out << "Procedure number " << p.number << ".";
+      if (!p.reports.empty()) {
+        out << " Reports:";
+        for (const std::string& r : p.reports) {
+          out << " `" << r << "`";
+        }
+        out << ".";
+      }
+      out << "\n\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace circus::stubgen

@@ -1,0 +1,19 @@
+// Documentation back end for the stub compiler: renders a parsed PROGRAM
+// as Markdown interface documentation (types, errors, procedures with
+// signatures and REPORTS clauses). A second back end alongside the C++
+// generator, in the spirit of the dissertation's multiple stub compilers
+// sharing one front end (Section 7.1.4).
+#ifndef SRC_STUBGEN_DOCGEN_H_
+#define SRC_STUBGEN_DOCGEN_H_
+
+#include <string>
+
+#include "src/stubgen/idl_ast.h"
+
+namespace circus::stubgen {
+
+std::string GenerateMarkdownDocs(const Program& program);
+
+}  // namespace circus::stubgen
+
+#endif  // SRC_STUBGEN_DOCGEN_H_

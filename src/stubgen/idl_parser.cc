@@ -1,0 +1,563 @@
+#include "src/stubgen/idl_parser.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace circus::stubgen {
+
+namespace {
+
+struct Token {
+  enum Kind {
+    kIdent,
+    kNumber,
+    kColon,
+    kSemicolon,
+    kComma,
+    kEquals,
+    kLBracket,
+    kRBracket,
+    kLBrace,
+    kRBrace,
+    kLParen,
+    kRParen,
+    kArrow,  // => (choice arms)
+    kDot,
+    kEnd,
+  } kind;
+  std::string text;
+  long number = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  circus::StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= src_.size()) {
+        out.push_back({Token::kEnd, "", 0, line_});
+        return out;
+      }
+      const char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c))) {
+        const size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back({Token::kIdent,
+                       std::string(src_.substr(start, pos_ - start)), 0,
+                       line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        const size_t start = pos_;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+        Token t{Token::kNumber,
+                std::string(src_.substr(start, pos_ - start)), 0, line_};
+        t.number = std::stol(t.text);
+        out.push_back(t);
+        continue;
+      }
+      switch (c) {
+        case ':':
+          out.push_back({Token::kColon, ":", 0, line_});
+          ++pos_;
+          continue;
+        case ';':
+          out.push_back({Token::kSemicolon, ";", 0, line_});
+          ++pos_;
+          continue;
+        case ',':
+          out.push_back({Token::kComma, ",", 0, line_});
+          ++pos_;
+          continue;
+        case '=':
+          if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '>') {
+            out.push_back({Token::kArrow, "=>", 0, line_});
+            pos_ += 2;
+          } else {
+            out.push_back({Token::kEquals, "=", 0, line_});
+            ++pos_;
+          }
+          continue;
+        case '[':
+          out.push_back({Token::kLBracket, "[", 0, line_});
+          ++pos_;
+          continue;
+        case ']':
+          out.push_back({Token::kRBracket, "]", 0, line_});
+          ++pos_;
+          continue;
+        case '{':
+          out.push_back({Token::kLBrace, "{", 0, line_});
+          ++pos_;
+          continue;
+        case '}':
+          out.push_back({Token::kRBrace, "}", 0, line_});
+          ++pos_;
+          continue;
+        case '(':
+          out.push_back({Token::kLParen, "(", 0, line_});
+          ++pos_;
+          continue;
+        case ')':
+          out.push_back({Token::kRParen, ")", 0, line_});
+          ++pos_;
+          continue;
+        case '.':
+          out.push_back({Token::kDot, ".", 0, line_});
+          ++pos_;
+          continue;
+        default:
+          return circus::Status(
+              ErrorCode::kInvalidArgument,
+              std::string("unexpected character '") + c + "' at line " +
+                  std::to_string(line_));
+      }
+    }
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  circus::StatusOr<Program> Run() {
+    Program program;
+    // Name: PROGRAM n VERSION v =
+    if (Peek().kind != Token::kIdent) {
+      return Error("expected program name");
+    }
+    program.name = Next().text;
+    if (!Consume(Token::kColon) || !ConsumeKeyword("PROGRAM")) {
+      return Error("expected ': PROGRAM'");
+    }
+    if (Peek().kind != Token::kNumber) {
+      return Error("expected program number");
+    }
+    program.number = static_cast<int>(Next().number);
+    if (!ConsumeKeyword("VERSION") || Peek().kind != Token::kNumber) {
+      return Error("expected 'VERSION n'");
+    }
+    program.version = static_cast<int>(Next().number);
+    if (!Consume(Token::kEquals) || !ConsumeKeyword("BEGIN")) {
+      return Error("expected '= BEGIN'");
+    }
+    // Declarations until END.
+    while (!PeekKeyword("END")) {
+      circus::Status s = ParseDeclaration(program);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    ConsumeKeyword("END");
+    Consume(Token::kDot);
+    if (Peek().kind != Token::kEnd) {
+      return Error("trailing input after END.");
+    }
+    circus::Status semantic = Check(program);
+    if (!semantic.ok()) {
+      return semantic;
+    }
+    return program;
+  }
+
+ private:
+  circus::Status ParseDeclaration(Program& program) {
+    if (Peek().kind != Token::kIdent) {
+      return Error("expected declaration name");
+    }
+    const std::string name = Next().text;
+    if (!Consume(Token::kColon)) {
+      return Error("expected ':' after '" + name + "'");
+    }
+    if (ConsumeKeyword("TYPE")) {
+      if (!Consume(Token::kEquals)) {
+        return Error("expected '=' in TYPE declaration");
+      }
+      circus::StatusOr<TypePtr> type = ParseType();
+      if (!type.ok()) {
+        return type.status();
+      }
+      if (!Consume(Token::kSemicolon)) {
+        return Error("expected ';' after TYPE declaration");
+      }
+      program.types.push_back(TypeDecl{name, std::move(*type)});
+      return circus::Status::Ok();
+    }
+    if (ConsumeKeyword("ERROR")) {
+      if (!Consume(Token::kEquals) || Peek().kind != Token::kNumber) {
+        return Error("expected '= n' in ERROR declaration");
+      }
+      const int code = static_cast<int>(Next().number);
+      if (!Consume(Token::kSemicolon)) {
+        return Error("expected ';' after ERROR declaration");
+      }
+      program.errors.push_back(ErrorDecl{name, code});
+      return circus::Status::Ok();
+    }
+    if (ConsumeKeyword("PROCEDURE")) {
+      ProcedureDecl proc;
+      proc.name = name;
+      if (Peek().kind == Token::kLBracket) {
+        circus::StatusOr<std::vector<Field>> args = ParseFieldList();
+        if (!args.ok()) {
+          return args.status();
+        }
+        proc.arguments = std::move(*args);
+      }
+      if (ConsumeKeyword("RETURNS")) {
+        circus::StatusOr<std::vector<Field>> results = ParseFieldList();
+        if (!results.ok()) {
+          return results.status();
+        }
+        proc.results = std::move(*results);
+      }
+      if (ConsumeKeyword("REPORTS")) {
+        if (!Consume(Token::kLBracket)) {
+          return Error("expected '[' after REPORTS");
+        }
+        while (Peek().kind == Token::kIdent) {
+          proc.reports.push_back(Next().text);
+          if (!Consume(Token::kComma)) {
+            break;
+          }
+        }
+        if (!Consume(Token::kRBracket)) {
+          return Error("expected ']' after REPORTS list");
+        }
+      }
+      if (!Consume(Token::kEquals) || Peek().kind != Token::kNumber) {
+        return Error("expected '= n' in PROCEDURE declaration");
+      }
+      proc.number = static_cast<int>(Next().number);
+      if (!Consume(Token::kSemicolon)) {
+        return Error("expected ';' after PROCEDURE declaration");
+      }
+      program.procedures.push_back(std::move(proc));
+      return circus::Status::Ok();
+    }
+    return Error("expected TYPE, ERROR, or PROCEDURE after '" + name +
+                 ":'");
+  }
+
+  circus::StatusOr<std::vector<Field>> ParseFieldList() {
+    std::vector<Field> fields;
+    if (!Consume(Token::kLBracket)) {
+      return Error("expected '['");
+    }
+    while (Peek().kind == Token::kIdent) {
+      Field f;
+      f.name = Next().text;
+      if (!Consume(Token::kColon)) {
+        return Error("expected ':' after field name");
+      }
+      circus::StatusOr<TypePtr> t = ParseType();
+      if (!t.ok()) {
+        return t.status();
+      }
+      f.type = std::move(*t);
+      fields.push_back(std::move(f));
+      if (!Consume(Token::kComma)) {
+        break;
+      }
+    }
+    if (!Consume(Token::kRBracket)) {
+      return Error("expected ']' after field list");
+    }
+    return fields;
+  }
+
+  circus::StatusOr<TypePtr> ParseType() {
+    auto make = [](auto node) {
+      auto t = std::make_shared<Type>();
+      t->node = std::move(node);
+      return t;
+    };
+    if (ConsumeKeyword("BOOLEAN")) {
+      return make(Predefined::kBoolean);
+    }
+    if (ConsumeKeyword("LONG")) {
+      if (ConsumeKeyword("CARDINAL")) {
+        return make(Predefined::kLongCardinal);
+      }
+      if (ConsumeKeyword("INTEGER")) {
+        return make(Predefined::kLongInteger);
+      }
+      return Error("expected CARDINAL or INTEGER after LONG");
+    }
+    if (ConsumeKeyword("CARDINAL")) {
+      return make(Predefined::kCardinal);
+    }
+    if (ConsumeKeyword("INTEGER")) {
+      return make(Predefined::kInteger);
+    }
+    if (ConsumeKeyword("STRING")) {
+      return make(Predefined::kString);
+    }
+    if (ConsumeKeyword("UNSPECIFIED")) {
+      return make(Predefined::kUnspecified);
+    }
+    if (ConsumeKeyword("SEQUENCE")) {
+      if (!ConsumeKeyword("OF")) {
+        return Error("expected OF after SEQUENCE");
+      }
+      circus::StatusOr<TypePtr> element = ParseType();
+      if (!element.ok()) {
+        return element;
+      }
+      return make(SequenceType{std::move(*element)});
+    }
+    if (ConsumeKeyword("ARRAY")) {
+      if (Peek().kind != Token::kNumber) {
+        return Error("expected array size");
+      }
+      const size_t size = static_cast<size_t>(Next().number);
+      if (!ConsumeKeyword("OF")) {
+        return Error("expected OF after ARRAY size");
+      }
+      circus::StatusOr<TypePtr> element = ParseType();
+      if (!element.ok()) {
+        return element;
+      }
+      return make(ArrayType{size, std::move(*element)});
+    }
+    if (ConsumeKeyword("RECORD")) {
+      circus::StatusOr<std::vector<Field>> fields = ParseFieldList();
+      if (!fields.ok()) {
+        return fields.status();
+      }
+      return make(RecordType{std::move(*fields)});
+    }
+    if (ConsumeKeyword("ENUMERATION")) {
+      if (!Consume(Token::kLBrace)) {
+        return Error("expected '{' after ENUMERATION");
+      }
+      EnumerationType e;
+      while (Peek().kind == Token::kIdent) {
+        const std::string value_name = Next().text;
+        if (!Consume(Token::kLParen) || Peek().kind != Token::kNumber) {
+          return Error("expected '(n)' after enumeration value");
+        }
+        const int value = static_cast<int>(Next().number);
+        if (!Consume(Token::kRParen)) {
+          return Error("expected ')' after enumeration number");
+        }
+        e.values.emplace_back(value_name, value);
+        if (!Consume(Token::kComma)) {
+          break;
+        }
+      }
+      if (!Consume(Token::kRBrace)) {
+        return Error("expected '}' after enumeration values");
+      }
+      return make(std::move(e));
+    }
+    if (ConsumeKeyword("CHOICE")) {
+      if (!ConsumeKeyword("OF") || !Consume(Token::kLBrace)) {
+        return Error("expected 'OF {' after CHOICE");
+      }
+      ChoiceType c;
+      while (Peek().kind == Token::kIdent) {
+        ChoiceArm arm;
+        arm.name = Next().text;
+        if (!Consume(Token::kLParen) || Peek().kind != Token::kNumber) {
+          return Error("expected '(n)' after choice arm name");
+        }
+        arm.tag = static_cast<int>(Next().number);
+        if (!Consume(Token::kRParen) || !Consume(Token::kArrow)) {
+          return Error("expected '(n) =>' in choice arm");
+        }
+        circus::StatusOr<TypePtr> t = ParseType();
+        if (!t.ok()) {
+          return t.status();
+        }
+        arm.type = std::move(*t);
+        c.arms.push_back(std::move(arm));
+        if (!Consume(Token::kComma)) {
+          break;
+        }
+      }
+      if (!Consume(Token::kRBrace)) {
+        return Error("expected '}' after choice arms");
+      }
+      return make(std::move(c));
+    }
+    if (Peek().kind == Token::kIdent) {
+      return make(NamedType{Next().text});
+    }
+    return Error("expected a type");
+  }
+
+  // Semantic checks: unique names/numbers, resolvable references.
+  circus::Status Check(const Program& program) {
+    std::set<std::string> names;
+    for (const TypeDecl& t : program.types) {
+      if (!names.insert(t.name).second) {
+        return circus::Status(ErrorCode::kInvalidArgument,
+                              "duplicate declaration: " + t.name);
+      }
+    }
+    std::set<int> error_codes;
+    for (const ErrorDecl& e : program.errors) {
+      if (!names.insert(e.name).second) {
+        return circus::Status(ErrorCode::kInvalidArgument,
+                              "duplicate declaration: " + e.name);
+      }
+      if (!error_codes.insert(e.code).second) {
+        return circus::Status(
+            ErrorCode::kInvalidArgument,
+            "duplicate error code: " + std::to_string(e.code));
+      }
+    }
+    std::set<int> proc_numbers;
+    for (const ProcedureDecl& p : program.procedures) {
+      if (!names.insert(p.name).second) {
+        return circus::Status(ErrorCode::kInvalidArgument,
+                              "duplicate declaration: " + p.name);
+      }
+      if (!proc_numbers.insert(p.number).second) {
+        return circus::Status(
+            ErrorCode::kInvalidArgument,
+            "duplicate procedure number: " + std::to_string(p.number));
+      }
+      for (const std::string& r : p.reports) {
+        if (program.FindError(r) == nullptr) {
+          return circus::Status(ErrorCode::kInvalidArgument,
+                                p.name + " REPORTS undeclared error " + r);
+        }
+      }
+      for (const Field& f : p.arguments) {
+        circus::Status s = CheckType(program, f.type);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      for (const Field& f : p.results) {
+        circus::Status s = CheckType(program, f.type);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+    }
+    for (const TypeDecl& t : program.types) {
+      circus::Status s = CheckType(program, t.type);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return circus::Status::Ok();
+  }
+
+  circus::Status CheckType(const Program& program, const TypePtr& type) {
+    if (const NamedType* n = std::get_if<NamedType>(&type->node)) {
+      if (program.FindType(n->name) == nullptr) {
+        return circus::Status(ErrorCode::kInvalidArgument,
+                              "reference to undeclared type " + n->name);
+      }
+      return circus::Status::Ok();
+    }
+    if (const SequenceType* s = std::get_if<SequenceType>(&type->node)) {
+      return CheckType(program, s->element);
+    }
+    if (const ArrayType* a = std::get_if<ArrayType>(&type->node)) {
+      return CheckType(program, a->element);
+    }
+    if (const RecordType* r = std::get_if<RecordType>(&type->node)) {
+      for (const Field& f : r->fields) {
+        circus::Status s = CheckType(program, f.type);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      return circus::Status::Ok();
+    }
+    if (const ChoiceType* c = std::get_if<ChoiceType>(&type->node)) {
+      for (const ChoiceArm& arm : c->arms) {
+        circus::Status s = CheckType(program, arm.type);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      return circus::Status::Ok();
+    }
+    return circus::Status::Ok();
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool Consume(Token::Kind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == Token::kIdent && Peek().text == kw;
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  circus::Status Error(const std::string& message) const {
+    return circus::Status(
+        ErrorCode::kInvalidArgument,
+        message + " at line " + std::to_string(Peek().line));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+circus::StatusOr<Program> ParseProgram(std::string_view source) {
+  circus::StatusOr<std::vector<Token>> tokens = Lexer(source).Run();
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  return Parser(std::move(*tokens)).Run();
+}
+
+}  // namespace circus::stubgen

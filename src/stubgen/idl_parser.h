@@ -1,0 +1,21 @@
+// Parser for the Courier-flavoured IDL. Comments are "-- to end of line"
+// as in Courier/Mesa. Keywords are case-sensitive upper case, matching
+// the dissertation's Figure 7.2.
+#ifndef SRC_STUBGEN_IDL_PARSER_H_
+#define SRC_STUBGEN_IDL_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/stubgen/idl_ast.h"
+
+namespace circus::stubgen {
+
+// Parses one PROGRAM. Performs semantic checks: duplicate names,
+// duplicate procedure/error numbers, references to undeclared types and
+// errors.
+circus::StatusOr<Program> ParseProgram(std::string_view source);
+
+}  // namespace circus::stubgen
+
+#endif  // SRC_STUBGEN_IDL_PARSER_H_

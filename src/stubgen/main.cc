@@ -1,0 +1,86 @@
+// circus_stubgen: the stub compiler command-line tool.
+//
+//   circus_stubgen <input.idl> <output.h>   generate C++ stubs
+//   circus_stubgen --format <input.idl>     print canonical IDL to stdout
+//   circus_stubgen --check <input.idl>      parse + semantic checks only
+//   circus_stubgen --docs <input.idl>       print Markdown docs to stdout
+//
+// Reads a Courier-flavoured interface definition and writes a header of
+// C++ client and server stubs over the Circus replicated procedure call
+// runtime (Chapter 7).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/stubgen/codegen.h"
+#include "src/stubgen/docgen.h"
+#include "src/stubgen/idl_parser.h"
+#include "src/stubgen/printer.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.idl> <output.h>\n"
+               "       %s --format <input.idl>\n"
+               "       %s --check <input.idl>\n"
+               "       %s --docs <input.idl>\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+circus::StatusOr<circus::stubgen::Program> ParseFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return circus::Status(circus::ErrorCode::kNotFound,
+                          std::string("cannot open ") + path);
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+  return circus::stubgen::ParseProgram(source.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    return Usage(argv[0]);
+  }
+  const std::string first = argv[1];
+  if (first == "--format" || first == "--check" || first == "--docs") {
+    circus::StatusOr<circus::stubgen::Program> program = ParseFile(argv[2]);
+    if (!program.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[2],
+                   program.status().ToString().c_str());
+      return 1;
+    }
+    if (first == "--format") {
+      std::fputs(circus::stubgen::PrintProgram(*program).c_str(), stdout);
+    } else if (first == "--docs") {
+      std::fputs(circus::stubgen::GenerateMarkdownDocs(*program).c_str(),
+                 stdout);
+    }
+    return 0;
+  }
+
+  circus::StatusOr<circus::stubgen::Program> program = ParseFile(argv[1]);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[1],
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  circus::stubgen::CodegenOptions options;
+  options.source_name = argv[1];
+  const std::string header =
+      circus::stubgen::GenerateHeader(*program, options);
+
+  std::ofstream out(argv[2]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    return 1;
+  }
+  out << header;
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "src/stubgen/printer.h"
+
+#include <sstream>
+
+namespace circus::stubgen {
+
+namespace {
+
+std::string PrintFields(const std::vector<Field>& fields) {
+  std::string out = "[";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += fields[i].name + ": " + PrintType(fields[i].type);
+  }
+  out += "]";
+  return out;
+}
+
+bool TypesEqual(const TypePtr& a, const TypePtr& b) {
+  // Structural comparison via the canonical printing: simple and exact
+  // because printing is deterministic and injective on the AST.
+  return PrintType(a) == PrintType(b);
+}
+
+}  // namespace
+
+std::string PrintType(const TypePtr& type) {
+  struct Visitor {
+    std::string operator()(Predefined p) const {
+      switch (p) {
+        case Predefined::kBoolean:
+          return "BOOLEAN";
+        case Predefined::kCardinal:
+          return "CARDINAL";
+        case Predefined::kLongCardinal:
+          return "LONG CARDINAL";
+        case Predefined::kInteger:
+          return "INTEGER";
+        case Predefined::kLongInteger:
+          return "LONG INTEGER";
+        case Predefined::kString:
+          return "STRING";
+        case Predefined::kUnspecified:
+          return "UNSPECIFIED";
+      }
+      return "?";
+    }
+    std::string operator()(const NamedType& n) const { return n.name; }
+    std::string operator()(const SequenceType& s) const {
+      return "SEQUENCE OF " + PrintType(s.element);
+    }
+    std::string operator()(const ArrayType& a) const {
+      return "ARRAY " + std::to_string(a.size) + " OF " +
+             PrintType(a.element);
+    }
+    std::string operator()(const RecordType& r) const {
+      return "RECORD " + PrintFields(r.fields);
+    }
+    std::string operator()(const EnumerationType& e) const {
+      std::string out = "ENUMERATION {";
+      for (size_t i = 0; i < e.values.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += e.values[i].first + "(" +
+               std::to_string(e.values[i].second) + ")";
+      }
+      out += "}";
+      return out;
+    }
+    std::string operator()(const ChoiceType& c) const {
+      std::string out = "CHOICE OF {";
+      for (size_t i = 0; i < c.arms.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += c.arms[i].name + "(" + std::to_string(c.arms[i].tag) +
+               ") => " + PrintType(c.arms[i].type);
+      }
+      out += "}";
+      return out;
+    }
+  };
+  return std::visit(Visitor{}, type->node);
+}
+
+std::string PrintProgram(const Program& program) {
+  std::ostringstream out;
+  out << program.name << ": PROGRAM " << program.number << " VERSION "
+      << program.version << " =\nBEGIN\n";
+  for (const TypeDecl& t : program.types) {
+    out << "  " << t.name << ": TYPE = " << PrintType(t.type) << ";\n";
+  }
+  for (const ErrorDecl& e : program.errors) {
+    out << "  " << e.name << ": ERROR = " << e.code << ";\n";
+  }
+  for (const ProcedureDecl& p : program.procedures) {
+    out << "  " << p.name << ": PROCEDURE";
+    if (!p.arguments.empty()) {
+      out << " " << PrintFields(p.arguments);
+    }
+    if (!p.results.empty()) {
+      out << "\n    RETURNS " << PrintFields(p.results);
+    }
+    if (!p.reports.empty()) {
+      out << "\n    REPORTS [";
+      for (size_t i = 0; i < p.reports.size(); ++i) {
+        if (i > 0) {
+          out << ", ";
+        }
+        out << p.reports[i];
+      }
+      out << "]";
+    }
+    out << " = " << p.number << ";\n";
+  }
+  out << "END.\n";
+  return out.str();
+}
+
+bool ProgramsEqual(const Program& a, const Program& b) {
+  if (a.name != b.name || a.number != b.number || a.version != b.version ||
+      a.types.size() != b.types.size() ||
+      a.errors.size() != b.errors.size() ||
+      a.procedures.size() != b.procedures.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.types.size(); ++i) {
+    if (a.types[i].name != b.types[i].name ||
+        !TypesEqual(a.types[i].type, b.types[i].type)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.errors.size(); ++i) {
+    if (a.errors[i].name != b.errors[i].name ||
+        a.errors[i].code != b.errors[i].code) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.procedures.size(); ++i) {
+    const ProcedureDecl& pa = a.procedures[i];
+    const ProcedureDecl& pb = b.procedures[i];
+    if (pa.name != pb.name || pa.number != pb.number ||
+        pa.reports != pb.reports ||
+        PrintFields(pa.arguments) != PrintFields(pb.arguments) ||
+        PrintFields(pa.results) != PrintFields(pb.results)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace circus::stubgen

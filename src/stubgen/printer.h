@@ -1,0 +1,24 @@
+// Pretty-printer for the IDL: renders a parsed Program back to canonical
+// source text. Used as a formatter and, with the parser, as a round-trip
+// property check (parse ∘ print ∘ parse preserves the AST).
+#ifndef SRC_STUBGEN_PRINTER_H_
+#define SRC_STUBGEN_PRINTER_H_
+
+#include <string>
+
+#include "src/stubgen/idl_ast.h"
+
+namespace circus::stubgen {
+
+// Canonical source text of a type expression.
+std::string PrintType(const TypePtr& type);
+
+// Canonical source text of a whole PROGRAM.
+std::string PrintProgram(const Program& program);
+
+// Structural equality of two programs (declaration-by-declaration).
+bool ProgramsEqual(const Program& a, const Program& b);
+
+}  // namespace circus::stubgen
+
+#endif  // SRC_STUBGEN_PRINTER_H_

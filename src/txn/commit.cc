@@ -1,0 +1,236 @@
+#include "src/txn/commit.h"
+
+#include <utility>
+
+#include "src/binding/codec.h"
+#include "src/common/log.h"
+
+namespace circus::txn {
+
+using circus::Status;
+using circus::StatusOr;
+using core::ServerCallContext;
+using core::Troupe;
+using sim::Duration;
+using sim::Task;
+
+// ---------------------------------------------------------------------
+// CommitCoordinator
+
+CommitCoordinator::CommitCoordinator(core::RpcProcess* process)
+    : process_(process) {
+  module_ = process_->ExportModule("commit-coordinator");
+  process_->ExportProcedure(
+      module_, kReadyToCommit,
+      [this](ServerCallContext& ctx,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        co_return co_await HandleReadyToCommit(ctx, args);
+      });
+}
+
+void CommitCoordinator::Begin(const TxnId& txn, int expected_votes,
+                              Duration decision_timeout) {
+  auto pending = std::make_shared<Pending>(process_->host());
+  pending->expected = expected_votes;
+  pending->timeout = decision_timeout;
+  pending_[txn] = std::move(pending);
+}
+
+Task<StatusOr<circus::Bytes>> CommitCoordinator::HandleReadyToCommit(
+    ServerCallContext&, const circus::Bytes& args) {
+  marshal::Reader r(args);
+  const TxnId txn = TxnId::Read(r);
+  const bool vote = r.ReadBool();
+  if (!r.AtEnd()) {
+    co_return Status(ErrorCode::kProtocolError, "bad ready_to_commit args");
+  }
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) {
+    // Unknown transaction (e.g. the client already gave up): abort.
+    marshal::Writer w;
+    w.WriteBool(false);
+    co_return w.Take();
+  }
+  std::shared_ptr<Pending> p = it->second;
+  ++p->votes;
+  if (!vote) {
+    p->all_true = false;
+  }
+  if (!p->decision.has_value()) {
+    if (!p->all_true) {
+      // Any abort vote decides immediately.
+      p->decision = false;
+      p->decided.Notify();
+    } else if (p->votes >= p->expected) {
+      // Every member of the server troupe is ready: commit.
+      p->decision = true;
+      p->decided.Notify();
+    }
+  }
+  if (!p->decision.has_value()) {
+    // Wait for the remaining members -- answering none of them until all
+    // are ready is precisely what turns divergent commit orders into a
+    // deadlock (Theorem 5.1). The timeout is the deadlock breaker.
+    const uint64_t timer = process_->host()->executor().ScheduleAfter(
+        p->timeout, [p, this] {
+          if (!p->decision.has_value()) {
+            p->decision = false;  // presume deadlock; abort
+            ++timeouts_;
+            p->decided.Notify();
+          }
+        });
+    co_await p->decided.Wait();
+    process_->host()->executor().Cancel(timer);
+  }
+  marshal::Writer w;
+  w.WriteBool(*p->decision);
+  co_return w.Take();
+}
+
+// ---------------------------------------------------------------------
+// TransactionalServer
+
+TransactionalServer::TransactionalServer(core::RpcProcess* process,
+                                         const std::string& module_name)
+    : process_(process),
+      store_(std::make_unique<TxnStore>(process->host())) {
+  module_ = process_->ExportModule(module_name);
+  process_->ExportProcedure(
+      module_, kFinishTransaction,
+      [this](ServerCallContext& ctx,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        co_return co_await HandleFinish(ctx, args);
+      });
+  process_->ExportProcedure(
+      module_, kAbortTransaction,
+      [this](ServerCallContext&,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        marshal::Reader r(args);
+        const TxnId txn = TxnId::Read(r);
+        if (!r.AtEnd()) {
+          co_return Status(ErrorCode::kProtocolError, "bad abort args");
+        }
+        store_->Abort(txn);
+        co_return circus::Bytes{};
+      });
+  process_->SetStateProvider(module_,
+                             [this] { return store_->ExternalizeState(); });
+}
+
+Task<StatusOr<circus::Bytes>> TransactionalServer::HandleFinish(
+    ServerCallContext& /*ctx*/, const circus::Bytes& args) {
+  marshal::Reader r(args);
+  const TxnId txn = TxnId::Read(r);
+  const Troupe coordinator = binding::ReadTroupe(r);
+  if (!r.AtEnd() || coordinator.members.empty()) {
+    co_return Status(ErrorCode::kProtocolError, "bad finish args");
+  }
+  // Default vote: ready to commit unless one of the transaction's
+  // operations failed here (deadlock / lock timeout poisoned it).
+  const bool vote =
+      vote_hook_ ? vote_hook_(txn) : !store_->Poisoned(txn);
+  // Call ready_to_commit back at the client troupe. The roles of client
+  // and server are reversed here (Section 5.3). Each server troupe
+  // member makes this call-back on a thread of its own: votes are
+  // per-member facts, not replicated computation.
+  marshal::Writer w;
+  txn.Write(w);
+  w.WriteBool(vote);
+  core::CallOptions opts;
+  opts.as_unreplicated_client = true;
+  StatusOr<circus::Bytes> reply = co_await process_->Call(
+      process_->NewRootThread(), coordinator,
+      coordinator.members.front().module, kReadyToCommit, w.Take(), opts);
+  bool decision = false;
+  if (reply.ok()) {
+    marshal::Reader rr(*reply);
+    decision = rr.ReadBool();
+    if (!rr.ok()) {
+      decision = false;
+    }
+  }
+  if (decision) {
+    Status commit = store_->Commit(txn);
+    if (!commit.ok()) {
+      CIRCUS_LOG(LogLevel::kWarning)
+          << "commit of " << txn.ToString()
+          << " failed locally: " << commit.ToString();
+      decision = false;
+    }
+  }
+  if (!decision) {
+    store_->Abort(txn);
+  }
+  marshal::Writer out;
+  out.WriteBool(decision);
+  co_return out.Take();
+}
+
+// ---------------------------------------------------------------------
+// RunTransaction
+
+Task<Status> RunTransaction(core::RpcProcess* process,
+                            CommitCoordinator* coordinator,
+                            core::ThreadId thread, const Troupe& server,
+                            core::ModuleNumber server_module,
+                            const TransactionBody& body,
+                            const RunTransactionOptions& options) {
+  Status last(ErrorCode::kAborted, "transaction never attempted");
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    const TxnId txn{thread, coordinator->NextTxnNum(thread)};
+    coordinator->Begin(txn, static_cast<int>(server.members.size()),
+                       options.decision_timeout);
+    Status body_status = co_await body(txn);
+    if (!body_status.ok()) {
+      // Abort at the servers, then decide whether to retry.
+      marshal::Writer w;
+      txn.Write(w);
+      co_await process->Call(thread, server, server_module,
+                             kAbortTransaction, w.Take());
+      last = body_status;
+      if (body_status.code() != ErrorCode::kDeadlock &&
+          body_status.code() != ErrorCode::kAborted) {
+        co_return body_status;  // a real error; do not retry
+      }
+    } else {
+      // Drive the troupe commit protocol.
+      marshal::Writer w;
+      txn.Write(w);
+      Troupe coordinator_troupe;
+      if (options.coordinator_troupe.has_value()) {
+        coordinator_troupe = *options.coordinator_troupe;
+      } else {
+        coordinator_troupe.members.push_back(coordinator->address());
+      }
+      binding::WriteTroupe(w, coordinator_troupe);
+      StatusOr<circus::Bytes> r = co_await process->Call(
+          thread, server, server_module, kFinishTransaction, w.Take());
+      if (r.ok()) {
+        marshal::Reader rr(*r);
+        const bool committed = rr.ReadBool();
+        if (rr.ok() && committed) {
+          co_return Status::Ok();
+        }
+        last = Status(ErrorCode::kAborted,
+                      "troupe commit protocol aborted " + txn.ToString());
+      } else {
+        last = r.status();
+        if (last.code() != ErrorCode::kDeadlock &&
+            last.code() != ErrorCode::kAborted &&
+            last.code() != ErrorCode::kDisagreement) {
+          co_return last;
+        }
+      }
+    }
+    // Binary exponential back-off before retrying (Section 5.3.1).
+    Duration delay = options.backoff_base * (1LL << std::min(attempt, 10));
+    if (options.rng != nullptr) {
+      delay = Duration::Nanos(static_cast<int64_t>(
+          delay.nanos() * (0.5 + options.rng->UniformDouble())));
+    }
+    co_await process->host()->SleepFor(delay);
+  }
+  co_return last;
+}
+
+}  // namespace circus::txn

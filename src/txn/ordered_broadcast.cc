@@ -1,0 +1,159 @@
+#include "src/txn/ordered_broadcast.h"
+
+#include <utility>
+
+#include "src/marshal/marshal.h"
+
+namespace circus::txn {
+
+using circus::Status;
+using circus::StatusOr;
+using core::ServerCallContext;
+using sim::Task;
+
+OrderedBroadcastServer::OrderedBroadcastServer(
+    core::RpcProcess* process, const std::string& module_name)
+    : process_(process),
+      delivered_(std::make_unique<sim::Channel<circus::Bytes>>(
+          process->host())) {
+  module_ = process_->ExportModule(module_name);
+  process_->ExportProcedure(
+      module_, kGetProposedTime,
+      [this](ServerCallContext&,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        marshal::Reader r(args);
+        const uint64_t msg_id = r.ReadU64();
+        circus::Bytes payload = r.ReadBytes();
+        if (!r.AtEnd()) {
+          co_return Status(ErrorCode::kProtocolError, "bad propose args");
+        }
+        // time := now() from this machine's (approximately synchronized)
+        // clock; insert as proposed.
+        const int64_t now = process_->host()->LocalClockNanos();
+        const QueueKey key{now, msg_id};
+        if (!by_id_.contains(msg_id)) {
+          by_id_[msg_id] = key;
+          queue_[key] = Entry{std::move(payload), EntryStatus::kProposed};
+        }
+        marshal::Writer w;
+        w.WriteI64(by_id_[msg_id].time);
+        co_return w.Take();
+      });
+  process_->ExportProcedure(
+      module_, kAcceptTime,
+      [this](ServerCallContext&,
+             const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
+        marshal::Reader r(args);
+        const uint64_t msg_id = r.ReadU64();
+        const int64_t accepted_time = r.ReadI64();
+        if (!r.AtEnd()) {
+          co_return Status(ErrorCode::kProtocolError, "bad accept args");
+        }
+        auto it = by_id_.find(msg_id);
+        if (it == by_id_.end()) {
+          co_return Status(ErrorCode::kNotFound, "unknown broadcast");
+        }
+        // Re-queue at the accepted time with accepted status.
+        const QueueKey old_key = it->second;
+        auto entry_it = queue_.find(old_key);
+        if (entry_it != queue_.end() &&
+            entry_it->second.status == EntryStatus::kProposed) {
+          Entry entry = std::move(entry_it->second);
+          entry.status = EntryStatus::kAccepted;
+          queue_.erase(entry_it);
+          const QueueKey new_key{accepted_time, msg_id};
+          by_id_[msg_id] = new_key;
+          queue_[new_key] = std::move(entry);
+        }
+        DrainDeliverable();
+        co_return circus::Bytes{};
+      });
+}
+
+void OrderedBroadcastServer::DrainDeliverable() {
+  // Accept the head for application-level processing while it is
+  // accepted and due; stop at the first proposed (not yet accepted)
+  // message or one whose time is still in the future (Figure 5.1).
+  const int64_t now = process_->host()->LocalClockNanos();
+  while (!queue_.empty()) {
+    auto head = queue_.begin();
+    if (head->second.status == EntryStatus::kProposed) {
+      break;
+    }
+    if (head->first.time > now) {
+      // Due in the future of the local clock: re-check when its
+      // acceptance time arrives (converted to simulation time).
+      std::shared_ptr<bool> alive = alive_;
+      process_->host()->executor().ScheduleAt(
+          process_->host()->SimTimeForLocal(head->first.time),
+          [this, alive] {
+            if (*alive) {
+              DrainDeliverable();
+            }
+          });
+      break;
+    }
+    by_id_.erase(head->first.msg_id);
+    ++delivered_count_;
+    delivered_->Send(std::move(head->second.payload));
+    queue_.erase(head);
+  }
+}
+
+Task<Status> AtomicBroadcast(core::RpcProcess* process,
+                             core::ThreadId thread,
+                             const core::Troupe& troupe,
+                             core::ModuleNumber module, uint64_t msg_id,
+                             circus::Bytes payload) {
+  // Phase 1: gather proposed times from every member; the collator is
+  // the max function over all replies (explicit replication).
+  marshal::Writer w;
+  w.WriteU64(msg_id);
+  w.WriteBytes(payload);
+  core::CallOptions opts;
+  opts.custom_collator =
+      [](core::ReplyStream& stream) -> Task<StatusOr<circus::Bytes>> {
+    int64_t max_time = INT64_MIN;
+    int heard = 0;
+    while (true) {
+      std::optional<core::Reply> r = co_await stream.Next();
+      if (!r.has_value()) {
+        break;
+      }
+      if (!r->result.ok()) {
+        continue;  // crashed member; the survivors order the message
+      }
+      marshal::Reader reader(*r->result);
+      const int64_t t = reader.ReadI64();
+      if (reader.AtEnd()) {
+        max_time = std::max(max_time, t);
+        ++heard;
+      }
+    }
+    if (heard == 0) {
+      co_return Status(ErrorCode::kUnavailable,
+                       "no proposals from the troupe");
+    }
+    marshal::Writer out;
+    out.WriteI64(max_time);
+    co_return out.Take();
+  };
+  StatusOr<circus::Bytes> proposals = co_await process->Call(
+      thread, troupe, module, kGetProposedTime, w.Take(), opts);
+  if (!proposals.ok()) {
+    co_return proposals.status();
+  }
+  marshal::Reader r(*proposals);
+  const int64_t max_time = r.ReadI64();
+
+  // Phase 2: tell every member the accepted time.
+  marshal::Writer w2;
+  w2.WriteU64(msg_id);
+  w2.WriteI64(max_time);
+  StatusOr<circus::Bytes> accept =
+      co_await process->Call(thread, troupe, module, kAcceptTime,
+                             w2.Take());
+  co_return accept.status();
+}
+
+}  // namespace circus::txn

@@ -1,0 +1,90 @@
+// The ordered broadcast protocol (Section 5.4, Figure 5.1): guarantees
+// that all members of a troupe accept broadcast messages for
+// application-level processing in the same order, without any
+// communication among the members. Two phases, both replicated calls:
+//
+//   1. get_proposed_time(message): each member inserts the message into
+//      its queue with a proposed time from its (synchronized) clock;
+//   2. accept_time(message, max of proposals): each member re-queues the
+//      message at the accepted time and delivers the prefix of accepted,
+//      due messages.
+//
+// The client gathers the proposals with an application-specific collator
+// (the maximum), a textbook use of explicit replication (Section 7.4).
+//
+// Combining ordered broadcast with a deterministic local concurrency
+// control algorithm (here: serial execution in acceptance order) gives
+// the starvation-free alternative to the troupe commit protocol.
+#ifndef SRC_TXN_ORDERED_BROADCAST_H_
+#define SRC_TXN_ORDERED_BROADCAST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/process.h"
+#include "src/sim/channel.h"
+
+namespace circus::txn {
+
+enum BroadcastProcedure : core::ProcedureNumber {
+  kGetProposedTime = 0,  // (msg id, payload) -> proposed time (i64 ns)
+  kAcceptTime = 1,       // (msg id, accepted time) -> ()
+};
+
+// Server half: install on each troupe member; consume Delivered() in
+// order.
+class OrderedBroadcastServer {
+ public:
+  OrderedBroadcastServer(core::RpcProcess* process,
+                         const std::string& module_name);
+  ~OrderedBroadcastServer() { *alive_ = false; }
+
+  core::ModuleNumber module_number() const { return module_; }
+
+  // Next message accepted for application-level processing; identical
+  // order at every member.
+  sim::Task<circus::Bytes> NextDelivered() {
+    co_return co_await ReceiveValue(*delivered_);
+  }
+  size_t pending() const { return queue_.size(); }
+  uint64_t delivered_count() const { return delivered_count_; }
+
+ private:
+  enum class EntryStatus { kProposed, kAccepted };
+  struct QueueKey {
+    int64_t time;
+    uint64_t msg_id;  // tie-break so every member orders identically
+    auto operator<=>(const QueueKey&) const = default;
+  };
+  struct Entry {
+    circus::Bytes payload;
+    EntryStatus status;
+  };
+
+  void DrainDeliverable();
+
+  core::RpcProcess* process_;
+  core::ModuleNumber module_;
+  std::map<QueueKey, Entry> queue_;
+  std::map<uint64_t, QueueKey> by_id_;
+  std::unique_ptr<sim::Channel<circus::Bytes>> delivered_;
+  uint64_t delivered_count_ = 0;
+  // Guards scheduled re-drain callbacks against outliving the server.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+// Client half: the atomic_broadcast procedure of Figure 5.1. `msg_id`
+// must be unique per message and identical across replicated client
+// members (derive it from the thread and a counter).
+sim::Task<circus::Status> AtomicBroadcast(core::RpcProcess* process,
+                                          core::ThreadId thread,
+                                          const core::Troupe& troupe,
+                                          core::ModuleNumber module,
+                                          uint64_t msg_id,
+                                          circus::Bytes payload);
+
+}  // namespace circus::txn
+
+#endif  // SRC_TXN_ORDERED_BROADCAST_H_

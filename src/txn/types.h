@@ -1,0 +1,43 @@
+// Transaction identifiers. A transaction is named by the logical thread
+// that runs it plus a per-thread counter, so deterministic client troupe
+// members assign identical IDs to the same logical transaction — the
+// property the troupe commit protocol relies on to correlate
+// ready_to_commit call-backs (Section 5.3).
+#ifndef SRC_TXN_TYPES_H_
+#define SRC_TXN_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/core/types.h"
+#include "src/marshal/marshal.h"
+
+namespace circus::txn {
+
+struct TxnId {
+  core::ThreadId thread;
+  uint32_t num = 0;
+
+  constexpr auto operator<=>(const TxnId&) const = default;
+  std::string ToString() const;
+
+  void Write(marshal::Writer& w) const {
+    w.WriteU32(thread.machine);
+    w.WriteU16(thread.port);
+    w.WriteU16(thread.local);
+    w.WriteU32(num);
+  }
+  static TxnId Read(marshal::Reader& r) {
+    TxnId id;
+    id.thread.machine = r.ReadU32();
+    id.thread.port = r.ReadU16();
+    id.thread.local = r.ReadU16();
+    id.num = r.ReadU32();
+    return id;
+  }
+};
+
+}  // namespace circus::txn
+
+#endif  // SRC_TXN_TYPES_H_

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/avail/analysis.h"
+#include "src/sim/random.h"
+
+namespace circus::avail {
+namespace {
+
+TEST(HarmonicTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(5), 2.2833333, 1e-6);
+}
+
+TEST(HarmonicTest, GrowsLogarithmically) {
+  // H_n = ln n + gamma + O(1/n).
+  constexpr double kEulerGamma = 0.5772156649;
+  for (int n : {10, 100, 1000}) {
+    EXPECT_NEAR(HarmonicNumber(n), std::log(n) + kEulerGamma, 0.06);
+  }
+}
+
+TEST(Theorem43Test, ClosedFormMatchesMonteCarlo) {
+  sim::Rng rng(17);
+  for (int n : {1, 2, 5, 10}) {
+    const double expected = ExpectedMaxOfExponentials(n, 10.0);
+    const double simulated = SimulateMaxOfExponentials(rng, n, 10.0, 40000);
+    EXPECT_NEAR(simulated / expected, 1.0, 0.03)
+        << "n=" << n << " expected=" << expected << " sim=" << simulated;
+  }
+}
+
+TEST(Theorem43Test, MulticastGrowsLogarithmicallyNotLinearly) {
+  // The point of the Section 4.4.2 analysis: doubling the troupe adds a
+  // roughly constant increment (log growth), not a doubling.
+  const double t2 = ExpectedMaxOfExponentials(2, 1.0);
+  const double t4 = ExpectedMaxOfExponentials(4, 1.0);
+  const double t8 = ExpectedMaxOfExponentials(8, 1.0);
+  EXPECT_LT(t8 - t4, t4);             // far from linear
+  EXPECT_NEAR(t8 - t4, t4 - t2, 0.2); // roughly constant increments
+}
+
+TEST(Equation51Test, KnownValues) {
+  // k=1: only one serialization order; never deadlocks.
+  EXPECT_DOUBLE_EQ(CommitDeadlockProbability(1, 5), 0.0);
+  // n=1: a single member cannot disagree with itself.
+  EXPECT_DOUBLE_EQ(CommitDeadlockProbability(4, 1), 0.0);
+  // k=2, n=2: 1 - 1/2 = 0.5.
+  EXPECT_DOUBLE_EQ(CommitDeadlockProbability(2, 2), 0.5);
+  // k=3, n=2: 1 - 1/6.
+  EXPECT_NEAR(CommitDeadlockProbability(3, 2), 1.0 - 1.0 / 6, 1e-12);
+  // k=2, n=3: 1 - 1/4.
+  EXPECT_DOUBLE_EQ(CommitDeadlockProbability(2, 3), 0.75);
+}
+
+TEST(Equation51Test, ApproachesCertaintyQuickly) {
+  EXPECT_GT(CommitDeadlockProbability(5, 3), 0.9999);
+  EXPECT_GT(CommitDeadlockProbability(10, 2), 0.99999);
+}
+
+TEST(Equation51Test, MonteCarloMatchesClosedForm) {
+  sim::Rng rng(23);
+  for (const auto& [k, n] : std::vector<std::pair<int, int>>{
+           {2, 2}, {2, 3}, {3, 2}, {3, 3}}) {
+    const double predicted = CommitDeadlockProbability(k, n);
+    const double simulated =
+        SimulateCommitDeadlockProbability(rng, k, n, 40000);
+    EXPECT_NEAR(simulated, predicted, 0.01) << "k=" << k << " n=" << n;
+  }
+}
+
+TEST(Equation61Test, AvailabilityRisesWithReplication) {
+  const double lambda = 1.0;  // lifetime 1 hour
+  const double mu = 9.0;      // repair in 1/9 hour
+  double previous = 0;
+  for (int n = 1; n <= 5; ++n) {
+    const double a = TroupeAvailability(n, lambda, mu);
+    EXPECT_GT(a, previous);
+    previous = a;
+  }
+  // n=3 with repair 9x faster than failure: exactly 99.9% (the paper's
+  // worked example).
+  EXPECT_NEAR(TroupeAvailability(3, 1.0, 9.0), 0.999, 1e-12);
+}
+
+TEST(Equation62Test, PaperWorkedExamples) {
+  // 3 members, 99.9%: replacement time at most 1/9 of the lifetime.
+  EXPECT_NEAR(MaxReplacementTimeOverLifetime(3, 0.999), 1.0 / 9, 1e-9);
+  // 5 members, 99.9%: about 1/3 of the lifetime (the paper's 20 minutes
+  // against a one-hour lifetime).
+  EXPECT_NEAR(MaxReplacementTimeOverLifetime(5, 0.999), 1.0 / 3, 0.02);
+}
+
+TEST(BirthDeathTest, DistributionSumsToOneAndMatchesAvailability) {
+  const std::vector<double> p = BirthDeathDistribution(4, 0.5, 4.0);
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(1.0 - p[4], TroupeAvailability(4, 0.5, 4.0), 1e-12);
+}
+
+TEST(BirthDeathTest, SimulationMatchesClosedForm) {
+  sim::Rng rng(31);
+  const int n = 3;
+  const double lambda = 1.0;
+  const double mu = 3.0;
+  BirthDeathSample sample =
+      SimulateBirthDeath(rng, n, lambda, mu, 200000.0);
+  const std::vector<double> p = BirthDeathDistribution(n, lambda, mu);
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(sample.state_time[k], p[k], 0.01) << "k=" << k;
+  }
+  EXPECT_NEAR(sample.availability, TroupeAvailability(n, lambda, mu),
+              0.005);
+}
+
+TEST(BirthDeathTest, FasterRepairImprovesAvailability) {
+  sim::Rng rng(37);
+  const BirthDeathSample slow = SimulateBirthDeath(rng, 2, 1.0, 2.0, 50000);
+  const BirthDeathSample fast =
+      SimulateBirthDeath(rng, 2, 1.0, 20.0, 50000);
+  EXPECT_GT(fast.availability, slow.availability);
+}
+
+}  // namespace
+}  // namespace circus::avail

@@ -1,0 +1,567 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/binding/client.h"
+#include "src/binding/codec.h"
+#include "src/binding/deploy.h"
+#include "src/binding/ringmaster.h"
+#include "src/core/process.h"
+#include "src/marshal/marshal.h"
+#include "src/net/world.h"
+#include "tests/test_util.h"
+
+namespace circus::binding {
+namespace {
+
+using core::ModuleAddress;
+using core::ModuleNumber;
+using core::RpcProcess;
+using core::ServerCallContext;
+using core::Troupe;
+using core::TroupeId;
+using net::World;
+using sim::Duration;
+using sim::SyscallCostModel;
+using sim::Task;
+
+class BindingTest : public ::testing::Test {
+ protected:
+  BindingTest() : world_(33, SyscallCostModel::Free()) {}
+
+  void DeployRing(int replicas) {
+    ring_ = DeployRingmaster(world_, world_.AddHosts("ring", replicas));
+  }
+
+  // An application server process exporting a counter interface.
+  struct AppServer {
+    std::unique_ptr<RpcProcess> process;
+    std::unique_ptr<BindingClient> binding;
+    std::unique_ptr<BindingCache> cache;
+    ModuleNumber module = 0;
+    int counter = 0;  // the module state
+  };
+
+  std::unique_ptr<AppServer> MakeAppServer(const std::string& host_name) {
+    return MakeAppServerOnHost(host_name, world_.AddHost(host_name));
+  }
+
+  std::unique_ptr<AppServer> MakeAppServerOnHost(const std::string& name,
+                                                 sim::Host* host) {
+    (void)name;
+    auto app = std::make_unique<AppServer>();
+    app->process =
+        std::make_unique<RpcProcess>(&world_.network(), host, 9000);
+    app->binding =
+        std::make_unique<BindingClient>(app->process.get(), ring_.troupe);
+    app->cache = std::make_unique<BindingCache>(app->binding.get());
+    app->process->SetClientTroupeResolver(app->cache->MakeResolver());
+    app->module = app->process->ExportModule("counter");
+    AppServer* raw = app.get();
+    app->process->ExportProcedure(
+        app->module, 0,
+        [raw](ServerCallContext&,
+              const Bytes&) -> Task<StatusOr<Bytes>> {
+          marshal::Writer w;
+          w.WriteI32(++raw->counter);
+          co_return w.Take();
+        });
+    app->process->SetStateProvider(app->module, [raw] {
+      marshal::Writer w;
+      w.WriteI32(raw->counter);
+      return w.Take();
+    });
+    return app;
+  }
+
+  std::unique_ptr<RpcProcess> MakeClientProcess(const std::string& name) {
+    sim::Host* host = world_.AddHost(name);
+    return std::make_unique<RpcProcess>(&world_.network(), host, 8000);
+  }
+
+  // Drives a coroutine to completion within `budget` simulated seconds.
+  template <typename T>
+  T Run(Task<T> task, int budget_seconds = 60) {
+    auto result = std::make_shared<std::optional<T>>();
+    world_.executor().Spawn(
+        [](Task<T> inner,
+           std::shared_ptr<std::optional<T>> out) -> Task<void> {
+          out->emplace(co_await std::move(inner));
+        }(std::move(task), result));
+    world_.RunFor(Duration::Seconds(budget_seconds));
+    CIRCUS_CHECK_MSG(result->has_value(), "binding op did not complete");
+    return std::move(**result);
+  }
+
+  World world_;
+  RingmasterDeployment ring_;
+};
+
+TEST_F(BindingTest, RegisterAndLookupByName) {
+  DeployRing(1);
+  auto app = MakeAppServer("app0");
+  Troupe t;
+  t.members.push_back(app->process->module_address(app->module));
+  StatusOr<TroupeId> id =
+      Run(app->binding->RegisterTroupe("counter", t));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(id->bound());
+
+  StatusOr<Troupe> found = Run(app->binding->LookupByName("counter"));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->id, *id);
+  ASSERT_EQ(found->members.size(), 1u);
+  EXPECT_EQ(found->members[0],
+            app->process->module_address(app->module));
+}
+
+TEST_F(BindingTest, LookupUnknownNameFails) {
+  DeployRing(1);
+  auto client = MakeClientProcess("client");
+  BindingClient binding(client.get(), ring_.troupe);
+  StatusOr<Troupe> r = Run(binding.LookupByName("nonesuch"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(BindingTest, DuplicateRegistrationRejected) {
+  DeployRing(1);
+  auto app = MakeAppServer("app0");
+  Troupe t;
+  t.members.push_back(app->process->module_address(app->module));
+  ASSERT_TRUE(Run(app->binding->RegisterTroupe("counter", t)).ok());
+  StatusOr<TroupeId> again =
+      Run(app->binding->RegisterTroupe("counter", t));
+  ASSERT_FALSE(again.ok());
+}
+
+TEST_F(BindingTest, AddMemberAssignsFreshIdAndInformsMembers) {
+  DeployRing(1);
+  auto app0 = MakeAppServer("app0");
+  auto app1 = MakeAppServer("app1");
+  StatusOr<TroupeId> id0 = Run(app0->binding->AddTroupeMember(
+      "counter", app0->process->module_address(app0->module)));
+  ASSERT_TRUE(id0.ok()) << id0.status().ToString();
+  EXPECT_EQ(app0->process->troupe_id(), *id0);  // set_troupe_id ran
+
+  StatusOr<TroupeId> id1 = Run(app1->binding->AddTroupeMember(
+      "counter", app1->process->module_address(app1->module)));
+  ASSERT_TRUE(id1.ok());
+  EXPECT_NE(*id0, *id1);  // the ID changed with the membership
+  EXPECT_EQ(app0->process->troupe_id(), *id1);
+  EXPECT_EQ(app1->process->troupe_id(), *id1);
+
+  // The old ID no longer resolves: stale caches cannot half-reach the
+  // troupe (Section 6.2).
+  StatusOr<Troupe> stale = Run(app0->binding->LookupById(*id0));
+  EXPECT_FALSE(stale.ok());
+  StatusOr<Troupe> fresh = Run(app0->binding->LookupById(*id1));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->members.size(), 2u);
+}
+
+TEST_F(BindingTest, CacheRebindsTransparentlyAfterReconfiguration) {
+  DeployRing(1);
+  auto app0 = MakeAppServer("app0");
+  ASSERT_TRUE(Run(app0->binding->AddTroupeMember(
+                      "counter",
+                      app0->process->module_address(app0->module)))
+                  .ok());
+
+  auto client = MakeClientProcess("client");
+  BindingClient binding(client.get(), ring_.troupe);
+  BindingCache cache(&binding);
+
+  // Prime the cache.
+  StatusOr<Bytes> r1 = Run(cache.CallByName(
+      client.get(), client->NewRootThread(), "counter", 0, {}));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+
+  // Reconfigure: add a second member; the cached binding goes stale.
+  // The new member must first be brought into a consistent state
+  // (Section 6.4.1) or the unanimous collator would flag the divergence.
+  auto app1 = MakeAppServer("app1");
+  app1->counter = app0->counter;
+  ASSERT_TRUE(Run(app1->binding->AddTroupeMember(
+                      "counter",
+                      app1->process->module_address(app1->module)))
+                  .ok());
+
+  // The next call hits the stale ID, gets rejected, rebinds, retries.
+  StatusOr<Bytes> r2 = Run(cache.CallByName(
+      client.get(), client->NewRootThread(), "counter", 0, {}));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_GT(app0->process->stats().stale_bindings_rejected, 0u);
+  // After the rebind both members executed the retried call and remain
+  // consistent.
+  EXPECT_EQ(app0->counter, 2);
+  EXPECT_EQ(app1->counter, 2);
+}
+
+TEST_F(BindingTest, ReplicatedRingmasterSurvivesMemberCrash) {
+  DeployRing(3);
+  auto app = MakeAppServer("app0");
+  Troupe t;
+  t.members.push_back(app->process->module_address(app->module));
+  ASSERT_TRUE(Run(app->binding->RegisterTroupe("counter", t)).ok());
+
+  // All three Ringmaster replicas hold the registration.
+  for (auto& server : ring_.servers) {
+    EXPECT_TRUE(server->FindByName("counter").has_value());
+  }
+
+  // Crash one replica: binding service remains available.
+  ring_.processes[1]->host()->Crash();
+  StatusOr<Troupe> found = Run(app->binding->LookupByName("counter"), 120);
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  EXPECT_EQ(found->members.size(), 1u);
+}
+
+TEST_F(BindingTest, JoinTroupeTransfersState) {
+  DeployRing(1);
+  auto app0 = MakeAppServer("app0");
+  ASSERT_TRUE(Run(app0->binding->AddTroupeMember(
+                      "counter",
+                      app0->process->module_address(app0->module)))
+                  .ok());
+  // Advance the state: three increments.
+  auto client = MakeClientProcess("client");
+  BindingClient binding(client.get(), ring_.troupe);
+  BindingCache cache(&binding);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(Run(cache.CallByName(client.get(),
+                                     client->NewRootThread(), "counter", 0,
+                                     {}))
+                    .ok());
+  }
+  ASSERT_EQ(app0->counter, 3);
+
+  // A replacement member joins: it must arrive with counter == 3.
+  auto app1 = MakeAppServer("app1");
+  AppServer* raw1 = app1.get();
+  Status joined = Run(JoinTroupe(
+      app1->process.get(), app1->module, app1->binding.get(), "counter",
+      [raw1](const Bytes& state) {
+        marshal::Reader r(state);
+        raw1->counter = r.ReadI32();
+      }));
+  ASSERT_TRUE(joined.ok()) << joined.ToString();
+  EXPECT_EQ(app1->counter, 3);
+
+  // Subsequent calls reach both members and keep them consistent.
+  cache.Invalidate("counter");
+  StatusOr<Bytes> r = Run(cache.CallByName(
+      client.get(), client->NewRootThread(), "counter", 0, {}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(app0->counter, 4);
+  EXPECT_EQ(app1->counter, 4);
+}
+
+TEST_F(BindingTest, StaleCacheTaxonomyOfSection62) {
+  // Section 6.2 enumerates the ways a cached member set C can relate to
+  // the true set T. The dangerous cases (T ⊃ C and partial overlap,
+  // where a call would reach some but not all members) must be blocked
+  // by the troupe-ID incarnation check; the harmless ones (C with dead
+  // members) merely trigger rebinding.
+  DeployRing(1);
+  auto app0 = MakeAppServer("app0");
+  auto app1 = MakeAppServer("app1");
+  ASSERT_TRUE(Run(app0->binding->AddTroupeMember(
+                      "counter",
+                      app0->process->module_address(app0->module)))
+                  .ok());
+  Troupe cached = *Run(app0->binding->LookupByName("counter"));  // C = {app0}
+
+  // Grow the troupe: T = {app0, app1}, C = {app0}: T ⊃ C.
+  app1->counter = app0->counter;
+  ASSERT_TRUE(Run(app1->binding->AddTroupeMember(
+                      "counter",
+                      app1->process->module_address(app1->module)))
+                  .ok());
+
+  // A call with the stale C must NOT silently execute at only app0.
+  auto client = MakeClientProcess("client");
+  auto result = std::make_shared<std::optional<StatusOr<Bytes>>>();
+  world_.executor().Spawn(
+      [](RpcProcess* p, Troupe t,
+         std::shared_ptr<std::optional<StatusOr<Bytes>>> out) -> Task<void> {
+        out->emplace(co_await p->Call(p->NewRootThread(), t,
+                                      t.members.front().module, 0, {}));
+      }(client.get(), cached, result));
+  world_.RunFor(Duration::Seconds(30));
+  ASSERT_TRUE(result->has_value());
+  ASSERT_FALSE((*result)->ok());
+  EXPECT_EQ((*result)->status().code(), ErrorCode::kStaleBinding);
+  EXPECT_EQ(app0->counter, 0);  // nothing executed: no divergence
+  EXPECT_EQ(app1->counter, 0);
+
+  // T ∩ C = ∅ (the whole cached set is gone): detected as crashes and
+  // recoverable by rebinding. Simulate by caching, then replacing the
+  // entire membership.
+  Troupe full = *Run(app0->binding->LookupByName("counter"));
+  auto app2 = MakeAppServer("app2");
+  app2->counter = app0->counter;
+  ASSERT_TRUE(Run(app2->binding->AddTroupeMember(
+                      "counter",
+                      app2->process->module_address(app2->module)))
+                  .ok());
+  ASSERT_TRUE(Run(app0->binding->RemoveTroupeMember(
+                      "counter",
+                      app0->process->module_address(app0->module)))
+                  .ok());
+  ASSERT_TRUE(Run(app1->binding->RemoveTroupeMember(
+                      "counter",
+                      app1->process->module_address(app1->module)))
+                  .ok());
+  // `full` (= {app0, app1}) is now entirely stale; both members reject
+  // by troupe ID.
+  auto r2 = std::make_shared<std::optional<StatusOr<Bytes>>>();
+  world_.executor().Spawn(
+      [](RpcProcess* p, Troupe t,
+         std::shared_ptr<std::optional<StatusOr<Bytes>>> out) -> Task<void> {
+        out->emplace(co_await p->Call(p->NewRootThread(), t,
+                                      t.members.front().module, 0, {}));
+      }(client.get(), full, r2));
+  world_.RunFor(Duration::Seconds(30));
+  ASSERT_TRUE(r2->has_value());
+  EXPECT_EQ((*r2)->status().code(), ErrorCode::kStaleBinding);
+
+  // The cache recovers through the rebind procedure (Section 6.1).
+  BindingClient binding(client.get(), ring_.troupe);
+  BindingCache cache(&binding);
+  client->SetClientTroupeResolver(cache.MakeResolver());
+  StatusOr<Bytes> recovered = Run(cache.CallByName(
+      client.get(), client->NewRootThread(), "counter", 0, {}));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(app2->counter, 1);
+}
+
+TEST_F(BindingTest, RestartedMemberRejoinsWithFreshState) {
+  // Full lifecycle: a member crashes, its machine reboots (new
+  // incarnation), and the member rejoins through get_state +
+  // add_troupe_member; the troupe ends consistent.
+  DeployRing(1);
+  auto app0 = MakeAppServer("app0");
+  auto app1 = MakeAppServer("app1");
+  for (AppServer* app : {app0.get(), app1.get()}) {
+    ASSERT_TRUE(Run(app->binding->AddTroupeMember(
+                        "counter",
+                        app->process->module_address(app->module)))
+                    .ok());
+  }
+  auto client = MakeClientProcess("client");
+  BindingClient binding(client.get(), ring_.troupe);
+  BindingCache cache(&binding);
+  client->SetClientTroupeResolver(cache.MakeResolver());
+  ASSERT_TRUE(Run(cache.CallByName(client.get(), client->NewRootThread(),
+                                   "counter", 0, {}))
+                  .ok());
+
+  // Crash and garbage-collect app1.
+  sim::Host* host1 = app1->process->host();
+  host1->Crash();
+  GcAgent gc(client.get(), &binding);
+  ASSERT_TRUE(Run(gc.SweepOnce(), 300).ok());
+  
+
+
+  // More work happens while app1 is down.
+  cache.Invalidate("counter");
+  ASSERT_TRUE(Run(cache.CallByName(client.get(), client->NewRootThread(),
+                                   "counter", 0, {}))
+                  .ok());
+  ASSERT_EQ(app0->counter, 2);
+
+  // Reboot: fresh process on the same machine, new incarnation; all
+  // volatile state is gone until get_state restores it.
+  host1->Restart();
+  auto reborn = MakeAppServerOnHost("app1-reborn", host1);
+  AppServer* raw = reborn.get();
+  Status joined = Run(JoinTroupe(
+      reborn->process.get(), reborn->module, reborn->binding.get(),
+      "counter", [raw](const Bytes& state) {
+        marshal::Reader r(state);
+        raw->counter = r.ReadI32();
+      }));
+  ASSERT_TRUE(joined.ok()) << joined.ToString();
+  EXPECT_EQ(reborn->counter, 2);
+
+  cache.Invalidate("counter");
+  ASSERT_TRUE(Run(cache.CallByName(client.get(), client->NewRootThread(),
+                                   "counter", 0, {}))
+                  .ok());
+  EXPECT_EQ(app0->counter, 3);
+  EXPECT_EQ(reborn->counter, 3);
+}
+
+TEST_F(BindingTest, GcAgentRemovesCrashedMembers) {
+  DeployRing(1);
+  auto app0 = MakeAppServer("app0");
+  auto app1 = MakeAppServer("app1");
+  ASSERT_TRUE(Run(app0->binding->AddTroupeMember(
+                      "counter",
+                      app0->process->module_address(app0->module)))
+                  .ok());
+  ASSERT_TRUE(Run(app1->binding->AddTroupeMember(
+                      "counter",
+                      app1->process->module_address(app1->module)))
+                  .ok());
+  const TroupeId before = app1->process->troupe_id();
+
+  app0->process->host()->Crash();
+
+  auto gc_process = MakeClientProcess("gc");
+  BindingClient gc_binding(gc_process.get(), ring_.troupe);
+  GcAgent gc(gc_process.get(), &gc_binding);
+  StatusOr<int> collected = Run(gc.SweepOnce(), 300);
+  ASSERT_TRUE(collected.ok()) << collected.status().ToString();
+  EXPECT_EQ(*collected, 1);
+
+  StatusOr<Troupe> remaining = Run(gc_binding.LookupByName("counter"), 120);
+  ASSERT_TRUE(remaining.ok());
+  ASSERT_EQ(remaining->members.size(), 1u);
+  EXPECT_EQ(remaining->members[0],
+            app1->process->module_address(app1->module));
+  EXPECT_NE(remaining->id, before);  // membership change, fresh ID
+}
+
+TEST_F(BindingTest, RingmasterExportsItsRegistryState) {
+  // The Ringmaster module has a state provider, so a fresh binding-agent
+  // replica could be brought up to date with get_state like any other
+  // troupe member (Section 6.4.1 applied to the binding agent itself).
+  DeployRing(1);
+  auto app = MakeAppServer("app0");
+  Troupe t;
+  t.members.push_back(app->process->module_address(app->module));
+  ASSERT_TRUE(Run(app->binding->RegisterTroupe("counter", t)).ok());
+
+  auto client = MakeClientProcess("client");
+  marshal::Writer w;
+  w.WriteU16(ring_.servers[0]->module_number());
+  auto result = std::make_shared<std::optional<StatusOr<Bytes>>>();
+  world_.executor().Spawn(
+      [](RpcProcess* p, Troupe ring, Bytes args,
+         std::shared_ptr<std::optional<StatusOr<Bytes>>> out) -> Task<void> {
+        core::CallOptions opts;
+        opts.as_unreplicated_client = true;
+        out->emplace(co_await p->Call(p->NewRootThread(), ring,
+                                      core::kRuntimeModule,
+                                      core::kGetState, std::move(args),
+                                      opts));
+      }(client.get(), ring_.troupe, w.Take(), result));
+  world_.RunFor(Duration::Seconds(30));
+  ASSERT_TRUE(result->has_value());
+  ASSERT_TRUE((*result)->ok()) << (*result)->status().ToString();
+  // The externalized registry names both the Ringmaster's own troupe
+  // ("binding") and the registered "counter".
+  const Bytes state = ***result;
+  marshal::Reader r(state);
+  const uint32_t count = r.ReadU32();
+  EXPECT_EQ(count, 2u);
+  std::vector<std::string> names;
+  for (uint32_t i = 0; i < count; ++i) {
+    names.push_back(r.ReadString());
+    r.ReadU16();  // version
+    ReadTroupe(r);
+  }
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_NE(std::find(names.begin(), names.end(), "binding"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "counter"), names.end());
+}
+
+TEST_F(BindingTest, ResolveIdIsCachedForever) {
+  // Troupe IDs are incarnation numbers: a given ID's membership never
+  // changes, so the ID cache needs no invalidation (Section 6.2's
+  // design payoff). After the first resolution, no further lookups hit
+  // the Ringmaster.
+  DeployRing(1);
+  auto app = MakeAppServer("app0");
+  ASSERT_TRUE(Run(app->binding->AddTroupeMember(
+                      "counter",
+                      app->process->module_address(app->module)))
+                  .ok());
+  auto client = MakeClientProcess("client");
+  BindingClient binding(client.get(), ring_.troupe);
+  BindingCache cache(&binding);
+  const TroupeId id = app->process->troupe_id();
+  StatusOr<Troupe> first = Run(cache.ResolveId(id));
+  ASSERT_TRUE(first.ok());
+  const uint64_t ringmaster_executions_after_first =
+      ring_.processes[0]->stats().calls_executed;
+  for (int i = 0; i < 5; ++i) {
+    StatusOr<Troupe> again = Run(cache.ResolveId(id));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *first);
+  }
+  EXPECT_EQ(ring_.processes[0]->stats().calls_executed,
+            ringmaster_executions_after_first);
+}
+
+TEST_F(BindingTest, EnumerateListsRegisteredTroupes) {
+  DeployRing(1);
+  auto app = MakeAppServer("app0");
+  Troupe t;
+  t.members.push_back(app->process->module_address(app->module));
+  ASSERT_TRUE(Run(app->binding->RegisterTroupe("alpha", t)).ok());
+  auto client = MakeClientProcess("client");
+  BindingClient binding(client.get(), ring_.troupe);
+  StatusOr<std::vector<std::string>> names = Run(binding.Enumerate());
+  ASSERT_TRUE(names.ok());
+  // "binding" (the Ringmaster itself) and "alpha".
+  EXPECT_EQ(names->size(), 2u);
+}
+
+TEST_F(BindingTest, ManyToOneUsesRingmasterResolution) {
+  // A replicated client troupe registered through the Ringmaster; the
+  // server resolves the client troupe ID via lookup_troupe_by_id
+  // (Section 4.3.2) and executes once.
+  DeployRing(1);
+  auto server = MakeAppServer("server");
+  Troupe server_troupe;
+  server_troupe.members.push_back(
+      server->process->module_address(server->module));
+  StatusOr<TroupeId> sid =
+      Run(server->binding->RegisterTroupe("counter", server_troupe));
+  ASSERT_TRUE(sid.ok());
+  server->process->SetTroupeId(*sid);
+  server_troupe.id = *sid;
+
+  // Two-member replicated client.
+  std::vector<std::unique_ptr<RpcProcess>> client_procs;
+  Troupe client_troupe;
+  for (int i = 0; i < 2; ++i) {
+    auto p = MakeClientProcess("cli" + std::to_string(i));
+    const ModuleNumber m = p->ExportModule("client-app");
+    client_troupe.members.push_back(p->module_address(m));
+    client_procs.push_back(std::move(p));
+  }
+  auto reg_client = MakeClientProcess("registrar");
+  BindingClient reg_binding(reg_client.get(), ring_.troupe);
+  StatusOr<TroupeId> cid =
+      Run(reg_binding.RegisterTroupe("client-app", client_troupe));
+  ASSERT_TRUE(cid.ok());
+  for (auto& p : client_procs) {
+    p->SetTroupeId(*cid);
+  }
+
+  const core::ThreadId thread{42, 42, 1};
+  int completions = 0;
+  for (auto& p : client_procs) {
+    world_.executor().Spawn(
+        [](RpcProcess* proc, core::ThreadId t, Troupe srv,
+           ModuleNumber m, int* done) -> Task<void> {
+          StatusOr<Bytes> r = co_await proc->Call(t, srv, m, 0, {});
+          CIRCUS_CHECK(r.ok());
+          ++*done;
+        }(p.get(), thread, server_troupe, server->module, &completions));
+  }
+  world_.RunFor(Duration::Seconds(30));
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(server->counter, 1);  // executed exactly once
+}
+
+}  // namespace
+}  // namespace circus::binding

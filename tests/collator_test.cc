@@ -1,0 +1,168 @@
+// Unit tests of the collators (Sections 4.3.6, 7.4) against synthetic
+// reply streams, without any network: each collator's decision rule and
+// its laziness (how many replies it consumes before deciding) are
+// checked directly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/collator.h"
+#include "src/net/world.h"
+#include "tests/test_util.h"
+
+namespace circus::core {
+namespace {
+
+using circus::testing::RunTask;
+using sim::Duration;
+using sim::SyscallCostModel;
+using sim::Task;
+
+class CollatorTest : public ::testing::Test {
+ protected:
+  CollatorTest()
+      : world_(161, SyscallCostModel::Free()),
+        host_(world_.AddHost("node")) {}
+
+  ModuleAddress Member(int i) {
+    return ModuleAddress{net::NetAddress{net::MakeHostAddress(i), 9000}, 0};
+  }
+
+  Reply Ok(int member, const std::string& value) {
+    return Reply{Member(member), BytesFromString(value)};
+  }
+  Reply Err(int member, ErrorCode code) {
+    return Reply{Member(member), Status(code, "synthetic failure")};
+  }
+
+  // Runs `collator` over a stream expecting `expected` replies; pushes
+  // `replies` (staggered 1 ms apart) and returns the result plus how
+  // many replies the collator consumed before finishing.
+  struct Outcome {
+    StatusOr<Bytes> result{Status(ErrorCode::kCancelled, "unset")};
+    int consumed = 0;
+  };
+  Outcome Collate(const Collator& collator, int expected,
+                  std::vector<Reply> replies) {
+    ReplyStream stream(host_, expected);
+    auto state = stream.shared_state();
+    for (size_t i = 0; i < replies.size(); ++i) {
+      world_.executor().ScheduleAfter(
+          Duration::Millis(static_cast<int64_t>(i + 1)),
+          [state, r = std::move(replies[i])]() mutable {
+            state->channel.Send(std::move(r));
+          });
+    }
+    Outcome out;
+    world_.executor().Spawn(
+        [](const Collator* c, ReplyStream* s, Outcome* o) -> Task<void> {
+          o->result = co_await (*c)(*s);
+          o->consumed = s->consumed();
+        }(&collator, &stream, &out));
+    world_.RunFor(Duration::Seconds(10));
+    return out;
+  }
+
+  net::World world_;
+  sim::Host* host_;
+};
+
+TEST_F(CollatorTest, UnanimousAcceptsIdenticalReplies) {
+  Outcome o = Collate(BuiltinCollator(Collation::kUnanimous), 3,
+                      {Ok(0, "v"), Ok(1, "v"), Ok(2, "v")});
+  ASSERT_TRUE(o.result.ok());
+  EXPECT_EQ(StringFromBytes(*o.result), "v");
+  EXPECT_EQ(o.consumed, 3);  // wait-all: every reply inspected
+}
+
+TEST_F(CollatorTest, UnanimousFlagsDisagreementEagerly) {
+  Outcome o = Collate(BuiltinCollator(Collation::kUnanimous), 3,
+                      {Ok(0, "v"), Ok(1, "DIFFERENT"), Ok(2, "v")});
+  ASSERT_FALSE(o.result.ok());
+  EXPECT_EQ(o.result.status().code(), ErrorCode::kDisagreement);
+  EXPECT_EQ(o.consumed, 2);  // decided at the first mismatch
+}
+
+TEST_F(CollatorTest, UnanimousToleratesCrashedMinority) {
+  Outcome o = Collate(BuiltinCollator(Collation::kUnanimous), 3,
+                      {Err(0, ErrorCode::kCrashDetected), Ok(1, "v"),
+                       Ok(2, "v")});
+  ASSERT_TRUE(o.result.ok());
+  EXPECT_EQ(StringFromBytes(*o.result), "v");
+}
+
+TEST_F(CollatorTest, UnanimousAllFailedSummarizes) {
+  Outcome o = Collate(BuiltinCollator(Collation::kUnanimous), 2,
+                      {Err(0, ErrorCode::kCrashDetected),
+                       Err(1, ErrorCode::kTimeout)});
+  ASSERT_FALSE(o.result.ok());
+  EXPECT_EQ(o.result.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(CollatorTest, UnanimousSurfacesStaleBindingFirst) {
+  Outcome o = Collate(BuiltinCollator(Collation::kUnanimous), 2,
+                      {Err(0, ErrorCode::kCrashDetected),
+                       Err(1, ErrorCode::kStaleBinding)});
+  ASSERT_FALSE(o.result.ok());
+  EXPECT_EQ(o.result.status().code(), ErrorCode::kStaleBinding);
+}
+
+TEST_F(CollatorTest, FirstComeTakesTheFirstSuccess) {
+  Outcome o = Collate(BuiltinCollator(Collation::kFirstCome), 3,
+                      {Err(0, ErrorCode::kCrashDetected), Ok(1, "fast"),
+                       Ok(2, "slow")});
+  ASSERT_TRUE(o.result.ok());
+  EXPECT_EQ(StringFromBytes(*o.result), "fast");
+  EXPECT_EQ(o.consumed, 2);  // did not wait for the third
+}
+
+TEST_F(CollatorTest, MajorityDecidesAsSoonAsQuorumReached) {
+  Outcome o = Collate(BuiltinCollator(Collation::kMajority), 5,
+                      {Ok(0, "a"), Ok(1, "b"), Ok(2, "a"), Ok(3, "a"),
+                       Ok(4, "b")});
+  ASSERT_TRUE(o.result.ok());
+  EXPECT_EQ(StringFromBytes(*o.result), "a");
+  EXPECT_EQ(o.consumed, 4);  // a's third vote is the 3-of-5 majority
+}
+
+TEST_F(CollatorTest, MajorityGivesUpWhenNoValueCanWin) {
+  // With 2 of 3 replies split and one crashed, no value can reach 2
+  // votes once the split is visible and the remaining member failed.
+  Outcome o = Collate(BuiltinCollator(Collation::kMajority), 3,
+                      {Ok(0, "a"), Ok(1, "b"),
+                       Err(2, ErrorCode::kCrashDetected)});
+  ASSERT_FALSE(o.result.ok());
+  EXPECT_EQ(o.result.status().code(), ErrorCode::kNoMajority);
+}
+
+TEST_F(CollatorTest, QuorumUnanimousRequiresMinimumSuccesses) {
+  Collator quorum = MakeQuorumUnanimousCollator(2);
+  Outcome enough = Collate(quorum, 3,
+                           {Ok(0, "v"), Ok(1, "v"),
+                            Err(2, ErrorCode::kCrashDetected)});
+  ASSERT_TRUE(enough.result.ok());
+  Outcome short_of = Collate(quorum, 3,
+                             {Ok(0, "v"),
+                              Err(1, ErrorCode::kCrashDetected),
+                              Err(2, ErrorCode::kCrashDetected)});
+  ASSERT_FALSE(short_of.result.ok());
+  EXPECT_EQ(short_of.result.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(CollatorTest, StreamNextReturnsNulloptAfterAllExpected) {
+  ReplyStream stream(host_, 1);
+  stream.shared_state()->channel.Send(Ok(0, "only"));
+  bool saw_end = RunTask(world_.executor(),
+                         [](ReplyStream* s) -> Task<bool> {
+                           std::optional<Reply> first = co_await s->Next();
+                           CIRCUS_CHECK(first.has_value());
+                           std::optional<Reply> second = co_await s->Next();
+                           co_return !second.has_value();
+                         }(&stream));
+  EXPECT_TRUE(saw_end);
+}
+
+}  // namespace
+}  // namespace circus::core

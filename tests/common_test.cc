@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/hexdump.h"
+#include "src/common/status.h"
+
+namespace circus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kTimeout, "no reply after 5 probes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(s.ToString(), "TIMEOUT: no reply after 5 probes");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kCancelled); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.code(), ErrorCode::kOk);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status(ErrorCode::kNotFound, "no such troupe"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(BytesTest, RoundTripString) {
+  Bytes b = BytesFromString("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(StringFromBytes(b), "hello");
+}
+
+TEST(HexDumpTest, FormatsOffsetsHexAndAscii) {
+  Bytes b = BytesFromString("ABC\x01");
+  std::string dump = HexDump(b);
+  EXPECT_NE(dump.find("00000000"), std::string::npos);
+  EXPECT_NE(dump.find("41 42 43 01"), std::string::npos);
+  EXPECT_NE(dump.find("|ABC.|"), std::string::npos);
+}
+
+TEST(HexDumpTest, EmptyBufferYieldsEmptyDump) {
+  EXPECT_EQ(HexDump(Bytes{}), "");
+}
+
+}  // namespace
+}  // namespace circus

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/check.h"
+#include "src/config/ast.h"
+#include "src/config/manager.h"
+#include "src/config/parser.h"
+
+namespace circus::config {
+namespace {
+
+// ---------------------------------------------------------------- Parse --
+
+TEST(ConfigParserTest, ParsesTheDissertationExample) {
+  StatusOr<ExprPtr> f = ParseFormula(
+      "x.name = \"UCB-Monet\" and x.memory = 10 and x.has-floating-point");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(ExprToString(**f),
+            "((x.name = \"UCB-Monet\" and x.memory = 10) and "
+            "x.has-floating-point)");
+}
+
+TEST(ConfigParserTest, ParsesTroupeSpec) {
+  StatusOr<TroupeSpec> spec = ParseTroupeSpec(
+      "troupe (x, y, z) where x.memory >= 4 and y.memory >= 4 and "
+      "z.memory >= 4");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->variables,
+            (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_NE(spec->ToString().find("troupe (x, y, z) where"),
+            std::string::npos);
+}
+
+TEST(ConfigParserTest, PrecedenceNotBindsTighterThanAndThanOr) {
+  StatusOr<ExprPtr> f =
+      ParseFormula("not x.a and x.b or x.c");
+  ASSERT_TRUE(f.ok());
+  // ((not x.a and x.b) or x.c)
+  EXPECT_EQ(ExprToString(**f), "((not x.a and x.b) or x.c)");
+}
+
+TEST(ConfigParserTest, ParenthesesOverridePrecedence) {
+  StatusOr<ExprPtr> f = ParseFormula("x.a and (x.b or x.c)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(ExprToString(**f), "(x.a and (x.b or x.c))");
+}
+
+TEST(ConfigParserTest, AllComparisonOperators) {
+  for (const char* op : {"=", "!=", "<>", "<", "<=", ">", ">="}) {
+    StatusOr<ExprPtr> f =
+        ParseFormula("x.memory " + std::string(op) + " 8");
+    EXPECT_TRUE(f.ok()) << op << ": " << f.status().ToString();
+  }
+}
+
+TEST(ConfigParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseFormula("x.").ok());
+  EXPECT_FALSE(ParseFormula("x.a =").ok());
+  EXPECT_FALSE(ParseFormula("and x.a").ok());
+  EXPECT_FALSE(ParseFormula("x.a and").ok());
+  EXPECT_FALSE(ParseFormula("(x.a").ok());
+  EXPECT_FALSE(ParseFormula("x.a x.b").ok());
+  EXPECT_FALSE(ParseTroupeSpec("troupe () where x.a").ok());
+  EXPECT_FALSE(ParseTroupeSpec("troupe (x) x.a").ok());
+  EXPECT_FALSE(ParseFormula("x.name = \"unterminated").ok());
+}
+
+TEST(ConfigParserTest, BooleanLiteralsAndNegativeNumbers) {
+  EXPECT_TRUE(ParseFormula("x.diskless = false").ok());
+  EXPECT_TRUE(ParseFormula("x.offset = -5").ok());
+  EXPECT_TRUE(ParseFormula("x.load < 2.5").ok());
+}
+
+// ----------------------------------------------------------------- Eval --
+
+class ConfigSolveTest : public ::testing::Test {
+ protected:
+  ConfigSolveTest() {
+    monet_ = db_.AddMachine({{"name", std::string("UCB-Monet")},
+                             {"memory", 10.0},
+                             {"has-floating-point", true}});
+    degas_ = db_.AddMachine({{"name", std::string("UCB-Degas")},
+                             {"memory", 4.0},
+                             {"has-floating-point", true}});
+    renoir_ = db_.AddMachine({{"name", std::string("UCB-Renoir")},
+                              {"memory", 2.0},
+                              {"has-floating-point", false}});
+    arpa_ = db_.AddMachine({{"name", std::string("UCB-Arpa")},
+                            {"memory", 8.0},
+                            {"has-floating-point", true}});
+  }
+
+  ExprPtr Parse(const std::string& text) {
+    StatusOr<ExprPtr> f = ParseFormula(text);
+    CIRCUS_CHECK(f.ok());
+    return std::move(*f);
+  }
+
+  MachineDatabase db_;
+  MachineId monet_ = 0, degas_ = 0, renoir_ = 0, arpa_ = 0;
+};
+
+TEST_F(ConfigSolveTest, EvalFormulaOnAssignment) {
+  ExprPtr f = Parse(
+      "x.name = \"UCB-Monet\" and x.memory = 10 and x.has-floating-point");
+  EXPECT_TRUE(EvalFormula(*f, {{"x", monet_}}, db_));
+  EXPECT_FALSE(EvalFormula(*f, {{"x", degas_}}, db_));
+}
+
+TEST_F(ConfigSolveTest, MissingAttributeIsFalse) {
+  ExprPtr f = Parse("x.gpu-count > 0");
+  EXPECT_FALSE(EvalFormula(*f, {{"x", monet_}}, db_));
+  ExprPtr g = Parse("not x.gpu-count > 0");
+  EXPECT_TRUE(EvalFormula(*g, {{"x", monet_}}, db_));
+}
+
+TEST_F(ConfigSolveTest, InstantiateSelectsSatisfyingMachines) {
+  StatusOr<TroupeSpec> spec = ParseTroupeSpec(
+      "troupe (x, y) where x.memory >= 8 and y.memory >= 8");
+  ASSERT_TRUE(spec.ok());
+  ConfigurationManager manager(&db_);
+  StatusOr<SolveResult> r = manager.Instantiate(*spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The only machines with >= 8 MB are Monet (10) and Arpa (8).
+  std::set<MachineId> chosen(r->machines.begin(), r->machines.end());
+  EXPECT_EQ(chosen, (std::set<MachineId>{monet_, arpa_}));
+}
+
+TEST_F(ConfigSolveTest, MembersMustBeDistinctMachines) {
+  StatusOr<TroupeSpec> spec = ParseTroupeSpec(
+      "troupe (x, y) where x.memory = 10 and y.memory = 10");
+  ASSERT_TRUE(spec.ok());
+  ConfigurationManager manager(&db_);
+  // Only Monet has 10 MB; two distinct machines cannot both satisfy it.
+  StatusOr<SolveResult> r = manager.Instantiate(*spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ConfigSolveTest, ExtendKeepsExistingMembersWherePossible) {
+  StatusOr<TroupeSpec> spec = ParseTroupeSpec(
+      "troupe (x, y) where x.has-floating-point and "
+      "y.has-floating-point");
+  ASSERT_TRUE(spec.ok());
+  ConfigurationManager manager(&db_);
+  // Current troupe = {Degas}; extension should add one machine and keep
+  // Degas, not replace it.
+  StatusOr<SolveResult> r = manager.ExtendTroupe(*spec, {degas_});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::set<MachineId> chosen(r->machines.begin(), r->machines.end());
+  EXPECT_TRUE(chosen.contains(degas_));
+  EXPECT_EQ(r->symmetric_difference, 1u);  // exactly one machine added
+}
+
+TEST_F(ConfigSolveTest, ExtendReplacesFailedMember) {
+  StatusOr<TroupeSpec> spec = ParseTroupeSpec(
+      "troupe (x, y) where x.memory >= 4 and y.memory >= 4");
+  ASSERT_TRUE(spec.ok());
+  ConfigurationManager manager(&db_);
+  // Renoir (2 MB) no longer satisfies the spec, e.g. after its memory
+  // attribute was downgraded; the solver must swap it out while keeping
+  // Monet.
+  StatusOr<SolveResult> r = manager.ExtendTroupe(*spec, {monet_, renoir_});
+  ASSERT_TRUE(r.ok());
+  std::set<MachineId> chosen(r->machines.begin(), r->machines.end());
+  EXPECT_TRUE(chosen.contains(monet_));
+  EXPECT_FALSE(chosen.contains(renoir_));
+  EXPECT_EQ(r->symmetric_difference, 2u);  // renoir out, one machine in
+}
+
+TEST_F(ConfigSolveTest, DisjunctionAcrossVariables) {
+  StatusOr<TroupeSpec> spec = ParseTroupeSpec(
+      "troupe (x, y) where (x.memory >= 10 or x.name = \"UCB-Arpa\") and "
+      "y.memory >= 2 and not y.has-floating-point");
+  ASSERT_TRUE(spec.ok());
+  ConfigurationManager manager(&db_);
+  StatusOr<SolveResult> r = manager.Instantiate(*spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // y must be Renoir (the only machine without floating point).
+  EXPECT_EQ(r->assignment.at("y"), renoir_);
+}
+
+TEST_F(ConfigSolveTest, FindByName) {
+  std::optional<MachineId> m = db_.FindByName("UCB-Degas");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, degas_);
+  EXPECT_FALSE(db_.FindByName("UCB-Nonesuch").has_value());
+}
+
+TEST_F(ConfigSolveTest, AttributeUpdateChangesSolutions) {
+  StatusOr<TroupeSpec> spec =
+      ParseTroupeSpec("troupe (x) where x.memory >= 16");
+  ASSERT_TRUE(spec.ok());
+  ConfigurationManager manager(&db_);
+  EXPECT_FALSE(manager.Instantiate(*spec).ok());
+  db_.SetAttribute(monet_, "memory", 16.0);  // hardware upgrade
+  StatusOr<SolveResult> r = manager.Instantiate(*spec);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->machines[0], monet_);
+}
+
+TEST_F(ConfigSolveTest, DeterministicTieBreak) {
+  StatusOr<TroupeSpec> spec =
+      ParseTroupeSpec("troupe (x) where x.has-floating-point");
+  ASSERT_TRUE(spec.ok());
+  ConfigurationManager manager(&db_);
+  StatusOr<SolveResult> a = manager.Instantiate(*spec);
+  StatusOr<SolveResult> b = manager.Instantiate(*spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->machines, b->machines);
+}
+
+}  // namespace
+}  // namespace circus::config

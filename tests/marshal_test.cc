@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/marshal/marshal.h"
+
+namespace circus::marshal {
+namespace {
+
+enum class Color : uint16_t { kRed = 0, kGreen = 1, kBlue = 2 };
+
+TEST(MarshalTest, ScalarRoundTrip) {
+  Writer w;
+  w.WriteBool(true);
+  w.WriteU8(0xAB);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0102030405060708ULL);
+  w.WriteI16(-5);
+  w.WriteI32(-100000);
+  w.WriteI64(-5000000000LL);
+  w.WriteF64(3.14159);
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_EQ(r.ReadU8(), 0xAB);
+  EXPECT_EQ(r.ReadU16(), 0x1234);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.ReadI16(), -5);
+  EXPECT_EQ(r.ReadI32(), -100000);
+  EXPECT_EQ(r.ReadI64(), -5000000000LL);
+  EXPECT_DOUBLE_EQ(r.ReadF64(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(MarshalTest, BigEndianOnTheWire) {
+  Writer w;
+  w.WriteU16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+  Writer w2;
+  w2.WriteU32(0x01020304);
+  EXPECT_EQ(w2.bytes()[0], 0x01);
+  EXPECT_EQ(w2.bytes()[3], 0x04);
+}
+
+TEST(MarshalTest, StringRoundTrip) {
+  Writer w;
+  w.WriteString("hello, troupe");
+  w.WriteString("");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadString(), "hello, troupe");
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(MarshalTest, BytesRoundTrip) {
+  Writer w;
+  w.WriteBytes(Bytes{1, 2, 3, 255});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadBytes(), (Bytes{1, 2, 3, 255}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(MarshalTest, EnumAndUnionTag) {
+  Writer w;
+  w.WriteEnum(Color::kBlue);
+  w.WriteUnionTag(1);
+  w.WriteI32(42);  // arm 1 payload
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadEnum<Color>(), Color::kBlue);
+  EXPECT_EQ(r.ReadUnionTag(), 1);
+  EXPECT_EQ(r.ReadI32(), 42);
+}
+
+TEST(MarshalTest, SequenceRoundTrip) {
+  Writer w;
+  std::vector<std::string> names = {"ringmaster", "troupe", "collator"};
+  w.WriteSequence(names, [](Writer& writer, const std::string& s) {
+    writer.WriteString(s);
+  });
+  Reader r(w.bytes());
+  std::vector<std::string> out = r.ReadSequence<std::string>(
+      [](Reader& reader) { return reader.ReadString(); });
+  EXPECT_EQ(out, names);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(MarshalTest, TruncatedInputPoisonsReader) {
+  Writer w;
+  w.WriteU32(7);
+  Bytes data = w.bytes();
+  data.pop_back();
+  Reader r(data);
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Further reads stay poisoned and return defaults.
+  EXPECT_EQ(r.ReadU16(), 0u);
+  EXPECT_FALSE(r.AtEnd());
+}
+
+TEST(MarshalTest, TruncatedStringPoisons) {
+  Writer w;
+  w.WriteU32(100);  // claims 100 bytes, provides none
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MarshalTest, HostileSequenceLengthDoesNotOverallocate) {
+  Writer w;
+  w.WriteU32(0xFFFFFFFF);  // absurd element count with no data
+  Reader r(w.bytes());
+  std::vector<int> out =
+      r.ReadSequence<int>([](Reader& reader) { return reader.ReadI32(); });
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(MarshalTest, LeftoverBytesDetectedByAtEnd) {
+  Writer w;
+  w.WriteU16(1);
+  w.WriteU16(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.ReadU16(), 1);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.AtEnd());  // one unread field remains
+}
+
+TEST(MarshalTest, NestedSequencesOfRecordsRoundTrip) {
+  struct Point {
+    int32_t x, y;
+  };
+  std::vector<std::vector<Point>> grid = {
+      {{1, 2}, {3, 4}}, {}, {{5, 6}}};
+  Writer w;
+  w.WriteSequence(grid, [](Writer& writer, const std::vector<Point>& row) {
+    writer.WriteSequence(row, [](Writer& ww, const Point& p) {
+      ww.WriteI32(p.x);
+      ww.WriteI32(p.y);
+    });
+  });
+  Reader r(w.bytes());
+  auto rows = r.ReadSequence<std::vector<Point>>([](Reader& reader) {
+    return reader.ReadSequence<Point>([](Reader& rr) {
+      Point p{};
+      p.x = rr.ReadI32();
+      p.y = rr.ReadI32();
+      return p;
+    });
+  });
+  ASSERT_TRUE(r.AtEnd());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[1].size(), 0u);
+  EXPECT_EQ(rows[2][0].x, 5);
+  EXPECT_EQ(rows[0][1].y, 4);
+}
+
+TEST(MarshalTest, WriterTakeResetsBuffer) {
+  Writer w;
+  w.WriteU16(1);
+  Bytes first = w.Take();
+  EXPECT_EQ(first.size(), 2u);
+  w.WriteU16(2);
+  Bytes second = w.Take();
+  EXPECT_EQ(second.size(), 2u);
+  EXPECT_NE(first, second);
+}
+
+TEST(MarshalTest, NegativeDoubleRoundTrip) {
+  Writer w;
+  w.WriteF64(-0.0);
+  w.WriteF64(-1e300);
+  Reader r(w.bytes());
+  EXPECT_DOUBLE_EQ(r.ReadF64(), -0.0);
+  EXPECT_DOUBLE_EQ(r.ReadF64(), -1e300);
+}
+
+}  // namespace
+}  // namespace circus::marshal

@@ -1,0 +1,560 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/msg/paired_endpoint.h"
+#include "src/msg/segment.h"
+#include "src/net/socket.h"
+#include "src/net/world.h"
+#include "tests/test_util.h"
+
+namespace circus::msg {
+namespace {
+
+using net::DatagramSocket;
+using net::FaultPlan;
+using net::NetAddress;
+using net::World;
+using sim::Duration;
+using sim::Syscall;
+using sim::SyscallCostModel;
+using sim::Task;
+
+// -------------------------------------------------------------- Segment --
+
+TEST(SegmentTest, EncodeDecodeRoundTrip) {
+  Segment s;
+  s.type = MessageType::kReturn;
+  s.please_ack = true;
+  s.ack = false;
+  s.total_segments = 7;
+  s.segment_number = 3;
+  s.call_number = 0xDEADBEEF;
+  s.data = BytesFromString("payload");
+  Bytes wire = s.Encode();
+  EXPECT_EQ(wire.size(), kSegmentHeaderBytes + 7);
+  std::optional<Segment> d = Segment::Decode(wire);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MessageType::kReturn);
+  EXPECT_TRUE(d->please_ack);
+  EXPECT_FALSE(d->ack);
+  EXPECT_EQ(d->total_segments, 7);
+  EXPECT_EQ(d->segment_number, 3);
+  EXPECT_EQ(d->call_number, 0xDEADBEEFu);
+  EXPECT_EQ(StringFromBytes(d->data), "payload");
+}
+
+TEST(SegmentTest, CallNumberIsBigEndianOnTheWire) {
+  Segment s;
+  s.call_number = 0x01020304;
+  Bytes wire = s.Encode();
+  EXPECT_EQ(wire[4], 0x01);
+  EXPECT_EQ(wire[5], 0x02);
+  EXPECT_EQ(wire[6], 0x03);
+  EXPECT_EQ(wire[7], 0x04);
+}
+
+TEST(SegmentTest, DecodeRejectsShortOrMalformed) {
+  EXPECT_FALSE(Segment::Decode(Bytes{1, 2, 3}).has_value());
+  Bytes bad(kSegmentHeaderBytes, 0);
+  bad[0] = 9;  // unknown message type
+  EXPECT_FALSE(Segment::Decode(bad).has_value());
+  Bytes zero_total(kSegmentHeaderBytes, 0);
+  zero_total[2] = 0;  // total segments must be >= 1
+  EXPECT_FALSE(Segment::Decode(zero_total).has_value());
+}
+
+TEST(SegmentTest, SegmentizeSplitsAndNumbersFromOne) {
+  Bytes data(2500, 'x');
+  std::vector<Segment> segs =
+      Segmentize(MessageType::kCall, 5, data, 1024);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].segment_number, 1);
+  EXPECT_EQ(segs[2].segment_number, 3);
+  EXPECT_EQ(segs[0].total_segments, 3);
+  EXPECT_EQ(segs[0].data.size(), 1024u);
+  EXPECT_EQ(segs[2].data.size(), 452u);
+  for (const Segment& s : segs) {
+    EXPECT_EQ(s.call_number, 5u);
+    EXPECT_TRUE(s.is_data());
+  }
+}
+
+TEST(SegmentTest, SegmentizeEmptyMessageYieldsOneSegment) {
+  std::vector<Segment> segs = Segmentize(MessageType::kCall, 1, {}, 1024);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].segment_number, 1);
+  EXPECT_TRUE(segs[0].is_data());  // numbered, so not a probe
+}
+
+TEST(SegmentTest, MaximumMessageIsExactly255Segments) {
+  // The total-segments field is one byte; 255 segments is the protocol's
+  // hard limit (Section 4.2.1).
+  Bytes max_data(255 * 1024, 'm');
+  std::vector<Segment> segs =
+      Segmentize(MessageType::kCall, 1, max_data, 1024);
+  EXPECT_EQ(segs.size(), 255u);
+  EXPECT_EQ(segs.back().segment_number, 255);
+}
+
+TEST(SegmentTest, OversizeMessageIsRejected) {
+  Bytes too_big(255 * 1024 + 1, 'x');
+  EXPECT_DEATH(Segmentize(MessageType::kCall, 1, too_big, 1024),
+               "message too large");
+}
+
+TEST(SegmentTest, ProbeVersusDataDistinction) {
+  Segment probe;
+  probe.segment_number = 0;
+  probe.please_ack = true;
+  EXPECT_TRUE(probe.is_probe());
+  EXPECT_FALSE(probe.is_data());
+}
+
+// ----------------------------------------------------- PairedEndpoint ----
+
+class MsgTest : public ::testing::Test {
+ protected:
+  MsgTest() : world_(11, SyscallCostModel::Free()) {
+    client_host_ = world_.AddHost("client");
+    server_host_ = world_.AddHost("server");
+    client_socket_ = std::make_unique<DatagramSocket>(&world_.network(),
+                                                      client_host_, 0);
+    server_socket_ = std::make_unique<DatagramSocket>(&world_.network(),
+                                                      server_host_, 9000);
+  }
+
+  std::unique_ptr<PairedEndpoint> MakeClient(EndpointOptions opts = {}) {
+    return std::make_unique<PairedEndpoint>(client_socket_.get(), opts);
+  }
+  std::unique_ptr<PairedEndpoint> MakeServer(EndpointOptions opts = {}) {
+    return std::make_unique<PairedEndpoint>(server_socket_.get(), opts);
+  }
+
+  World world_;
+  sim::Host* client_host_;
+  sim::Host* server_host_;
+  std::unique_ptr<DatagramSocket> client_socket_;
+  std::unique_ptr<DatagramSocket> server_socket_;
+};
+
+// Spawns an echo server: receives call messages and sends the same bytes
+// back as the return message.
+void SpawnEchoServer(PairedEndpoint* server, int count = INT32_MAX) {
+  server->host()->Spawn([](PairedEndpoint* ep, int n) -> Task<void> {
+    for (int i = 0; i < n; ++i) {
+      Message m = co_await ep->NextIncomingCall();
+      co_await ep->SendMessage(m.peer, MessageType::kReturn, m.call_number,
+                               m.data);
+    }
+  }(server, count));
+}
+
+TEST_F(MsgTest, SingleSegmentExchange) {
+  auto client = MakeClient();
+  auto server = MakeServer();
+  SpawnEchoServer(server.get());
+  std::string reply;
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to,
+                             std::string* out) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        BytesFromString("ping"));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+    *out = StringFromBytes(m->data);
+  }(client.get(), server->local_address(), &reply));
+  world_.RunFor(Duration::Seconds(2));
+  EXPECT_EQ(reply, "ping");
+}
+
+TEST_F(MsgTest, FastExchangeUsesNoExplicitAcks) {
+  // The call is acked implicitly by the return; the return is acked
+  // implicitly by the next call. Only the final return needs one
+  // retransmission round before its explicit ack.
+  auto client = MakeClient();
+  auto server = MakeServer();
+  SpawnEchoServer(server.get());
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to) -> Task<void> {
+    for (uint32_t call = 1; call <= 5; ++call) {
+      Status s = co_await ep->SendMessage(to, MessageType::kCall, call,
+                                          BytesFromString("x"));
+      CIRCUS_CHECK(s.ok());
+      auto m = co_await ep->AwaitReturn(to, call);
+      CIRCUS_CHECK(m.ok());
+    }
+  }(client.get(), server->local_address()));
+  world_.RunFor(Duration::Millis(200));
+  // While the exchange is running briskly, neither side sends explicit
+  // acks (calls 1..5 all complete within 200ms < retransmit interval).
+  EXPECT_EQ(client->counters().ack_segments_sent, 0u);
+  EXPECT_EQ(server->counters().ack_segments_sent, 0u);
+  EXPECT_EQ(client->counters().messages_delivered, 5u);
+}
+
+TEST_F(MsgTest, MultiSegmentMessageReassembles) {
+  auto client = MakeClient();
+  auto server = MakeServer();
+  Bytes big(5000, 'q');
+  big[0] = 'A';
+  big[4999] = 'Z';
+  std::string got;
+  server_host_->Spawn([](PairedEndpoint* ep, std::string* out) -> Task<void> {
+    Message m = co_await ep->NextIncomingCall();
+    *out = StringFromBytes(m.data);
+    co_await ep->SendMessage(m.peer, MessageType::kReturn, m.call_number,
+                             BytesFromString("ok"));
+  }(server.get(), &got));
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to,
+                             Bytes data) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        std::move(data));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+  }(client.get(), server->local_address(), big));
+  world_.RunFor(Duration::Seconds(2));
+  ASSERT_EQ(got.size(), 5000u);
+  EXPECT_EQ(got[0], 'A');
+  EXPECT_EQ(got[4999], 'Z');
+  EXPECT_EQ(got.substr(1, 10), std::string(10, 'q'));
+}
+
+TEST_F(MsgTest, SurvivesHeavyLossOnMultiSegmentMessages) {
+  world_.network().set_default_fault_plan(FaultPlan::Lossy(0.3));
+  auto client = MakeClient();
+  auto server = MakeServer();
+  SpawnEchoServer(server.get());
+  Bytes big(8000, 'r');
+  bool done = false;
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to, Bytes data,
+                             bool* out) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        std::move(data));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+    *out = (m->data.size() == 8000);
+  }(client.get(), server->local_address(), big, &done));
+  world_.RunFor(Duration::Seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_GT(client->counters().retransmitted_segments, 0u);
+}
+
+TEST_F(MsgTest, DuplicateCallIsSuppressedAndReacked) {
+  FaultPlan plan;
+  plan.duplicate_probability = 1.0;  // every packet delivered twice
+  world_.network().set_default_fault_plan(plan);
+  auto client = MakeClient();
+  auto server = MakeServer();
+  int deliveries = 0;
+  server_host_->Spawn([](PairedEndpoint* ep, int* out) -> Task<void> {
+    while (true) {
+      Message m = co_await ep->NextIncomingCall();
+      ++*out;
+      co_await ep->SendMessage(m.peer, MessageType::kReturn, m.call_number,
+                               m.data);
+    }
+  }(server.get(), &deliveries));
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        BytesFromString("once"));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+  }(client.get(), server->local_address()));
+  world_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_GT(server->counters().duplicate_messages_suppressed, 0u);
+}
+
+TEST_F(MsgTest, CrashDetectedWhileSending) {
+  auto client = MakeClient();
+  // No server endpoint at all: segments vanish into a closed port.
+  Status status;
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to,
+                             Status* out) -> Task<void> {
+    *out = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                    BytesFromString("anyone?"));
+  }(client.get(), NetAddress{net::MakeHostAddress(1), 9000}, &status));
+  world_.RunFor(Duration::Seconds(30));
+  EXPECT_EQ(status.code(), ErrorCode::kCrashDetected);
+  EXPECT_GT(client->counters().retransmitted_segments, 0u);
+}
+
+TEST_F(MsgTest, CrashDetectedByProbesWhileAwaitingReturn) {
+  auto client = MakeClient();
+  auto server = MakeServer();
+  // Server accepts the call, stays alive long enough to acknowledge it
+  // (so the send phase succeeds), then crashes mid-"computation". Only
+  // the probe machinery can detect this (Section 4.2.3).
+  server_host_->Spawn([](PairedEndpoint* ep) -> Task<void> {
+    co_await ep->NextIncomingCall();
+    co_await ep->host()->SleepFor(Duration::Seconds(2));
+    ep->host()->Crash();
+  }(server.get()));
+  Status status;
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to,
+                             Status* out) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        BytesFromString("work"));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    *out = m.status();
+  }(client.get(), server->local_address(), &status));
+  world_.RunFor(Duration::Seconds(60));
+  EXPECT_EQ(status.code(), ErrorCode::kCrashDetected);
+  EXPECT_GT(client->counters().probe_segments_sent, 0u);
+}
+
+TEST_F(MsgTest, SlowServerIsNotDeclaredCrashed) {
+  auto client = MakeClient();
+  auto server = MakeServer();
+  // Server replies after 30 seconds -- much longer than the probe
+  // timeout budget, but it answers probes, so the client keeps waiting
+  // (Section 4.2.3: probing distinguishes slow from dead).
+  server_host_->Spawn([](PairedEndpoint* ep) -> Task<void> {
+    Message m = co_await ep->NextIncomingCall();
+    co_await ep->host()->SleepFor(Duration::Seconds(30));
+    co_await ep->SendMessage(m.peer, MessageType::kReturn, m.call_number,
+                             BytesFromString("finally"));
+  }(server.get()));
+  std::string reply;
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to,
+                             std::string* out) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        BytesFromString("slow job"));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+    *out = StringFromBytes(m->data);
+  }(client.get(), server->local_address(), &reply));
+  world_.RunFor(Duration::Seconds(120));
+  EXPECT_EQ(reply, "finally");
+}
+
+TEST_F(MsgTest, StopAndWaitSendsMoreAcksThanSlidingWindow) {
+  Bytes big(8000, 's');
+  uint64_t acks_sliding = 0;
+  uint64_t acks_stopwait = 0;
+  for (int variant = 0; variant < 2; ++variant) {
+    World world(5, SyscallCostModel::Free());
+    sim::Host* ch = world.AddHost("c");
+    sim::Host* sh = world.AddHost("s");
+    DatagramSocket cs(&world.network(), ch, 0);
+    DatagramSocket ss(&world.network(), sh, 9000);
+    EndpointOptions opts;
+    opts.mode = variant == 0 ? EndpointOptions::Mode::kSlidingWindow
+                             : EndpointOptions::Mode::kStopAndWait;
+    PairedEndpoint client(&cs, opts);
+    PairedEndpoint server(&ss, opts);
+    SpawnEchoServer(&server);
+    world.executor().Spawn([](PairedEndpoint* ep, NetAddress to,
+                              Bytes data) -> Task<void> {
+      Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                          std::move(data));
+      CIRCUS_CHECK(s.ok());
+      auto m = co_await ep->AwaitReturn(to, 1);
+      CIRCUS_CHECK(m.ok());
+    }(&client, server.local_address(), big));
+    world.RunFor(Duration::Seconds(10));
+    if (variant == 0) {
+      acks_sliding = server.counters().ack_segments_sent;
+    } else {
+      acks_stopwait = server.counters().ack_segments_sent;
+    }
+  }
+  // PARC-style explicit per-segment acks roughly double the packet count
+  // on multi-segment messages (Section 4.2.5).
+  EXPECT_GT(acks_stopwait, acks_sliding + 4);
+}
+
+TEST_F(MsgTest, OutOfOrderArrivalTriggersImmediateAck) {
+  // Drop exactly the first data segment of a 3-segment message once; the
+  // arrival of segment 2 must trigger an immediate ack (ack number 0).
+  auto client = MakeClient();
+  auto server = MakeServer();
+  // Build a lossy plan that drops only the first packet sent.
+  int packet_index = 0;
+  world_.network().SetPacketObserver([&](const net::Datagram&) {
+    ++packet_index;
+  });
+  // Use per-pair plan: drop the first client->server packet by brute
+  // force: set loss 1.0 then heal after one send.
+  FaultPlan lossy;
+  lossy.loss_probability = 1.0;
+  world_.network().SetPairFaultPlan(client_host_->id(), server_host_->id(),
+                                    lossy);
+  world_.executor().ScheduleAfter(Duration::Micros(100), [&] {
+    world_.network().ClearPairFaultPlans();
+  });
+  Bytes big(3000, 'o');
+  bool ok = false;
+  SpawnEchoServer(server.get());
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to, Bytes data,
+                             bool* out) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        std::move(data));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    *out = m.ok();
+  }(client.get(), server->local_address(), big, &ok));
+  world_.RunFor(Duration::Seconds(10));
+  EXPECT_TRUE(ok);
+  // The server saw a gap and acked immediately at least once.
+  EXPECT_GT(server->counters().ack_segments_sent, 0u);
+}
+
+TEST_F(MsgTest, BlastMulticastDeliversToGroup) {
+  auto client = MakeClient();
+  auto server = MakeServer();
+  sim::Host* second_host = world_.AddHost("server2");
+  DatagramSocket second_socket(&world_.network(), second_host, 9000);
+  PairedEndpoint server2(&second_socket, {});
+  const net::HostAddress group = net::MakeMulticastAddress(0);
+  server_socket_->JoinGroup(group);
+  second_socket.JoinGroup(group);
+  int received = 0;
+  for (PairedEndpoint* ep : {server.get(), &server2}) {
+    ep->host()->Spawn([](PairedEndpoint* e, int* out) -> Task<void> {
+      co_await e->NextIncomingCall();
+      ++*out;
+    }(ep, &received));
+  }
+  world_.executor().Spawn([](PairedEndpoint* ep,
+                             net::HostAddress g) -> Task<void> {
+    co_await ep->BlastMulticast(NetAddress{g, 9000}, MessageType::kCall, 1,
+                                BytesFromString("to all"));
+  }(client.get(), group));
+  world_.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(client->counters().data_segments_sent, 1u);
+}
+
+TEST_F(MsgTest, TryAwaitReturnTimesOutWithoutProbing) {
+  auto client = MakeClient();
+  auto server = MakeServer();
+  // Server sits on the call for 2 seconds.
+  server_host_->Spawn([](PairedEndpoint* ep) -> Task<void> {
+    Message m = co_await ep->NextIncomingCall();
+    co_await ep->host()->SleepFor(Duration::Seconds(2));
+    co_await ep->SendMessage(m.peer, MessageType::kReturn, m.call_number,
+                             BytesFromString("slow"));
+  }(server.get()));
+  std::string outcome;
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to,
+                             std::string* out) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        BytesFromString("q"));
+    CIRCUS_CHECK(s.ok());
+    // Optimistic bounded wait: no reply within 100 ms.
+    std::optional<Message> quick =
+        co_await ep->TryAwaitReturn(to, 1, Duration::Millis(100));
+    if (quick.has_value()) {
+      *out = "unexpected";
+      co_return;
+    }
+    // The slot survives the timeout: the full AwaitReturn still gets it.
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+    *out = StringFromBytes(m->data);
+  }(client.get(), server->local_address(), &outcome));
+  world_.RunFor(Duration::Seconds(30));
+  EXPECT_EQ(outcome, "slow");
+  // The bounded wait itself sent no probes.
+  EXPECT_GE(client->counters().probe_segments_sent, 0u);
+}
+
+TEST_F(MsgTest, DiscardedReturnIsDropped) {
+  auto client = MakeClient();
+  auto server = MakeServer();
+  SpawnEchoServer(server.get());
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        BytesFromString("fire"));
+    CIRCUS_CHECK(s.ok());
+    // The caller loses interest (first-come collation moved on).
+    ep->DiscardReturn(to, 1);
+  }(client.get(), server->local_address()));
+  world_.RunFor(Duration::Seconds(5));
+  // The echo was still produced and delivered to the slot machinery;
+  // nothing crashed, nothing leaked into the incoming-call queue.
+  EXPECT_EQ(server->counters().messages_delivered, 1u);
+}
+
+TEST_F(MsgTest, ProbeOfUnknownCallAnswersAckZero) {
+  // A probe about a call the receiver never saw is answered with
+  // acknowledgment number 0, which tells the sender to retransmit from
+  // the beginning rather than declare a crash.
+  auto client = MakeClient();
+  auto server = MakeServer();
+  int acks_before = static_cast<int>(server->counters().ack_segments_sent);
+  world_.executor().Spawn([](net::DatagramSocket* raw,
+                             NetAddress to) -> Task<void> {
+    Segment probe;
+    probe.type = MessageType::kCall;
+    probe.call_number = 999;  // never sent
+    probe.please_ack = true;
+    probe.segment_number = 0;
+    probe.total_segments = 3;
+    co_await raw->Send(to, probe.Encode());
+  }(client_socket_.get(), server->local_address()));
+  world_.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(server->counters().ack_segments_sent,
+            static_cast<uint64_t>(acks_before) + 1);
+}
+
+TEST_F(MsgTest, CompletedHistoryEvictionStillSafeForNewCalls) {
+  // Exceed the per-peer completed-exchange history: old entries are
+  // evicted, but new calls (fresh numbers) keep working.
+  EndpointOptions small;
+  small.completed_history_per_peer = 4;
+  auto client = MakeClient(small);
+  auto server = MakeServer(small);
+  SpawnEchoServer(server.get());
+  int ok = 0;
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to,
+                             int* out) -> Task<void> {
+    for (uint32_t call = 1; call <= 12; ++call) {
+      Status s = co_await ep->SendMessage(to, MessageType::kCall, call,
+                                          BytesFromString("h"));
+      CIRCUS_CHECK(s.ok());
+      auto m = co_await ep->AwaitReturn(to, call);
+      CIRCUS_CHECK(m.ok());
+      ++*out;
+    }
+  }(client.get(), server->local_address(), &ok));
+  world_.RunFor(Duration::Seconds(30));
+  EXPECT_EQ(ok, 12);
+}
+
+TEST_F(MsgTest, SyscallProfileOfOneExchange) {
+  // Under the 4.2BSD cost model, a single-segment exchange charges the
+  // client exactly one sendmsg and one recvmsg plus timer traffic --
+  // the structure behind Table 4.3.
+  World world(5, SyscallCostModel::Berkeley42Bsd());
+  sim::Host* ch = world.AddHost("c");
+  sim::Host* sh = world.AddHost("s");
+  DatagramSocket cs(&world.network(), ch, 0);
+  DatagramSocket ss(&world.network(), sh, 9000);
+  PairedEndpoint client(&cs, {});
+  PairedEndpoint server(&ss, {});
+  SpawnEchoServer(&server, 1);
+  world.executor().Spawn([](PairedEndpoint* ep, NetAddress to) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        BytesFromString("m"));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+  }(&client, server.local_address()));
+  world.RunFor(Duration::Millis(100));
+  EXPECT_EQ(ch->cpu().count(Syscall::kSendMsg), 1u);
+  EXPECT_EQ(ch->cpu().count(Syscall::kRecvMsg), 1u);
+  EXPECT_GE(ch->cpu().count(Syscall::kSetITimer), 1u);
+  EXPECT_GE(ch->cpu().count(Syscall::kSigBlock), 2u);
+}
+
+}  // namespace
+}  // namespace circus::msg

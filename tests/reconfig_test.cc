@@ -1,0 +1,231 @@
+// End-to-end reconfiguration: the Reconfigurer keeps a troupe at the
+// strength its configuration-language specification demands, replacing
+// crashed members with freshly launched, state-consistent ones
+// (Sections 6.4 and 7.5.3 working together).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/binding/client.h"
+#include "src/binding/deploy.h"
+#include "src/binding/reconfigurer.h"
+#include "src/config/parser.h"
+#include "src/core/process.h"
+#include "src/marshal/marshal.h"
+#include "src/net/world.h"
+#include "tests/test_util.h"
+
+namespace circus::binding {
+namespace {
+
+using circus::Bytes;
+using circus::Status;
+using circus::StatusOr;
+using core::ModuleNumber;
+using core::RpcProcess;
+using core::ServerCallContext;
+using core::Troupe;
+using net::World;
+using sim::Duration;
+using sim::Task;
+
+// A counter-service member; launched on demand by the test's launcher.
+struct Member {
+  std::unique_ptr<RpcProcess> process;
+  ModuleNumber module = 0;
+  int64_t counter = 0;
+
+  static std::unique_ptr<Member> Launch(World& world, sim::Host* host) {
+    auto m = std::make_unique<Member>();
+    m->process = std::make_unique<RpcProcess>(&world.network(), host, 9000);
+    m->module = m->process->ExportModule("counter");
+    Member* raw = m.get();
+    m->process->ExportProcedure(
+        m->module, 0,
+        [raw](ServerCallContext&, const Bytes&) -> Task<StatusOr<Bytes>> {
+          marshal::Writer w;
+          w.WriteI64(++raw->counter);
+          co_return w.Take();
+        });
+    m->process->SetStateProvider(m->module, [raw] {
+      marshal::Writer w;
+      w.WriteI64(raw->counter);
+      return w.Take();
+    });
+    return m;
+  }
+};
+
+class ReconfigTest : public ::testing::Test {
+ protected:
+  ReconfigTest() : world_(121, sim::SyscallCostModel::Free()) {
+    ring_ = DeployRingmaster(world_, world_.AddHosts("ring", 1));
+    // Five candidate machines; the spec asks for three.
+    for (int i = 0; i < 5; ++i) {
+      sim::Host* host = world_.AddHost("machine" + std::to_string(i));
+      const config::MachineId id = database_.AddMachine(
+          {{"name", config::Value(std::string("machine") +
+                                  std::to_string(i))},
+           {"memory", config::Value(8.0)}});
+      machine_host_[id] = host;
+    }
+    agent_host_ = world_.AddHost("agent");
+    agent_process_ =
+        std::make_unique<RpcProcess>(&world_.network(), agent_host_, 8000);
+    agent_binding_ =
+        std::make_unique<BindingClient>(agent_process_.get(), ring_.troupe);
+    reconfigurer_ = std::make_unique<Reconfigurer>(
+        agent_process_.get(), agent_binding_.get(), &database_);
+
+    StatusOr<config::TroupeSpec> spec = config::ParseTroupeSpec(
+        "troupe (x, y, z) where x.memory >= 4 and y.memory >= 4 and "
+        "z.memory >= 4");
+    CIRCUS_CHECK(spec.ok());
+    reconfigurer_->Manage(
+        "counter", std::move(*spec),
+        [this](config::MachineId machine)
+            -> StatusOr<Reconfigurer::LaunchedMember> {
+          auto it = machine_host_.find(machine);
+          if (it == machine_host_.end() || !it->second->up()) {
+            return Status(ErrorCode::kUnavailable, "machine gone");
+          }
+          members_.push_back(Member::Launch(world_, it->second));
+          Member* m = members_.back().get();
+          Reconfigurer::LaunchedMember launched;
+          launched.process = m->process.get();
+          launched.module = m->module;
+          launched.accept_state = [m](const Bytes& state) {
+            marshal::Reader r(state);
+            m->counter = r.ReadI64();
+          };
+          return launched;
+        });
+  }
+
+  StatusOr<ReconfigReport> Sweep() {
+    auto result = std::make_shared<std::optional<StatusOr<ReconfigReport>>>();
+    world_.executor().Spawn(
+        [](Reconfigurer* r,
+           std::shared_ptr<std::optional<StatusOr<ReconfigReport>>> out)
+            -> Task<void> {
+          out->emplace(co_await r->SweepOnce());
+        }(reconfigurer_.get(), result));
+    world_.RunFor(Duration::Seconds(120));
+    CIRCUS_CHECK(result->has_value());
+    return std::move(**result);
+  }
+
+  // Drives one replicated counter call through a fresh binding cache.
+  int64_t CallCounter() {
+    sim::Host* host = world_.AddHost("caller" + std::to_string(callers_++));
+    auto process =
+        std::make_unique<RpcProcess>(&world_.network(), host, 8000);
+    BindingClient binding(process.get(), ring_.troupe);
+    BindingCache cache(&binding);
+    process->SetClientTroupeResolver(cache.MakeResolver());
+    auto result = std::make_shared<std::optional<int64_t>>();
+    world_.executor().Spawn(
+        [](RpcProcess* p, BindingCache* c,
+           std::shared_ptr<std::optional<int64_t>> out) -> Task<void> {
+          StatusOr<Bytes> r = co_await c->CallByName(
+              p, p->NewRootThread(), "counter", 0, {});
+          CIRCUS_CHECK(r.ok());
+          marshal::Reader reader(*r);
+          out->emplace(reader.ReadI64());
+        }(process.get(), &cache, result));
+    world_.RunFor(Duration::Seconds(60));
+    CIRCUS_CHECK(result->has_value());
+    callers_alive_.push_back(std::move(process));
+    return **result;
+  }
+
+  World world_;
+  RingmasterDeployment ring_;
+  config::MachineDatabase database_;
+  std::map<config::MachineId, sim::Host*> machine_host_;
+  sim::Host* agent_host_ = nullptr;
+  std::unique_ptr<RpcProcess> agent_process_;
+  std::unique_ptr<BindingClient> agent_binding_;
+  std::unique_ptr<Reconfigurer> reconfigurer_;
+  std::vector<std::unique_ptr<Member>> members_;
+  std::vector<std::unique_ptr<RpcProcess>> callers_alive_;
+  int callers_ = 0;
+};
+
+TEST_F(ReconfigTest, InitialInstantiationLaunchesSpecifiedStrength) {
+  StatusOr<ReconfigReport> report = Sweep();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->members_added, 3);
+  EXPECT_EQ(report->members_removed, 0);
+  EXPECT_EQ(report->final_size, 3u);
+  EXPECT_EQ(CallCounter(), 1);
+  // All three members executed the call and agree.
+  int live = 0;
+  for (auto& m : members_) {
+    if (m->process->host()->up()) {
+      EXPECT_EQ(m->counter, 1);
+      ++live;
+    }
+  }
+  EXPECT_EQ(live, 3);
+}
+
+TEST_F(ReconfigTest, SweepIsIdempotentWhenHealthy) {
+  ASSERT_TRUE(Sweep().ok());
+  StatusOr<ReconfigReport> second = Sweep();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->members_added, 0);
+  EXPECT_EQ(second->members_removed, 0);
+  EXPECT_EQ(second->final_size, 3u);
+}
+
+TEST_F(ReconfigTest, CrashedMemberIsReplacedWithConsistentState) {
+  ASSERT_TRUE(Sweep().ok());
+  // Advance the state so the replacement has something to inherit.
+  EXPECT_EQ(CallCounter(), 1);
+  EXPECT_EQ(CallCounter(), 2);
+
+  // Kill one member's machine.
+  members_[1]->process->host()->Crash();
+  StatusOr<ReconfigReport> report = Sweep();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->members_removed, 1);
+  EXPECT_EQ(report->members_added, 1);
+  EXPECT_EQ(report->final_size, 3u);
+
+  // The replacement inherited counter == 2 through get_state and the
+  // next call lands on a consistent 3-member troupe.
+  EXPECT_EQ(CallCounter(), 3);
+  int live = 0;
+  for (auto& m : members_) {
+    if (m->process->host()->up()) {
+      EXPECT_EQ(m->counter, 3);
+      ++live;
+    }
+  }
+  EXPECT_EQ(live, 3);
+  // The dead machine was withdrawn from the database.
+  EXPECT_EQ(database_.size(), 4u);
+}
+
+TEST_F(ReconfigTest, FailsWhenTooFewMachinesRemain) {
+  ASSERT_TRUE(Sweep().ok());
+  // Destroy three of the five machines (two troupe members among them).
+  int crashed = 0;
+  for (auto& [machine, host] : machine_host_) {
+    if (crashed < 3) {
+      host->Crash();
+      ++crashed;
+    }
+  }
+  // First sweep withdraws the dead machines; with only 2 machines left a
+  // 3-member spec is unsatisfiable.
+  StatusOr<ReconfigReport> report = Sweep();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace circus::binding

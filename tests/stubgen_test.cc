@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/stubgen/codegen.h"
+#include "src/stubgen/docgen.h"
+#include "src/stubgen/idl_parser.h"
+#include "src/stubgen/printer.h"
+
+namespace circus::stubgen {
+namespace {
+
+constexpr const char* kFigure72 = R"(
+NameServer: PROGRAM 26 VERSION 1 =
+BEGIN
+  -- Types.
+  Name: TYPE = STRING;
+  Property: TYPE = RECORD [name: Name, value: SEQUENCE OF UNSPECIFIED];
+  Properties: TYPE = SEQUENCE OF Property;
+  -- Errors.
+  AlreadyExists: ERROR = 0;
+  NotFound: ERROR = 1;
+  -- Procedures.
+  Register: PROCEDURE [name: Name, properties: Properties]
+    REPORTS [AlreadyExists] = 0;
+  Lookup: PROCEDURE [name: Name]
+    RETURNS [properties: Properties]
+    REPORTS [NotFound] = 1;
+  Delete: PROCEDURE [name: Name]
+    REPORTS [NotFound] = 2;
+END.
+)";
+
+TEST(IdlParserTest, ParsesFigure72) {
+  StatusOr<Program> p = ParseProgram(kFigure72);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->name, "NameServer");
+  EXPECT_EQ(p->number, 26);
+  EXPECT_EQ(p->version, 1);
+  ASSERT_EQ(p->types.size(), 3u);
+  EXPECT_EQ(p->types[0].name, "Name");
+  ASSERT_EQ(p->errors.size(), 2u);
+  EXPECT_EQ(p->errors[1].name, "NotFound");
+  EXPECT_EQ(p->errors[1].code, 1);
+  ASSERT_EQ(p->procedures.size(), 3u);
+  EXPECT_EQ(p->procedures[1].name, "Lookup");
+  EXPECT_EQ(p->procedures[1].number, 1);
+  ASSERT_EQ(p->procedures[1].arguments.size(), 1u);
+  ASSERT_EQ(p->procedures[1].results.size(), 1u);
+  ASSERT_EQ(p->procedures[1].reports.size(), 1u);
+  EXPECT_EQ(p->procedures[1].reports[0], "NotFound");
+}
+
+TEST(IdlParserTest, RecordFieldsParsed) {
+  StatusOr<Program> p = ParseProgram(kFigure72);
+  ASSERT_TRUE(p.ok());
+  const TypeDecl* property = p->FindType("Property");
+  ASSERT_NE(property, nullptr);
+  const RecordType* rec = std::get_if<RecordType>(&property->type->node);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->fields.size(), 2u);
+  EXPECT_EQ(rec->fields[0].name, "name");
+  EXPECT_EQ(rec->fields[1].name, "value");
+  const SequenceType* seq =
+      std::get_if<SequenceType>(&rec->fields[1].type->node);
+  ASSERT_NE(seq, nullptr);
+  EXPECT_EQ(std::get<Predefined>(seq->element->node),
+            Predefined::kUnspecified);
+}
+
+TEST(IdlParserTest, AllPredefinedTypes) {
+  StatusOr<Program> p = ParseProgram(R"(
+T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: TYPE = BOOLEAN;
+  B: TYPE = CARDINAL;
+  C: TYPE = LONG CARDINAL;
+  D: TYPE = INTEGER;
+  E: TYPE = LONG INTEGER;
+  F: TYPE = STRING;
+  G: TYPE = UNSPECIFIED;
+END.
+)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->types.size(), 7u);
+}
+
+TEST(IdlParserTest, EnumArrayChoice) {
+  StatusOr<Program> p = ParseProgram(R"(
+T: PROGRAM 1 VERSION 1 =
+BEGIN
+  Color: TYPE = ENUMERATION {red(0), green(1), blue(2)};
+  Quad: TYPE = ARRAY 4 OF CARDINAL;
+  Id: TYPE = CHOICE OF {byName(0) => STRING, byNumber(1) => LONG CARDINAL};
+END.
+)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const EnumerationType* e =
+      std::get_if<EnumerationType>(&p->FindType("Color")->type->node);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->values.size(), 3u);
+  const ArrayType* a =
+      std::get_if<ArrayType>(&p->FindType("Quad")->type->node);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->size, 4u);
+  const ChoiceType* c =
+      std::get_if<ChoiceType>(&p->FindType("Id")->type->node);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->arms.size(), 2u);
+}
+
+TEST(IdlParserTest, SemanticChecks) {
+  // Reference to an undeclared type.
+  EXPECT_FALSE(ParseProgram(R"(
+T: PROGRAM 1 VERSION 1 =
+BEGIN
+  P: PROCEDURE [x: Mystery] = 0;
+END.
+)")
+                   .ok());
+  // Duplicate procedure number.
+  EXPECT_FALSE(ParseProgram(R"(
+T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: PROCEDURE = 0;
+  B: PROCEDURE = 0;
+END.
+)")
+                   .ok());
+  // REPORTS of an undeclared error.
+  EXPECT_FALSE(ParseProgram(R"(
+T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: PROCEDURE REPORTS [Nope] = 0;
+END.
+)")
+                   .ok());
+  // Duplicate declaration names.
+  EXPECT_FALSE(ParseProgram(R"(
+T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: TYPE = STRING;
+  A: TYPE = CARDINAL;
+END.
+)")
+                   .ok());
+}
+
+TEST(IdlParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseProgram("").ok());
+  EXPECT_FALSE(ParseProgram("NameServer PROGRAM").ok());
+  EXPECT_FALSE(ParseProgram("X: PROGRAM 1 VERSION 1 = BEGIN").ok());
+  EXPECT_FALSE(ParseProgram("X: PROGRAM 1 VERSION 1 = BEGIN @ END.").ok());
+}
+
+TEST(CodegenTest, HeaderContainsExpectedDeclarations) {
+  StatusOr<Program> p = ParseProgram(kFigure72);
+  ASSERT_TRUE(p.ok());
+  const std::string header = GenerateHeader(*p);
+  // Types.
+  EXPECT_NE(header.find("using Name = std::string;"), std::string::npos);
+  EXPECT_NE(header.find("struct Property {"), std::string::npos);
+  EXPECT_NE(header.find("std::vector<uint16_t> value{};"),
+            std::string::npos);
+  EXPECT_NE(header.find("using Properties = std::vector<Property>;"),
+            std::string::npos);
+  // Errors.
+  EXPECT_NE(header.find("enum class Error"), std::string::npos);
+  EXPECT_NE(header.find("AlreadyExists = 0"), std::string::npos);
+  // Marshal functions.
+  EXPECT_NE(header.find("inline void Write_Property"), std::string::npos);
+  EXPECT_NE(header.find("inline Property Read_Property"),
+            std::string::npos);
+  // Client stubs: implicit, explicit binding, explicit replication.
+  EXPECT_NE(header.find("class NameServerClient"), std::string::npos);
+  EXPECT_NE(header.find("LookupAt(const ::circus::core::Troupe&"),
+            std::string::npos);
+  EXPECT_NE(header.find("LookupRaw(const ::circus::core::Troupe&"),
+            std::string::npos);
+  EXPECT_NE(header.find("DecodeLookupReply"), std::string::npos);
+  // Server skeleton.
+  EXPECT_NE(header.find("class NameServerHandler"), std::string::npos);
+  EXPECT_NE(header.find("ExportNameServer"), std::string::npos);
+  // Program metadata.
+  EXPECT_NE(header.find("kProgramNumber = 26"), std::string::npos);
+}
+
+// ------------------------------------------------------- pretty-printer
+
+TEST(PrinterTest, PrintsCanonicalForm) {
+  StatusOr<Program> p = ParseProgram(kFigure72);
+  ASSERT_TRUE(p.ok());
+  const std::string text = PrintProgram(*p);
+  EXPECT_NE(text.find("NameServer: PROGRAM 26 VERSION 1 ="),
+            std::string::npos);
+  EXPECT_NE(text.find("Name: TYPE = STRING;"), std::string::npos);
+  EXPECT_NE(text.find("Property: TYPE = RECORD [name: Name, value: "
+                      "SEQUENCE OF UNSPECIFIED];"),
+            std::string::npos);
+  EXPECT_NE(text.find("REPORTS [NotFound] = 1;"), std::string::npos);
+  EXPECT_NE(text.find("END."), std::string::npos);
+}
+
+// The round-trip property: parse(print(parse(s))) == parse(s), for every
+// construct the language supports.
+class RoundTripProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripProperty, ParsePrintParsePreservesTheProgram) {
+  StatusOr<Program> first = ParseProgram(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string printed = PrintProgram(*first);
+  StatusOr<Program> second = ParseProgram(printed);
+  ASSERT_TRUE(second.ok())
+      << second.status().ToString() << "\nprinted was:\n" << printed;
+  EXPECT_TRUE(ProgramsEqual(*first, *second)) << printed;
+  // Printing is a fixed point after one round.
+  EXPECT_EQ(printed, PrintProgram(*second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Constructs, RoundTripProperty,
+    ::testing::Values(
+        // The Figure 7.2 interface.
+        R"(NameServer: PROGRAM 26 VERSION 1 =
+BEGIN
+  Name: TYPE = STRING;
+  Property: TYPE = RECORD [name: Name, value: SEQUENCE OF UNSPECIFIED];
+  Properties: TYPE = SEQUENCE OF Property;
+  AlreadyExists: ERROR = 0;
+  NotFound: ERROR = 1;
+  Register: PROCEDURE [name: Name, properties: Properties]
+    REPORTS [AlreadyExists] = 0;
+  Lookup: PROCEDURE [name: Name] RETURNS [properties: Properties]
+    REPORTS [NotFound] = 1;
+  Delete: PROCEDURE [name: Name] REPORTS [NotFound] = 2;
+END.)",
+        // Every predefined type.
+        R"(Predef: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: TYPE = BOOLEAN;
+  B: TYPE = CARDINAL;
+  C: TYPE = LONG CARDINAL;
+  D: TYPE = INTEGER;
+  E: TYPE = LONG INTEGER;
+  F: TYPE = STRING;
+  G: TYPE = UNSPECIFIED;
+END.)",
+        // Constructed types, nested.
+        R"(Constructed: PROGRAM 2 VERSION 3 =
+BEGIN
+  Color: TYPE = ENUMERATION {red(0), green(1), blue(2)};
+  Quad: TYPE = ARRAY 4 OF LONG CARDINAL;
+  Deep: TYPE = SEQUENCE OF ARRAY 2 OF SEQUENCE OF STRING;
+  Id: TYPE = CHOICE OF {byName(0) => STRING, byNumber(1) => LONG CARDINAL};
+  Rec: TYPE = RECORD [c: Color, q: Quad, who: Id];
+END.)",
+        // Procedures with all clause combinations.
+        R"(Procs: PROGRAM 9 VERSION 2 =
+BEGIN
+  Oops: ERROR = 7;
+  NoArgs: PROCEDURE = 0;
+  ArgsOnly: PROCEDURE [x: CARDINAL] = 1;
+  Returns: PROCEDURE RETURNS [y: STRING] = 2;
+  Full: PROCEDURE [a: BOOLEAN, b: LONG INTEGER]
+    RETURNS [c: STRING] REPORTS [Oops] = 3;
+END.)"));
+
+TEST(DocgenTest, MarkdownContainsAllDeclarations) {
+  StatusOr<Program> p = ParseProgram(kFigure72);
+  ASSERT_TRUE(p.ok());
+  const std::string docs = GenerateMarkdownDocs(*p);
+  EXPECT_NE(docs.find("# NameServer"), std::string::npos);
+  EXPECT_NE(docs.find("PROGRAM 26, VERSION 1."), std::string::npos);
+  EXPECT_NE(docs.find("| `Name` | `STRING` |"), std::string::npos);
+  EXPECT_NE(docs.find("| `NotFound` | 1 |"), std::string::npos);
+  EXPECT_NE(
+      docs.find("### `Lookup(name: Name) -> (properties: Properties)`"),
+      std::string::npos);
+  EXPECT_NE(docs.find("Reports: `NotFound`."), std::string::npos);
+}
+
+TEST(CodegenTest, HeaderGuardDerivedFromProgramName) {
+  StatusOr<Program> p = ParseProgram(kFigure72);
+  ASSERT_TRUE(p.ok());
+  const std::string header = GenerateHeader(*p);
+  EXPECT_NE(header.find("#ifndef CIRCUS_GEN_NAMESERVER_H_"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace circus::stubgen

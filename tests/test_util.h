@@ -1,0 +1,45 @@
+// Shared helpers for driving coroutines to completion inside tests.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/sim/executor.h"
+#include "src/sim/task.h"
+
+namespace circus::testing {
+
+// Spawns `task`, runs the executor until idle, and returns the task's
+// result. CHECK-fails if the task did not complete (e.g. it deadlocked).
+template <typename T>
+T RunTask(sim::Executor& executor, sim::Task<T> task) {
+  auto result = std::make_shared<std::optional<T>>();
+  auto wrapper = [](sim::Task<T> inner,
+                    std::shared_ptr<std::optional<T>> out)
+      -> sim::Task<void> {
+    out->emplace(co_await std::move(inner));
+  };
+  executor.Spawn(wrapper(std::move(task), result));
+  executor.RunUntilIdle();
+  CIRCUS_CHECK_MSG(result->has_value(), "task did not run to completion");
+  return std::move(**result);
+}
+
+inline void RunTask(sim::Executor& executor, sim::Task<void> task) {
+  auto done = std::make_shared<bool>(false);
+  auto wrapper = [](sim::Task<void> inner,
+                    std::shared_ptr<bool> out) -> sim::Task<void> {
+    co_await std::move(inner);
+    *out = true;
+  };
+  executor.Spawn(wrapper(std::move(task), done));
+  executor.RunUntilIdle();
+  CIRCUS_CHECK_MSG(*done, "task did not run to completion");
+}
+
+}  // namespace circus::testing
+
+#endif  // TESTS_TEST_UTIL_H_
