@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_collators"
+  "../bench/bench_collators.pdb"
+  "CMakeFiles/bench_collators.dir/bench_collators.cc.o"
+  "CMakeFiles/bench_collators.dir/bench_collators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

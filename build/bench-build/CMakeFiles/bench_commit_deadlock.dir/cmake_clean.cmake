@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_commit_deadlock"
+  "../bench/bench_commit_deadlock.pdb"
+  "CMakeFiles/bench_commit_deadlock.dir/bench_commit_deadlock.cc.o"
+  "CMakeFiles/bench_commit_deadlock.dir/bench_commit_deadlock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

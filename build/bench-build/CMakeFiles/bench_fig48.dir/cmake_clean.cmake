@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig48"
+  "../bench/bench_fig48.pdb"
+  "CMakeFiles/bench_fig48.dir/bench_fig48.cc.o"
+  "CMakeFiles/bench_fig48.dir/bench_fig48.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig48.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ordered_broadcast"
+  "../bench/bench_ordered_broadcast.pdb"
+  "CMakeFiles/bench_ordered_broadcast.dir/bench_ordered_broadcast.cc.o"
+  "CMakeFiles/bench_ordered_broadcast.dir/bench_ordered_broadcast.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ordered_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

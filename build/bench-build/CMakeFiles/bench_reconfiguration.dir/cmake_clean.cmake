@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reconfiguration"
+  "../bench/bench_reconfiguration.pdb"
+  "CMakeFiles/bench_reconfiguration.dir/bench_reconfiguration.cc.o"
+  "CMakeFiles/bench_reconfiguration.dir/bench_reconfiguration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table41"
+  "../bench/bench_table41.pdb"
+  "CMakeFiles/bench_table41.dir/bench_table41.cc.o"
+  "CMakeFiles/bench_table41.dir/bench_table41.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table42"
+  "../bench/bench_table42.pdb"
+  "CMakeFiles/bench_table42.dir/bench_table42.cc.o"
+  "CMakeFiles/bench_table42.dir/bench_table42.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table42.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/circus_bench_util.dir/bench_util.cc.o.d"
+  "libcircus_bench_util.a"
+  "libcircus_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configure_troupes.dir/configure_troupes.cpp.o"
+  "CMakeFiles/configure_troupes.dir/configure_troupes.cpp.o.d"
+  "configure_troupes"
+  "configure_troupes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configure_troupes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for configure_troupes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_file.dir/weighted_file.cpp.o"
+  "CMakeFiles/weighted_file.dir/weighted_file.cpp.o.d"
+  "weighted_file"
+  "weighted_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

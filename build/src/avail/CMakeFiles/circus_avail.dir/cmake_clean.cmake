@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_avail.dir/analysis.cc.o"
+  "CMakeFiles/circus_avail.dir/analysis.cc.o.d"
+  "libcircus_avail.a"
+  "libcircus_avail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_avail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

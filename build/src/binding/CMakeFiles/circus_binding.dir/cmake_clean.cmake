@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_binding.dir/client.cc.o"
+  "CMakeFiles/circus_binding.dir/client.cc.o.d"
+  "CMakeFiles/circus_binding.dir/deploy.cc.o"
+  "CMakeFiles/circus_binding.dir/deploy.cc.o.d"
+  "CMakeFiles/circus_binding.dir/reconfigurer.cc.o"
+  "CMakeFiles/circus_binding.dir/reconfigurer.cc.o.d"
+  "CMakeFiles/circus_binding.dir/ringmaster.cc.o"
+  "CMakeFiles/circus_binding.dir/ringmaster.cc.o.d"
+  "libcircus_binding.a"
+  "libcircus_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_common.dir/hexdump.cc.o"
+  "CMakeFiles/circus_common.dir/hexdump.cc.o.d"
+  "CMakeFiles/circus_common.dir/log.cc.o"
+  "CMakeFiles/circus_common.dir/log.cc.o.d"
+  "CMakeFiles/circus_common.dir/status.cc.o"
+  "CMakeFiles/circus_common.dir/status.cc.o.d"
+  "libcircus_common.a"
+  "libcircus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/ast.cc" "src/config/CMakeFiles/circus_config.dir/ast.cc.o" "gcc" "src/config/CMakeFiles/circus_config.dir/ast.cc.o.d"
+  "/root/repo/src/config/manager.cc" "src/config/CMakeFiles/circus_config.dir/manager.cc.o" "gcc" "src/config/CMakeFiles/circus_config.dir/manager.cc.o.d"
+  "/root/repo/src/config/parser.cc" "src/config/CMakeFiles/circus_config.dir/parser.cc.o" "gcc" "src/config/CMakeFiles/circus_config.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/circus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

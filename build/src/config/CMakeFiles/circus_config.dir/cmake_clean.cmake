@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_config.dir/ast.cc.o"
+  "CMakeFiles/circus_config.dir/ast.cc.o.d"
+  "CMakeFiles/circus_config.dir/manager.cc.o"
+  "CMakeFiles/circus_config.dir/manager.cc.o.d"
+  "CMakeFiles/circus_config.dir/parser.cc.o"
+  "CMakeFiles/circus_config.dir/parser.cc.o.d"
+  "libcircus_config.a"
+  "libcircus_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

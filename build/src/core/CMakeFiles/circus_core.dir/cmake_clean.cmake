@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_core.dir/collator.cc.o"
+  "CMakeFiles/circus_core.dir/collator.cc.o.d"
+  "CMakeFiles/circus_core.dir/process.cc.o"
+  "CMakeFiles/circus_core.dir/process.cc.o.d"
+  "CMakeFiles/circus_core.dir/types.cc.o"
+  "CMakeFiles/circus_core.dir/types.cc.o.d"
+  "CMakeFiles/circus_core.dir/wire.cc.o"
+  "CMakeFiles/circus_core.dir/wire.cc.o.d"
+  "libcircus_core.a"
+  "libcircus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

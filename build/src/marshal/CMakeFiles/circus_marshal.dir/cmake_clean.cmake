@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_marshal.dir/marshal.cc.o"
+  "CMakeFiles/circus_marshal.dir/marshal.cc.o.d"
+  "libcircus_marshal.a"
+  "libcircus_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

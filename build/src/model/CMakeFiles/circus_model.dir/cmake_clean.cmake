@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_model.dir/history.cc.o"
+  "CMakeFiles/circus_model.dir/history.cc.o.d"
+  "CMakeFiles/circus_model.dir/recorder.cc.o"
+  "CMakeFiles/circus_model.dir/recorder.cc.o.d"
+  "libcircus_model.a"
+  "libcircus_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

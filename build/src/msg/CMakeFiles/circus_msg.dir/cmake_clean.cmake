@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_msg.dir/paired_endpoint.cc.o"
+  "CMakeFiles/circus_msg.dir/paired_endpoint.cc.o.d"
+  "CMakeFiles/circus_msg.dir/segment.cc.o"
+  "CMakeFiles/circus_msg.dir/segment.cc.o.d"
+  "libcircus_msg.a"
+  "libcircus_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_net.dir/address.cc.o"
+  "CMakeFiles/circus_net.dir/address.cc.o.d"
+  "CMakeFiles/circus_net.dir/network.cc.o"
+  "CMakeFiles/circus_net.dir/network.cc.o.d"
+  "CMakeFiles/circus_net.dir/socket.cc.o"
+  "CMakeFiles/circus_net.dir/socket.cc.o.d"
+  "CMakeFiles/circus_net.dir/stream.cc.o"
+  "CMakeFiles/circus_net.dir/stream.cc.o.d"
+  "CMakeFiles/circus_net.dir/world.cc.o"
+  "CMakeFiles/circus_net.dir/world.cc.o.d"
+  "libcircus_net.a"
+  "libcircus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_sim.dir/executor.cc.o"
+  "CMakeFiles/circus_sim.dir/executor.cc.o.d"
+  "CMakeFiles/circus_sim.dir/host.cc.o"
+  "CMakeFiles/circus_sim.dir/host.cc.o.d"
+  "CMakeFiles/circus_sim.dir/syscall.cc.o"
+  "CMakeFiles/circus_sim.dir/syscall.cc.o.d"
+  "CMakeFiles/circus_sim.dir/time.cc.o"
+  "CMakeFiles/circus_sim.dir/time.cc.o.d"
+  "libcircus_sim.a"
+  "libcircus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_stubgen.dir/main.cc.o"
+  "CMakeFiles/circus_stubgen.dir/main.cc.o.d"
+  "circus_stubgen"
+  "circus_stubgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_stubgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

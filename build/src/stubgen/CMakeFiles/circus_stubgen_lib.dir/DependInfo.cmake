@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stubgen/codegen.cc" "src/stubgen/CMakeFiles/circus_stubgen_lib.dir/codegen.cc.o" "gcc" "src/stubgen/CMakeFiles/circus_stubgen_lib.dir/codegen.cc.o.d"
+  "/root/repo/src/stubgen/docgen.cc" "src/stubgen/CMakeFiles/circus_stubgen_lib.dir/docgen.cc.o" "gcc" "src/stubgen/CMakeFiles/circus_stubgen_lib.dir/docgen.cc.o.d"
+  "/root/repo/src/stubgen/idl_parser.cc" "src/stubgen/CMakeFiles/circus_stubgen_lib.dir/idl_parser.cc.o" "gcc" "src/stubgen/CMakeFiles/circus_stubgen_lib.dir/idl_parser.cc.o.d"
+  "/root/repo/src/stubgen/printer.cc" "src/stubgen/CMakeFiles/circus_stubgen_lib.dir/printer.cc.o" "gcc" "src/stubgen/CMakeFiles/circus_stubgen_lib.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/circus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_stubgen_lib.dir/codegen.cc.o"
+  "CMakeFiles/circus_stubgen_lib.dir/codegen.cc.o.d"
+  "CMakeFiles/circus_stubgen_lib.dir/docgen.cc.o"
+  "CMakeFiles/circus_stubgen_lib.dir/docgen.cc.o.d"
+  "CMakeFiles/circus_stubgen_lib.dir/idl_parser.cc.o"
+  "CMakeFiles/circus_stubgen_lib.dir/idl_parser.cc.o.d"
+  "CMakeFiles/circus_stubgen_lib.dir/printer.cc.o"
+  "CMakeFiles/circus_stubgen_lib.dir/printer.cc.o.d"
+  "libcircus_stubgen_lib.a"
+  "libcircus_stubgen_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_stubgen_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

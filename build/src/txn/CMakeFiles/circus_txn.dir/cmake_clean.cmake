@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circus_txn.dir/commit.cc.o"
+  "CMakeFiles/circus_txn.dir/commit.cc.o.d"
+  "CMakeFiles/circus_txn.dir/ordered_broadcast.cc.o"
+  "CMakeFiles/circus_txn.dir/ordered_broadcast.cc.o.d"
+  "CMakeFiles/circus_txn.dir/store.cc.o"
+  "CMakeFiles/circus_txn.dir/store.cc.o.d"
+  "libcircus_txn.a"
+  "libcircus_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circus_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avail_test.dir/avail_test.cc.o"
+  "CMakeFiles/avail_test.dir/avail_test.cc.o.d"
+  "avail_test"
+  "avail_test.pdb"
+  "avail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

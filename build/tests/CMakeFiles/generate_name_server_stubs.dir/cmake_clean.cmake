@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_name_server_stubs"
+  "gen/name_server.h"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/generate_name_server_stubs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty custom commands generated dependencies file for generate_name_server_stubs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/circus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/circus_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/binding/CMakeFiles/circus_binding.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/circus_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/circus_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/circus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/circus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/marshal/CMakeFiles/circus_marshal.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/circus_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/circus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubgen_generated_test.dir/stubgen_generated_test.cc.o"
+  "CMakeFiles/stubgen_generated_test.dir/stubgen_generated_test.cc.o.d"
+  "stubgen_generated_test"
+  "stubgen_generated_test.pdb"
+  "stubgen_generated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubgen_generated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

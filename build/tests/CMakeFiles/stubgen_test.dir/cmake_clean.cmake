@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stubgen_test.dir/stubgen_test.cc.o"
+  "CMakeFiles/stubgen_test.dir/stubgen_test.cc.o.d"
+  "stubgen_test"
+  "stubgen_test.pdb"
+  "stubgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stubgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_commit_test.dir/txn_commit_test.cc.o"
+  "CMakeFiles/txn_commit_test.dir/txn_commit_test.cc.o.d"
+  "txn_commit_test"
+  "txn_commit_test.pdb"
+  "txn_commit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

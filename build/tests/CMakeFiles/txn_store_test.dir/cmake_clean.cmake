@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_store_test.dir/txn_store_test.cc.o"
+  "CMakeFiles/txn_store_test.dir/txn_store_test.cc.o.d"
+  "txn_store_test"
+  "txn_store_test.pdb"
+  "txn_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

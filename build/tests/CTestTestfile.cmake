@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_test[1]_include.cmake")
+include("/root/repo/build/tests/marshal_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/binding_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_store_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_commit_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/stubgen_test[1]_include.cmake")
+include("/root/repo/build/tests/avail_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/reconfig_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/voting_test[1]_include.cmake")
+include("/root/repo/build/tests/collator_test[1]_include.cmake")
+include("/root/repo/build/tests/stubgen_generated_test[1]_include.cmake")
