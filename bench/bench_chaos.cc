@@ -1,0 +1,139 @@
+// Chaos sweep as an availability experiment: the Section 6.4 claim that
+// a reconfigured troupe rides out member crashes is exercised by the
+// chaos harness (src/chaos) instead of the closed-form Markov chain.
+// Crash-only schedules of increasing intensity run against a 3-member
+// troupe with a steady client load; the measured failed-call fraction is
+// printed next to the Equation 6.1 unavailability prediction
+// 1 - A(n, lambda, mu), with lambda read off the schedule (crashes per
+// member per minute) and mu from the reconfiguration sweep period
+// (replacement latency ~ half a period). Mixed rows add partitions,
+// loss/duplication bursts, latency spikes and clock skew on top of the
+// same crash budget: the paper's position is that those faults cost
+// retransmissions, not availability, so the fraction should stay inside
+// the same envelope.
+#include <cstdio>
+#include <string>
+
+#include "src/avail/analysis.h"
+#include "src/chaos/harness.h"
+#include "src/chaos/schedule.h"
+#include "src/sim/time.h"
+
+using circus::avail::TroupeAvailability;
+using circus::chaos::ChaosReport;
+using circus::chaos::GenerateSchedule;
+using circus::chaos::HarnessOptions;
+using circus::chaos::RunChaos;
+using circus::chaos::Schedule;
+using circus::chaos::ScheduleOptions;
+using circus::sim::Duration;
+
+namespace {
+
+constexpr int kTroupeSize = 3;
+constexpr int kSeedsPerRow = 5;
+constexpr double kHorizonMinutes = 4.0;
+
+struct RowResult {
+  int calls_issued = 0;
+  int calls_failed = 0;
+  int crashes = 0;
+  int violations = 0;
+};
+
+RowResult RunRow(int crash_actions, double sweep_seconds, bool mixed,
+                 uint64_t first_seed) {
+  ScheduleOptions schedule_opts;
+  schedule_opts.horizon = Duration::SecondsF(kHorizonMinutes * 60.0);
+  schedule_opts.min_start = Duration::Seconds(5);
+  if (mixed) {
+    // Same expected crash count, plus the full fault mix around it.
+    schedule_opts.actions = crash_actions * 2;
+    schedule_opts.crash_weight = 5;
+    schedule_opts.partition_weight = 2;
+    schedule_opts.loss_weight = 1;
+    schedule_opts.latency_weight = 1;
+    schedule_opts.skew_weight = 1;
+  } else {
+    schedule_opts.actions = crash_actions;
+    schedule_opts.crash_weight = 1;
+    schedule_opts.partition_weight = 0;
+    schedule_opts.loss_weight = 0;
+    schedule_opts.latency_weight = 0;
+    schedule_opts.skew_weight = 0;
+  }
+
+  HarnessOptions harness_opts;
+  harness_opts.troupe_size = kTroupeSize;
+  harness_opts.warmup = Duration::Seconds(30);
+  harness_opts.run_length = schedule_opts.horizon;
+  harness_opts.settle_length = Duration::Seconds(60);
+  harness_opts.call_period = Duration::Seconds(2);
+  harness_opts.sweep_period = Duration::SecondsF(sweep_seconds);
+  // Equation 6.1 counts the troupe available while any member is up, so
+  // the measuring client uses first-come collation (the tests keep the
+  // stricter quorum client).
+  harness_opts.first_come_calls = true;
+
+  RowResult row;
+  for (int i = 0; i < kSeedsPerRow; ++i) {
+    const uint64_t seed = first_seed + static_cast<uint64_t>(i);
+    harness_opts.seed = seed;
+    const Schedule schedule = GenerateSchedule(seed, schedule_opts);
+    const ChaosReport report = RunChaos(schedule, harness_opts);
+    row.calls_issued += report.calls_accepted + report.calls_failed;
+    row.calls_failed += report.calls_failed;
+    row.crashes += report.crashes_injected;
+    row.violations += static_cast<int>(report.violations.size());
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Chaos sweep vs Equation 6.1: failed-call fraction under\n"
+              "seeded fault schedules (3-member troupe, %d seeds per row,\n"
+              "%.0f simulated minutes of chaos per seed, one call per "
+              "2 s)\n\n",
+              kSeedsPerRow, kHorizonMinutes);
+  std::printf("%-7s %-8s %-9s %8s %7s %9s %11s %5s\n", "mix", "crashes",
+              "sweep(s)", "calls", "failed", "measured", "pred. 6.1",
+              "viol");
+  for (const bool mixed : {false, true}) {
+    for (const int crash_actions : {2, 4, 8}) {
+      for (const double sweep_seconds : {15.0, 45.0}) {
+        const RowResult row =
+            RunRow(crash_actions, sweep_seconds, mixed,
+                   /*first_seed=*/9000 +
+                       static_cast<uint64_t>(crash_actions) * 100 +
+                       static_cast<uint64_t>(sweep_seconds) +
+                       (mixed ? 7 : 0));
+        // Each schedule spreads `crash_actions` crashes over the horizon
+        // and the troupe: lambda = crashes / (n * horizon). Replacement
+        // waits for the next sweep, half a period on average.
+        const double lambda =
+            crash_actions / (kTroupeSize * kHorizonMinutes);
+        const double mu = 1.0 / (sweep_seconds / 2.0 / 60.0);
+        const double predicted =
+            1.0 - TroupeAvailability(kTroupeSize, lambda, mu);
+        const double measured =
+            row.calls_issued > 0
+                ? static_cast<double>(row.calls_failed) / row.calls_issued
+                : 0.0;
+        std::printf("%-7s %-8d %-9.0f %8d %7d %9.4f %11.6f %5d\n",
+                    mixed ? "mixed" : "crash", row.crashes, sweep_seconds,
+                    row.calls_issued, row.calls_failed, measured, predicted,
+                    row.violations);
+      }
+    }
+  }
+  std::printf(
+      "\nexpected shape: the measured fraction is zero or near-zero while "
+      "the\npredicted unavailability is small, and both grow together as "
+      "crashes per\nlifetime rise or the sweep slows; mixed rows track the "
+      "crash-only envelope\n(non-crash faults cost retransmissions, not "
+      "availability), and the violation\ncolumn stays 0 -- every run also "
+      "passes the full invariant monitor.\n");
+  return 0;
+}

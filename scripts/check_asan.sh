@@ -1,0 +1,28 @@
+#!/bin/sh
+# Builds the whole tree under AddressSanitizer and runs every test
+# binary, as CLAUDE.md prescribes whenever coroutine call paths change
+# (GCC 12 coroutine miscompiles surface as double-frees that only ASan
+# sees). Exits nonzero if anything fails to build or any test fails.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cmake -B build-asan -G Ninja -DCMAKE_CXX_FLAGS="-fsanitize=address -g"
+cmake --build build-asan
+
+failures=0
+for t in build-asan/tests/*_test; do
+  if "$t" >/dev/null 2>&1; then
+    echo "PASS: $t"
+  else
+    echo "FAIL: $t"
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_asan: $failures test binary(ies) failed" >&2
+  exit 1
+fi
+echo "check_asan: all test binaries clean under ASan"

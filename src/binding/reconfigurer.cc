@@ -42,10 +42,15 @@ Task<StatusOr<ReconfigReport>> Reconfigurer::SweepOnce() {
   ReconfigReport report;
 
   // 1. Current membership (an unknown name means first instantiation).
+  // Only kNotFound may be read as "no members yet": a transient lookup
+  // failure mistaken for an empty troupe would launch a whole fresh
+  // configuration on top of live registered members.
   std::vector<ModuleAddress> members;
   StatusOr<Troupe> current = co_await binding_->LookupByName(troupe_name_);
   if (current.ok()) {
     members = current->members;
+  } else if (current.status().code() != ErrorCode::kNotFound) {
+    co_return current.status();
   }
 
   // 2. Probe and retire the dead (Section 6.1's garbage collection,
@@ -109,8 +114,34 @@ Task<StatusOr<ReconfigReport>> Reconfigurer::SweepOnce() {
     ++report.members_added;
   }
 
+  // 5. Retire surplus live members. A join whose add_troupe_member
+  //    registered at the agent but whose reply was lost leaves a
+  //    phantom: registered, alive, but not part of any solved
+  //    configuration (its machine was never recorded as launched). The
+  //    solver only ever extends, so trim the registry back to the
+  //    solution whenever it has grown past the specified strength.
+  const std::set<config::MachineId> target(solution->machines.begin(),
+                                           solution->machines.end());
   StatusOr<Troupe> final_troupe =
       co_await binding_->LookupByName(troupe_name_);
+  if (final_troupe.ok() &&
+      final_troupe->members.size() > solution->machines.size()) {
+    for (const ModuleAddress& member : final_troupe->members) {
+      auto machine = machine_of_.find(member.process);
+      if (machine != machine_of_.end() && target.contains(machine->second)) {
+        continue;
+      }
+      StatusOr<core::TroupeId> removed =
+          co_await binding_->RemoveTroupeMember(troupe_name_, member);
+      if (removed.ok()) {
+        ++report.members_removed;
+      }
+      if (machine != machine_of_.end()) {
+        machine_of_.erase(machine);
+      }
+    }
+    final_troupe = co_await binding_->LookupByName(troupe_name_);
+  }
   report.final_size = final_troupe.ok() ? final_troupe->members.size() : 0;
   co_return report;
 }

@@ -1,0 +1,98 @@
+#include "src/chaos/nemesis.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/net/network.h"
+#include "src/sim/executor.h"
+
+namespace circus::chaos {
+
+sim::Task<void> Nemesis::Run(Schedule schedule) {
+  std::stable_sort(schedule.actions.begin(), schedule.actions.end(),
+                   [](const FaultAction& x, const FaultAction& y) {
+                     return x.at < y.at;
+                   });
+  const sim::TimePoint start = targets_.world->now();
+  for (const FaultAction& action : schedule.actions) {
+    const sim::TimePoint when = start + action.at;
+    if (when > targets_.world->now()) {
+      co_await host_->SleepFor(when - targets_.world->now());
+    }
+    std::function<void()> revert = Apply(action);
+    ++faults_applied_;
+    if (revert != nullptr) {
+      targets_.world->executor().ScheduleAfter(action.duration,
+                                               std::move(revert));
+    }
+  }
+}
+
+std::function<void()> Nemesis::Apply(const FaultAction& action) {
+  CIRCUS_CHECK(targets_.world != nullptr);
+  net::Network& network = targets_.world->network();
+  std::vector<sim::Host*> members = targets_.member_hosts();
+  switch (action.kind) {
+    case FaultKind::kCrashMember: {
+      if (members.empty()) {
+        return nullptr;
+      }
+      sim::Host* victim = members[action.victim_rank % members.size()];
+      victim->Crash();
+      ++crashes_injected_;
+      return nullptr;
+    }
+    case FaultKind::kPartition: {
+      if (members.empty()) {
+        return nullptr;
+      }
+      // Cut `island_size` members off from everyone else. Clamped so at
+      // least one member stays on each side when the troupe allows it.
+      const uint32_t size = std::clamp<uint32_t>(
+          action.island_size, 1,
+          static_cast<uint32_t>(std::max<size_t>(1, members.size() - 1)));
+      std::vector<sim::Host::HostId> island;
+      for (uint32_t k = 0; k < size; ++k) {
+        island.push_back(
+            members[(action.victim_rank + k) % members.size()]->id());
+      }
+      net::Network* net_ptr = &network;
+      network.Partition(island);
+      // HealPartitions clears every layered partition, including ones a
+      // later overlapping action added; the settle phase re-heals at the
+      // end, so overlap only shortens the adversary's own faults.
+      return [net_ptr] { net_ptr->HealPartitions(); };
+    }
+    case FaultKind::kLossBurst: {
+      net::FaultPlan plan = targets_.baseline;
+      plan.loss_probability = action.loss;
+      plan.duplicate_probability = action.duplicate;
+      network.set_default_fault_plan(plan);
+      net::Network* net_ptr = &network;
+      net::FaultPlan baseline = targets_.baseline;
+      return [net_ptr, baseline] { net_ptr->set_default_fault_plan(baseline); };
+    }
+    case FaultKind::kLatencySpike: {
+      net::FaultPlan plan = targets_.baseline;
+      plan.mean_extra_delay = action.extra_delay;
+      network.set_default_fault_plan(plan);
+      net::Network* net_ptr = &network;
+      net::FaultPlan baseline = targets_.baseline;
+      return [net_ptr, baseline] { net_ptr->set_default_fault_plan(baseline); };
+    }
+    case FaultKind::kClockSkew: {
+      if (members.empty()) {
+        return nullptr;
+      }
+      sim::Host* victim = members[action.victim_rank % members.size()];
+      victim->set_clock_skew(action.skew);
+      // Safe even if the victim crashed (or was replaced) meanwhile:
+      // hosts are owned by the World and skew is plain machine state.
+      return [victim] { victim->set_clock_skew(sim::Duration::Zero()); };
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace circus::chaos

@@ -1,0 +1,57 @@
+// Nemesis: the coroutine that executes a fault schedule against a
+// running World. It sleeps on its own (never-crashed) host between
+// actions, so World teardown reaps it, and resolves each action's victim
+// against the live member list at execution time. Interval faults
+// (partition, loss, latency, skew) are reverted `duration` later through
+// an executor callback; overlapping reverts restore the harness baseline
+// (HealPartitions heals layered partitions wholesale — refinement can be
+// stacked but not selectively undone, matching the network model).
+#ifndef SRC_CHAOS_NEMESIS_H_
+#define SRC_CHAOS_NEMESIS_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/chaos/schedule.h"
+#include "src/net/world.h"
+#include "src/sim/host.h"
+#include "src/sim/task.h"
+
+namespace circus::chaos {
+
+struct NemesisTargets {
+  net::World* world = nullptr;
+  // Hosts of the currently live troupe members, in a stable order.
+  std::function<std::vector<sim::Host*>()> member_hosts;
+  // The fault plan interval faults revert to.
+  net::FaultPlan baseline;
+};
+
+class Nemesis {
+ public:
+  Nemesis(NemesisTargets targets, sim::Host* host)
+      : targets_(std::move(targets)), host_(host) {}
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  // Executes the schedule from "now"; spawn on the nemesis host. The
+  // Nemesis object must outlive the run (revert callbacks reference it).
+  sim::Task<void> Run(Schedule schedule);
+
+  int faults_applied() const { return faults_applied_; }
+  int crashes_injected() const { return crashes_injected_; }
+
+ private:
+  // Applies one action and returns its revert (nullptr for
+  // instantaneous faults).
+  std::function<void()> Apply(const FaultAction& action);
+
+  NemesisTargets targets_;
+  sim::Host* host_;
+  int faults_applied_ = 0;
+  int crashes_injected_ = 0;
+};
+
+}  // namespace circus::chaos
+
+#endif  // SRC_CHAOS_NEMESIS_H_

@@ -1,0 +1,152 @@
+#include "src/chaos/schedule.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/sim/random.h"
+
+namespace circus::chaos {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashMember:
+      return "crash";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLossBurst:
+      return "loss";
+    case FaultKind::kLatencySpike:
+      return "latency";
+    case FaultKind::kClockSkew:
+      return "skew";
+  }
+  return "?";
+}
+
+uint64_t HashBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string FaultAction::ToString() const {
+  // Integer nanoseconds keep the rendering byte-stable across platforms
+  // (no floating-point formatting in the canonical form).
+  char buf[256];
+  switch (kind) {
+    case FaultKind::kCrashMember:
+      std::snprintf(buf, sizeof(buf), "t=%" PRId64 "ns crash rank=%u",
+                    at.nanos(), victim_rank);
+      break;
+    case FaultKind::kPartition:
+      std::snprintf(buf, sizeof(buf),
+                    "t=%" PRId64 "ns partition rank=%u size=%u for=%" PRId64
+                    "ns",
+                    at.nanos(), victim_rank, island_size, duration.nanos());
+      break;
+    case FaultKind::kLossBurst:
+      std::snprintf(buf, sizeof(buf),
+                    "t=%" PRId64 "ns loss p=%.3f dup=%.3f for=%" PRId64 "ns",
+                    at.nanos(), loss, duplicate, duration.nanos());
+      break;
+    case FaultKind::kLatencySpike:
+      std::snprintf(buf, sizeof(buf),
+                    "t=%" PRId64 "ns latency extra=%" PRId64 "ns for=%" PRId64
+                    "ns",
+                    at.nanos(), extra_delay.nanos(), duration.nanos());
+      break;
+    case FaultKind::kClockSkew:
+      std::snprintf(buf, sizeof(buf),
+                    "t=%" PRId64 "ns skew rank=%u by=%" PRId64
+                    "ns for=%" PRId64 "ns",
+                    at.nanos(), victim_rank, skew.nanos(), duration.nanos());
+      break;
+  }
+  return buf;
+}
+
+std::string Schedule::ToString() const {
+  std::string out = "schedule seed=" + std::to_string(seed) + " actions=" +
+                    std::to_string(actions.size());
+  for (const FaultAction& a : actions) {
+    out += "\n  " + a.ToString();
+  }
+  return out;
+}
+
+uint64_t Schedule::Digest() const {
+  // The seed is excluded so a shrunk (hand-edited) schedule and a
+  // generated one with identical actions digest identically.
+  uint64_t h = kFnvOffset;
+  for (const FaultAction& a : actions) {
+    const std::string s = a.ToString();
+    h = HashBytes(h, s.data(), s.size());
+    h = HashBytes(h, "\n", 1);
+  }
+  return h;
+}
+
+Schedule GenerateSchedule(uint64_t seed, const ScheduleOptions& options) {
+  Schedule schedule;
+  schedule.seed = seed;
+  sim::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const int total_weight = options.crash_weight + options.partition_weight +
+                           options.loss_weight + options.latency_weight +
+                           options.skew_weight;
+  if (total_weight <= 0 || options.actions <= 0) {
+    return schedule;
+  }
+  const int64_t window =
+      std::max<int64_t>(1, (options.horizon - options.min_start).nanos());
+  for (int i = 0; i < options.actions; ++i) {
+    FaultAction a;
+    a.at = options.min_start +
+           sim::Duration::Nanos(rng.UniformInt(0, window - 1));
+    int pick = static_cast<int>(rng.UniformInt(0, total_weight - 1));
+    if ((pick -= options.crash_weight) < 0) {
+      a.kind = FaultKind::kCrashMember;
+    } else if ((pick -= options.partition_weight) < 0) {
+      a.kind = FaultKind::kPartition;
+    } else if ((pick -= options.loss_weight) < 0) {
+      a.kind = FaultKind::kLossBurst;
+    } else if ((pick -= options.latency_weight) < 0) {
+      a.kind = FaultKind::kLatencySpike;
+    } else {
+      a.kind = FaultKind::kClockSkew;
+    }
+    a.victim_rank = static_cast<uint32_t>(rng.UniformInt(0, 1023));
+    switch (a.kind) {
+      case FaultKind::kCrashMember:
+        break;  // instantaneous
+      case FaultKind::kPartition:
+        a.duration = sim::Duration::Seconds(rng.UniformInt(3, 20));
+        a.island_size = static_cast<uint32_t>(rng.UniformInt(1, 2));
+        break;
+      case FaultKind::kLossBurst:
+        a.duration = sim::Duration::Seconds(rng.UniformInt(2, 12));
+        a.loss = 0.1 + 0.8 * rng.UniformDouble();
+        a.duplicate = 0.5 * rng.UniformDouble();
+        break;
+      case FaultKind::kLatencySpike:
+        a.duration = sim::Duration::Seconds(rng.UniformInt(2, 12));
+        a.extra_delay = sim::Duration::Millis(rng.UniformInt(5, 200));
+        break;
+      case FaultKind::kClockSkew:
+        a.duration = sim::Duration::Seconds(rng.UniformInt(5, 30));
+        a.skew = sim::Duration::Millis(rng.UniformInt(-500, 500));
+        break;
+    }
+    schedule.actions.push_back(a);
+  }
+  std::stable_sort(schedule.actions.begin(), schedule.actions.end(),
+                   [](const FaultAction& x, const FaultAction& y) {
+                     return x.at < y.at;
+                   });
+  return schedule;
+}
+
+}  // namespace circus::chaos

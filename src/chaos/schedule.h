@@ -1,0 +1,86 @@
+// Seeded fault schedules: the machine-generated adversary of the chaos
+// harness. A Schedule is a timed list of fault actions — host crashes,
+// partitions, loss/duplication bursts, latency spikes, clock skew —
+// produced as a pure function of one RNG seed, so any failing run is
+// reproducible from its seed alone (and printable, so a shrunk schedule
+// can be replayed without the generator).
+#ifndef SRC_CHAOS_SCHEDULE_H_
+#define SRC_CHAOS_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace circus::chaos {
+
+enum class FaultKind : uint8_t {
+  // Fail-stop crash of the machine under one live troupe member
+  // (Section 3.5.1); the Reconfigurer's periodic sweep replaces it.
+  kCrashMember,
+  // Isolates `island_size` member machines from everyone else for
+  // `duration` (Section 4.3.5). Healing heals all layered partitions.
+  kPartition,
+  // Network-wide loss + duplication burst for `duration` (Section 2.2).
+  kLossBurst,
+  // Network-wide exponential extra delay for `duration`.
+  kLatencySpike,
+  // Skews one member machine's local clock for `duration` (the ordered
+  // broadcast's synchronized-clock assumption, made adversarial).
+  kClockSkew,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultAction {
+  sim::Duration at;        // offset from the start of the schedule
+  FaultKind kind = FaultKind::kCrashMember;
+  sim::Duration duration;  // zero for instantaneous faults (crash)
+  // Victim selection is by rank into the live member list at execution
+  // time, so a replayed schedule stays meaningful after membership
+  // changes.
+  uint32_t victim_rank = 0;
+  uint32_t island_size = 1;      // kPartition
+  double loss = 0.0;             // kLossBurst
+  double duplicate = 0.0;        // kLossBurst
+  sim::Duration extra_delay;     // kLatencySpike (exponential mean)
+  sim::Duration skew;            // kClockSkew (may be negative)
+
+  std::string ToString() const;
+};
+
+struct ScheduleOptions {
+  sim::Duration horizon = sim::Duration::Seconds(120);
+  sim::Duration min_start = sim::Duration::Seconds(5);
+  int actions = 8;
+  // Relative weights of the fault kinds; zero disables a kind (the chaos
+  // bench uses a crash-only mix to compare against Equation 6.1).
+  int crash_weight = 30;
+  int partition_weight = 20;
+  int loss_weight = 20;
+  int latency_weight = 20;
+  int skew_weight = 10;
+};
+
+struct Schedule {
+  uint64_t seed = 0;  // generator seed (0 for hand-built schedules)
+  std::vector<FaultAction> actions;
+
+  // Canonical multi-line rendering; two schedules are the same iff their
+  // renderings are byte-identical (Digest hashes this form).
+  std::string ToString() const;
+  uint64_t Digest() const;
+};
+
+// Generates the schedule determined by `seed`: same seed, same options —
+// byte-identical schedule. Actions come out sorted by time.
+Schedule GenerateSchedule(uint64_t seed, const ScheduleOptions& options);
+
+// FNV-1a, the digest primitive shared with the trace digest.
+uint64_t HashBytes(uint64_t h, const void* data, size_t n);
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+
+}  // namespace circus::chaos
+
+#endif  // SRC_CHAOS_SCHEDULE_H_

@@ -1,0 +1,91 @@
+#include "src/chaos/sweep.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace circus::chaos {
+namespace {
+
+void LogTo(const SweepOptions& options, const std::string& line) {
+  if (options.log) {
+    options.log(line);
+  } else {
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+std::pair<Schedule, ChaosReport> ShrinkSchedule(
+    const Schedule& schedule, const HarnessOptions& harness) {
+  Schedule current = schedule;
+  ChaosReport current_report = RunChaos(current, harness);
+  if (current_report.ok()) {
+    // Not reproducible as handed to us (should not happen with a
+    // deterministic harness); nothing to shrink.
+    return {current, current_report};
+  }
+  bool shrunk = true;
+  while (shrunk && !current.actions.empty()) {
+    shrunk = false;
+    for (size_t i = 0; i < current.actions.size(); ++i) {
+      Schedule candidate = current;
+      candidate.actions.erase(candidate.actions.begin() + i);
+      ChaosReport report = RunChaos(candidate, harness);
+      if (!report.ok()) {
+        current = std::move(candidate);
+        current_report = std::move(report);
+        shrunk = true;
+        break;  // restart the deletion scan on the smaller schedule
+      }
+    }
+  }
+  return {current, current_report};
+}
+
+SweepResult RunSweep(const SweepOptions& options) {
+  SweepResult result;
+  for (int i = 0; i < options.seeds; ++i) {
+    const uint64_t seed = options.first_seed + static_cast<uint64_t>(i);
+    Schedule schedule = GenerateSchedule(seed, options.schedule);
+    HarnessOptions harness = options.harness;
+    harness.seed = seed;
+    ChaosReport report = RunChaos(schedule, harness);
+    ++result.seeds_run;
+    if (report.ok()) {
+      continue;
+    }
+    ++result.seeds_failed;
+    LogTo(options, "chaos: seed " + std::to_string(seed) + " FAILED\n" +
+                       schedule.ToString() + "\n" + report.Summary());
+    SweepFailure failure;
+    failure.seed = seed;
+    failure.schedule = schedule;
+    failure.report = report;
+    if (options.shrink_failures) {
+      std::pair<Schedule, ChaosReport> minimal =
+          ShrinkSchedule(schedule, harness);
+      failure.minimal = std::move(minimal.first);
+      failure.minimal_report = std::move(minimal.second);
+      LogTo(options,
+            "chaos: seed " + std::to_string(seed) + " minimal reproducer (" +
+                std::to_string(failure.minimal.actions.size()) + " of " +
+                std::to_string(schedule.actions.size()) + " actions)\n" +
+                failure.minimal.ToString() + "\n" +
+                failure.minimal_report.Summary());
+    } else {
+      failure.minimal = schedule;
+      failure.minimal_report = report;
+    }
+    result.failures.push_back(std::move(failure));
+    if (result.seeds_failed >= options.max_failures) {
+      LogTo(options, "chaos: stopping after " +
+                         std::to_string(result.seeds_failed) +
+                         " failing seeds");
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace circus::chaos

@@ -1,0 +1,59 @@
+// Seed-sweep driver: runs the chaos harness over a range of schedule
+// seeds, collects the runs whose invariants fail, and shrinks each
+// failing schedule to a minimal reproducer by greedily deleting actions
+// while the failure persists (delta debugging over the action list —
+// everything is deterministic, so a candidate either reproduces or it
+// does not).
+#ifndef SRC_CHAOS_SWEEP_H_
+#define SRC_CHAOS_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/chaos/harness.h"
+#include "src/chaos/schedule.h"
+
+namespace circus::chaos {
+
+struct SweepOptions {
+  uint64_t first_seed = 1;
+  int seeds = 100;
+  ScheduleOptions schedule;
+  HarnessOptions harness;  // per-run `seed` is overwritten by the sweep
+  bool shrink_failures = true;
+  // Stop early after this many failing seeds (a systemic bug fails
+  // everywhere; no point re-diagnosing it 100 times).
+  int max_failures = 3;
+  // Progress / reproducer sink; defaults to stdout when null.
+  std::function<void(const std::string&)> log;
+};
+
+struct SweepFailure {
+  uint64_t seed = 0;
+  Schedule schedule;        // the generated schedule that failed
+  ChaosReport report;       // its report
+  Schedule minimal;         // shrunk reproducer (== schedule if disabled)
+  ChaosReport minimal_report;
+};
+
+struct SweepResult {
+  int seeds_run = 0;
+  int seeds_failed = 0;
+  std::vector<SweepFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+// Runs RunChaos(GenerateSchedule(seed), harness-with-that-seed) for each
+// seed in [first_seed, first_seed + seeds).
+SweepResult RunSweep(const SweepOptions& options);
+
+// Greedy one-action-at-a-time deletion until no single deletion still
+// fails; returns the minimal schedule and its report.
+std::pair<Schedule, ChaosReport> ShrinkSchedule(const Schedule& schedule,
+                                                const HarnessOptions& harness);
+
+}  // namespace circus::chaos
+
+#endif  // SRC_CHAOS_SWEEP_H_

@@ -11,13 +11,40 @@ using circus::Status;
 using sim::Duration;
 using sim::Syscall;
 
+namespace {
+
+// Jitter seed for an endpoint whose options left it at 0: the local
+// clock (so two incarnations at one address differ) mixed with the
+// socket address (so co-booted endpoints differ).
+uint64_t DeriveJitterSeed(net::DatagramSocket* socket) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : socket->local_address().ToString()) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h ^ static_cast<uint64_t>(socket->host()->LocalClockNanos());
+}
+
+}  // namespace
+
 PairedEndpoint::PairedEndpoint(net::DatagramSocket* socket,
                                EndpointOptions options)
     : socket_(socket),
       options_(options),
+      jitter_rng_(options.jitter_seed != 0 ? options.jitter_seed
+                                           : DeriveJitterSeed(socket)),
       incoming_calls_(
           std::make_unique<sim::Channel<Message>>(socket->host())) {
   host()->Spawn(ReceiverLoop());
+}
+
+Duration PairedEndpoint::Jittered(Duration base) {
+  if (options_.timer_jitter <= 0.0) {
+    return base;
+  }
+  const double factor =
+      1.0 + options_.timer_jitter * (2.0 * jitter_rng_.UniformDouble() - 1.0);
+  return Duration::Nanos(
+      static_cast<int64_t>(static_cast<double>(base.nanos()) * factor));
 }
 
 PairedEndpoint::~PairedEndpoint() = default;
@@ -70,7 +97,7 @@ sim::Task<circus::Status> PairedEndpoint::SendMessage(net::NetAddress to,
       host()->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
       std::optional<uint32_t> progress =
           co_await state->progress->ReceiveWithTimeout(
-              options_.retransmit_interval);
+              Jittered(options_.retransmit_interval));
       if (progress.has_value()) {
         retries = 0;
         continue;
@@ -101,7 +128,7 @@ sim::Task<circus::Status> PairedEndpoint::SendMessage(net::NetAddress to,
         host()->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
         std::optional<uint32_t> progress =
             co_await state->progress->ReceiveWithTimeout(
-                options_.retransmit_interval);
+                Jittered(options_.retransmit_interval));
         if (progress.has_value()) {
           attempts = 0;
           continue;
@@ -156,7 +183,8 @@ sim::Task<circus::StatusOr<Message>> PairedEndpoint::AwaitReturn(
     host()->ChargeSyscallInstant(Syscall::kSetITimer);
     host()->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
     std::optional<Message> m =
-        co_await ReturnSlot(key).ReceiveWithTimeout(options_.probe_interval);
+        co_await ReturnSlot(key).ReceiveWithTimeout(
+            Jittered(options_.probe_interval));
     if (m.has_value()) {
       return_slots_.erase(key);
       co_return std::move(*m);

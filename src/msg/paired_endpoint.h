@@ -36,6 +36,7 @@
 #include "src/msg/segment.h"
 #include "src/net/socket.h"
 #include "src/sim/channel.h"
+#include "src/sim/random.h"
 #include "src/sim/task.h"
 
 namespace circus::msg {
@@ -66,6 +67,20 @@ struct EndpointOptions {
   // Probing while awaiting a response (Section 4.2.3).
   sim::Duration probe_interval = sim::Duration::Seconds(1);
   int max_silent_probes = 5;
+
+  // Multiplicative jitter on the retransmit and probe timers: each wait
+  // is scaled by a factor uniform in [1-jitter, 1+jitter], so endpoints
+  // that fired in lockstep (a troupe answering one multicast, members
+  // rebooted together) spread their retransmission storms instead of
+  // hammering a recovering peer in phase. 0 disables (every wait exact,
+  // for tests that count timeouts). The liveness bookkeeping (how long a
+  // peer may stay silent before probes count against it) is never
+  // jittered.
+  double timer_jitter = 0.1;
+  // Seed for the jitter stream; 0 derives one from the local clock and
+  // socket address at construction (deterministic inside the simulation,
+  // distinct across endpoints).
+  uint64_t jitter_seed = 0;
 
   // How many completed exchanges to remember per peer for duplicate
   // suppression ("kept until no delayed segments can arrive").
@@ -169,10 +184,13 @@ class PairedEndpoint {
   sim::Channel<Message>& ReturnSlot(const ExchangeKey& key);
   sim::Task<void> TransmitSegment(const net::NetAddress& to,
                                   const Segment& seg, bool retransmission);
+  // A timer interval with this endpoint's jitter applied.
+  sim::Duration Jittered(sim::Duration base);
 
   net::DatagramSocket* socket_;
   EndpointOptions options_;
   Counters counters_;
+  sim::Rng jitter_rng_;
 
   std::map<ExchangeKey, std::shared_ptr<SenderState>> senders_;
   std::map<ExchangeKey, Reassembly> reassembly_;

@@ -1,0 +1,174 @@
+// The chaos harness at work (Experiment E13): seeded fault schedules
+// against the full stack, with the paper's invariants checked throughout
+// — plus the negative tests proving the monitor actually catches planted
+// bugs and shrinks their schedules to minimal reproducers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/chaos/harness.h"
+#include "src/chaos/schedule.h"
+#include "src/chaos/sweep.h"
+
+namespace circus::chaos {
+namespace {
+
+using sim::Duration;
+
+// Short-run settings so a many-seed sweep fits in CI; the longer default
+// durations are exercised by bench_chaos.
+ScheduleOptions CiSchedule() {
+  ScheduleOptions s;
+  s.horizon = Duration::Seconds(60);
+  s.min_start = Duration::Seconds(2);
+  s.actions = 5;
+  return s;
+}
+
+HarnessOptions CiHarness() {
+  HarnessOptions h;
+  h.warmup = Duration::Seconds(30);
+  h.run_length = Duration::Seconds(60);
+  h.settle_length = Duration::Seconds(60);
+  h.call_period = Duration::Seconds(2);
+  h.sweep_period = Duration::Seconds(10);
+  return h;
+}
+
+TEST(ChaosSchedule, GenerationIsDeterministic) {
+  const ScheduleOptions opts;
+  Schedule a = GenerateSchedule(42, opts);
+  Schedule b = GenerateSchedule(42, opts);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(a.Digest(), b.Digest());
+  Schedule c = GenerateSchedule(43, opts);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(ChaosSchedule, RespectsOptionsAndOrdering) {
+  ScheduleOptions opts;
+  opts.actions = 12;
+  Schedule s = GenerateSchedule(7, opts);
+  ASSERT_EQ(s.actions.size(), 12u);
+  for (size_t i = 1; i < s.actions.size(); ++i) {
+    EXPECT_LE(s.actions[i - 1].at.nanos(), s.actions[i].at.nanos());
+  }
+  for (const FaultAction& a : s.actions) {
+    EXPECT_GE(a.at.nanos(), opts.min_start.nanos());
+    EXPECT_LT(a.at.nanos(), opts.horizon.nanos());
+  }
+
+  // Zeroed weights disable kinds entirely (the bench's crash-only mix).
+  ScheduleOptions crash_only;
+  crash_only.actions = 20;
+  crash_only.partition_weight = 0;
+  crash_only.loss_weight = 0;
+  crash_only.latency_weight = 0;
+  crash_only.skew_weight = 0;
+  Schedule co = GenerateSchedule(7, crash_only);
+  for (const FaultAction& a : co.actions) {
+    EXPECT_EQ(a.kind, FaultKind::kCrashMember);
+  }
+}
+
+TEST(ChaosHarness, SameSeedReproducesByteIdenticalRun) {
+  Schedule schedule = GenerateSchedule(11, CiSchedule());
+  HarnessOptions harness = CiHarness();
+  harness.seed = 11;
+  ChaosReport first = RunChaos(schedule, harness);
+  ChaosReport second = RunChaos(schedule, harness);
+  EXPECT_EQ(first.schedule_digest, second.schedule_digest);
+  EXPECT_EQ(first.trace_digest, second.trace_digest);
+  EXPECT_EQ(first.calls_issued, second.calls_issued);
+  EXPECT_EQ(first.calls_accepted, second.calls_accepted);
+  EXPECT_EQ(first.calls_failed, second.calls_failed);
+  EXPECT_EQ(first.suspects_killed, second.suspects_killed);
+  EXPECT_EQ(first.violations, second.violations);
+  EXPECT_TRUE(first.ok()) << first.Summary();
+  // The run did real work and real damage.
+  EXPECT_GT(first.calls_issued, 0);
+  EXPECT_GT(first.faults_applied, 0);
+}
+
+TEST(ChaosSweep, HundredSeedsHoldTheInvariants) {
+  SweepOptions opts;
+  opts.first_seed = 1;
+  opts.seeds = 100;
+  opts.schedule = CiSchedule();
+  opts.harness = CiHarness();
+  opts.max_failures = 1;  // fail fast: one reproducer is plenty
+  SweepResult result = RunSweep(opts);
+  EXPECT_EQ(result.seeds_run, 100);
+  ASSERT_TRUE(result.ok())
+      << "seed " << result.failures[0].seed << " failed\n"
+      << result.failures[0].minimal.ToString() << "\n"
+      << result.failures[0].minimal_report.Summary();
+}
+
+TEST(ChaosSweep, TransactionalWorkloadSurvivesChaos) {
+  SweepOptions opts;
+  opts.first_seed = 201;
+  opts.seeds = 10;
+  opts.schedule = CiSchedule();
+  opts.harness = CiHarness();
+  opts.harness.with_transactions = true;
+  opts.max_failures = 1;
+  SweepResult result = RunSweep(opts);
+  ASSERT_TRUE(result.ok())
+      << "seed " << result.failures[0].seed << " failed\n"
+      << result.failures[0].minimal.ToString() << "\n"
+      << result.failures[0].minimal_report.Summary();
+}
+
+// Negative test: a collator that accepts a value no member computed is
+// caught by the monitor, and because the bug does not depend on any
+// fault at all, the shrinker reduces its schedule to zero actions.
+TEST(ChaosSweep, BrokenCollatorIsCaughtAndShrunkToNothing) {
+  SweepOptions opts;
+  opts.first_seed = 301;
+  opts.seeds = 1;
+  opts.schedule = CiSchedule();
+  opts.harness = CiHarness();
+  opts.harness.broken_collator = true;
+  opts.max_failures = 1;
+  opts.log = [](const std::string&) {};  // keep CI output quiet
+  SweepResult result = RunSweep(opts);
+  ASSERT_EQ(result.seeds_failed, 1);
+  const SweepFailure& failure = result.failures[0];
+  bool mentions_collator = false;
+  for (const std::string& v : failure.minimal_report.violations) {
+    if (v.find("collator unsound") != std::string::npos) {
+      mentions_collator = true;
+    }
+  }
+  EXPECT_TRUE(mentions_collator) << failure.minimal_report.Summary();
+  EXPECT_TRUE(failure.minimal.actions.empty())
+      << "expected an empty minimal schedule, got\n"
+      << failure.minimal.ToString();
+}
+
+// Negative test: one member computing different results from its peers
+// (planted nondeterminism) must surface as a trace divergence.
+TEST(ChaosSweep, NondeterministicMemberIsCaught) {
+  SweepOptions opts;
+  opts.first_seed = 401;
+  opts.seeds = 1;
+  opts.schedule = CiSchedule();
+  opts.harness = CiHarness();
+  opts.harness.nondeterministic_member = true;
+  opts.shrink_failures = false;
+  opts.max_failures = 1;
+  opts.log = [](const std::string&) {};
+  SweepResult result = RunSweep(opts);
+  ASSERT_EQ(result.seeds_failed, 1);
+  bool mentions_divergence = false;
+  for (const std::string& v : result.failures[0].report.violations) {
+    if (v.find("diverge") != std::string::npos) {
+      mentions_divergence = true;
+    }
+  }
+  EXPECT_TRUE(mentions_divergence) << result.failures[0].report.Summary();
+}
+
+}  // namespace
+}  // namespace circus::chaos

@@ -556,5 +556,54 @@ TEST_F(MsgTest, SyscallProfileOfOneExchange) {
   EXPECT_GE(ch->cpu().count(Syscall::kSigBlock), 2u);
 }
 
+// Sends into a closed port and reports how long the endpoint took to
+// declare the peer crashed: (max_retransmits + 1) retransmit waits, so
+// the duration is a direct observation of the (jittered) timers.
+Task<void> TimeSendToVoid(PairedEndpoint* ep, NetAddress to,
+                          int64_t* out_ns) {
+  const int64_t start = ep->host()->executor().now().nanos();
+  Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                      BytesFromString("anyone?"));
+  CIRCUS_CHECK(s.code() == ErrorCode::kCrashDetected);
+  *out_ns = ep->host()->executor().now().nanos() - start;
+}
+
+TEST_F(MsgTest, RetransmitTimerJitterBoundedAndDistinctPerEndpoint) {
+  DatagramSocket exact_socket(&world_.network(), client_host_, 0);
+  DatagramSocket a_socket(&world_.network(), client_host_, 0);
+  DatagramSocket b_socket(&world_.network(), client_host_, 0);
+  EndpointOptions exact_opts;
+  exact_opts.timer_jitter = 0.0;
+  EndpointOptions a_opts;
+  a_opts.jitter_seed = 101;
+  EndpointOptions b_opts;
+  b_opts.jitter_seed = 202;
+  PairedEndpoint exact(&exact_socket, exact_opts);
+  PairedEndpoint a(&a_socket, a_opts);
+  PairedEndpoint b(&b_socket, b_opts);
+
+  const NetAddress closed{net::MakeHostAddress(1), 9000};
+  int64_t exact_ns = 0;
+  int64_t a_ns = 0;
+  int64_t b_ns = 0;
+  world_.executor().Spawn(TimeSendToVoid(&exact, closed, &exact_ns));
+  world_.executor().Spawn(TimeSendToVoid(&a, closed, &a_ns));
+  world_.executor().Spawn(TimeSendToVoid(&b, closed, &b_ns));
+  world_.RunFor(Duration::Seconds(30));
+
+  // Jitter off: every wait is the configured interval, to the nanosecond.
+  const int64_t nominal = (exact_opts.max_retransmits + 1) *
+                          exact_opts.retransmit_interval.nanos();
+  EXPECT_EQ(exact_ns, nominal);
+  // Jitter on (default 10%): inside the +/-10% envelope, not exact, and
+  // two endpoints with different seeds draw different schedules.
+  for (const int64_t jittered_ns : {a_ns, b_ns}) {
+    EXPECT_GE(jittered_ns, static_cast<int64_t>(nominal * 0.9));
+    EXPECT_LE(jittered_ns, static_cast<int64_t>(nominal * 1.1));
+    EXPECT_NE(jittered_ns, nominal);
+  }
+  EXPECT_NE(a_ns, b_ns);
+}
+
 }  // namespace
 }  // namespace circus::msg

@@ -143,6 +143,109 @@ TEST_F(NetTest, PartitionBlocksTrafficAndHealRestores) {
   EXPECT_EQ(b.queued(), 1u);
 }
 
+TEST_F(NetTest, LayeredPartitionsRefineIntoMutualIsolation) {
+  // Two layered calls carve three islands: {h0}, {h1}, and the rest.
+  world_.network().Partition({hosts_[0]->id()});
+  world_.network().Partition({hosts_[1]->id()});
+  EXPECT_FALSE(world_.network().Connected(hosts_[0]->id(), hosts_[1]->id()));
+  EXPECT_FALSE(world_.network().Connected(hosts_[0]->id(), hosts_[2]->id()));
+  EXPECT_FALSE(world_.network().Connected(hosts_[1]->id(), hosts_[2]->id()));
+  // Connected is reflexive even inside a one-host island.
+  EXPECT_TRUE(world_.network().Connected(hosts_[0]->id(), hosts_[0]->id()));
+
+  DatagramSocket a(&world_.network(), hosts_[0], 1000);
+  DatagramSocket b(&world_.network(), hosts_[1], 2000);
+  DatagramSocket c(&world_.network(), hosts_[2], 3000);
+  world_.executor().Spawn(
+      [](DatagramSocket* s, NetAddress t1, NetAddress t2) -> Task<void> {
+        co_await s->Send(t1, BytesFromString("x"));
+        co_await s->Send(t2, BytesFromString("y"));
+      }(&a, b.local_address(), c.local_address()));
+  world_.RunUntilIdle();
+  EXPECT_EQ(b.queued(), 0u);
+  EXPECT_EQ(c.queued(), 0u);
+  EXPECT_EQ(world_.network().stats().packets_blocked_by_partition, 2u);
+
+  // One heal removes every layer, not just the most recent.
+  world_.network().HealPartitions();
+  EXPECT_TRUE(world_.network().Connected(hosts_[0]->id(), hosts_[1]->id()));
+  EXPECT_TRUE(world_.network().Connected(hosts_[1]->id(), hosts_[2]->id()));
+  world_.executor().Spawn(
+      [](DatagramSocket* s, NetAddress t1, NetAddress t2) -> Task<void> {
+        co_await s->Send(t1, BytesFromString("x"));
+        co_await s->Send(t2, BytesFromString("y"));
+      }(&a, b.local_address(), c.local_address()));
+  world_.RunUntilIdle();
+  EXPECT_EQ(b.queued(), 1u);
+  EXPECT_EQ(c.queued(), 1u);
+}
+
+TEST_F(NetTest, MulticastPartitionBlocksPerRecipient) {
+  DatagramSocket sender(&world_.network(), hosts_[0], 1000);
+  DatagramSocket m1(&world_.network(), hosts_[1], 2000);
+  DatagramSocket m2(&world_.network(), hosts_[2], 2000);
+  const HostAddress group = MakeMulticastAddress(0);
+  m1.JoinGroup(group);
+  m2.JoinGroup(group);
+  world_.network().Partition({hosts_[0]->id()});
+  world_.executor().Spawn([](DatagramSocket* s, HostAddress g) -> Task<void> {
+    co_await s->Send(NetAddress{g, 2000}, BytesFromString("sealed"));
+  }(&sender, group));
+  world_.RunUntilIdle();
+  EXPECT_EQ(m1.queued(), 0u);
+  EXPECT_EQ(m2.queued(), 0u);
+  // One send operation, but the block is accounted per unreachable member.
+  EXPECT_EQ(world_.network().stats().packets_sent, 1u);
+  EXPECT_EQ(world_.network().stats().packets_blocked_by_partition, 2u);
+
+  world_.network().HealPartitions();
+  world_.executor().Spawn([](DatagramSocket* s, HostAddress g) -> Task<void> {
+    co_await s->Send(NetAddress{g, 2000}, BytesFromString("open"));
+  }(&sender, group));
+  world_.RunUntilIdle();
+  EXPECT_EQ(m1.queued(), 1u);
+  EXPECT_EQ(m2.queued(), 1u);
+}
+
+TEST_F(NetTest, PairFaultPlanIsDirectionalAndClearable) {
+  DatagramSocket a(&world_.network(), hosts_[0], 1000);
+  DatagramSocket b(&world_.network(), hosts_[1], 2000);
+  world_.network().SetPairFaultPlan(hosts_[0]->id(), hosts_[1]->id(),
+                                    FaultPlan::Lossy(1.0));
+  world_.executor().Spawn(
+      [](DatagramSocket* s1, DatagramSocket* s2) -> Task<void> {
+        co_await s1->Send(s2->local_address(), BytesFromString("eaten"));
+        co_await s2->Send(s1->local_address(), BytesFromString("back"));
+      }(&a, &b));
+  world_.RunUntilIdle();
+  // The override only covers h0 -> h1; the reverse path keeps the default.
+  EXPECT_EQ(b.queued(), 0u);
+  EXPECT_EQ(a.queued(), 1u);
+  EXPECT_EQ(world_.network().stats().packets_lost, 1u);
+
+  world_.network().ClearPairFaultPlans();
+  world_.executor().Spawn([](DatagramSocket* s, NetAddress to) -> Task<void> {
+    co_await s->Send(to, BytesFromString("healed"));
+  }(&a, b.local_address()));
+  world_.RunUntilIdle();
+  EXPECT_EQ(b.queued(), 1u);
+}
+
+TEST_F(NetTest, DuplicationIsCountedInStats) {
+  FaultPlan plan;
+  plan.duplicate_probability = 1.0;
+  world_.network().set_default_fault_plan(plan);
+  DatagramSocket a(&world_.network(), hosts_[0], 1000);
+  DatagramSocket b(&world_.network(), hosts_[1], 2000);
+  world_.executor().Spawn([](DatagramSocket* s, NetAddress to) -> Task<void> {
+    co_await s->Send(to, BytesFromString("twin"));
+  }(&a, b.local_address()));
+  world_.RunUntilIdle();
+  EXPECT_EQ(world_.network().stats().packets_sent, 1u);
+  EXPECT_EQ(world_.network().stats().packets_duplicated, 1u);
+  EXPECT_EQ(world_.network().stats().packets_delivered, 2u);
+}
+
 TEST_F(NetTest, CrashDropsInFlightPackets) {
   DatagramSocket a(&world_.network(), hosts_[0], 1000);
   auto b = std::make_unique<DatagramSocket>(&world_.network(), hosts_[1],
