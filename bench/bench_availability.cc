@@ -5,6 +5,7 @@
 // 6.2 replacement-time table and the paper's two worked examples.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/avail/analysis.h"
 #include "src/sim/random.h"
 
@@ -13,7 +14,9 @@ using circus::avail::MaxReplacementTimeOverLifetime;
 using circus::avail::SimulateBirthDeath;
 using circus::avail::TroupeAvailability;
 
-int main() {
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("availability", argc, argv);
+  const double kModelHours = report.Calls(300000, 30000);
   circus::sim::Rng rng(606);
 
   std::printf("Equation 6.1 / Figure 6.3: troupe availability "
@@ -28,25 +31,38 @@ int main() {
   std::printf("\n");
   for (int n = 1; n <= 5; ++n) {
     std::printf("%-3d", n);
+    circus::obs::json::Value& row =
+        report.AddRow("availability").Set("n", n);
     for (double m : repair_minutes) {
       const double mu = 60.0 / m;
-      std::printf("  %11.6f", TroupeAvailability(n, 1.0, mu));
+      const double a = TroupeAvailability(n, 1.0, mu);
+      std::printf("  %11.6f", a);
+      char key[32];
+      std::snprintf(key, sizeof(key), "repair_%.0fmin", m);
+      row.Set(key, a);
     }
     std::printf("\n");
   }
 
   std::printf("\nclosed form vs continuous-time Monte Carlo "
-              "(n=3, lambda=1, mu=9, 300000 model hours):\n");
+              "(n=3, lambda=1, mu=9, %.0f model hours):\n", kModelHours);
   circus::avail::BirthDeathSample sample =
-      SimulateBirthDeath(rng, 3, 1.0, 9.0, 300000.0);
+      SimulateBirthDeath(rng, 3, 1.0, 9.0, kModelHours);
   const std::vector<double> p = BirthDeathDistribution(3, 1.0, 9.0);
   std::printf("%-10s %12s %12s\n", "k failed", "p_k (model)",
               "p_k (sim)");
   for (int k = 0; k <= 3; ++k) {
     std::printf("%-10d %12.6f %12.6f\n", k, p[k], sample.state_time[k]);
+    report.AddRow("birth_death")
+        .Set("k_failed", k)
+        .Set("p_model", p[k])
+        .Set("p_sim", sample.state_time[k]);
   }
   std::printf("availability: model %.6f, simulated %.6f\n",
               TroupeAvailability(3, 1.0, 9.0), sample.availability);
+  report.Note("model_hours", kModelHours);
+  report.Note("availability_model", TroupeAvailability(3, 1.0, 9.0));
+  report.Note("availability_sim", sample.availability);
 
   std::printf("\nEquation 6.2: maximum replacement time (as a fraction "
               "of member lifetime)\nthat still achieves a target "
@@ -58,6 +74,11 @@ int main() {
                 MaxReplacementTimeOverLifetime(n, 0.99),
                 MaxReplacementTimeOverLifetime(n, 0.999),
                 MaxReplacementTimeOverLifetime(n, 0.9999));
+    report.AddRow("replacement_time")
+        .Set("n", n)
+        .Set("a99", MaxReplacementTimeOverLifetime(n, 0.99))
+        .Set("a999", MaxReplacementTimeOverLifetime(n, 0.999))
+        .Set("a9999", MaxReplacementTimeOverLifetime(n, 0.9999));
   }
 
   std::printf("\npaper's worked examples:\n");

@@ -12,8 +12,10 @@
 // retransmissions, not availability, so the fraction should stay inside
 // the same envelope.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "src/avail/analysis.h"
 #include "src/chaos/harness.h"
 #include "src/chaos/schedule.h"
@@ -31,7 +33,6 @@ using circus::sim::Duration;
 namespace {
 
 constexpr int kTroupeSize = 3;
-constexpr int kSeedsPerRow = 5;
 constexpr double kHorizonMinutes = 4.0;
 
 struct RowResult {
@@ -42,7 +43,7 @@ struct RowResult {
 };
 
 RowResult RunRow(int crash_actions, double sweep_seconds, bool mixed,
-                 uint64_t first_seed) {
+                 uint64_t first_seed, int seeds_per_row) {
   ScheduleOptions schedule_opts;
   schedule_opts.horizon = Duration::SecondsF(kHorizonMinutes * 60.0);
   schedule_opts.min_start = Duration::Seconds(5);
@@ -76,7 +77,7 @@ RowResult RunRow(int crash_actions, double sweep_seconds, bool mixed,
   harness_opts.first_come_calls = true;
 
   RowResult row;
-  for (int i = 0; i < kSeedsPerRow; ++i) {
+  for (int i = 0; i < seeds_per_row; ++i) {
     const uint64_t seed = first_seed + static_cast<uint64_t>(i);
     harness_opts.seed = seed;
     const Schedule schedule = GenerateSchedule(seed, schedule_opts);
@@ -89,26 +90,72 @@ RowResult RunRow(int crash_actions, double sweep_seconds, bool mixed,
   return row;
 }
 
+// One fully traced chaos run (--trace=<prefix>): a mixed fault schedule
+// with transactions, exporting the event stream as <prefix>.json (Chrome
+// trace_event, chrome://tracing / Perfetto) and <prefix>.jsonl.
+void RunTraced(const std::string& prefix) {
+  ScheduleOptions schedule_opts;
+  schedule_opts.horizon = Duration::Seconds(120);
+  schedule_opts.min_start = Duration::Seconds(5);
+  schedule_opts.actions = 6;
+  schedule_opts.crash_weight = 3;
+  schedule_opts.partition_weight = 2;
+  schedule_opts.loss_weight = 1;
+
+  HarnessOptions harness_opts;
+  harness_opts.seed = 4242;
+  harness_opts.troupe_size = kTroupeSize;
+  harness_opts.warmup = Duration::Seconds(30);
+  harness_opts.run_length = schedule_opts.horizon;
+  harness_opts.settle_length = Duration::Seconds(60);
+  harness_opts.with_transactions = true;
+  harness_opts.trace_json_path = prefix + ".json";
+  harness_opts.trace_jsonl_path = prefix + ".jsonl";
+
+  const Schedule schedule =
+      GenerateSchedule(harness_opts.seed, schedule_opts);
+  const ChaosReport report = RunChaos(schedule, harness_opts);
+  std::printf("traced run (seed %llu): %s\n  wrote %s.json and %s.jsonl\n\n",
+              static_cast<unsigned long long>(harness_opts.seed),
+              report.Summary().c_str(), prefix.c_str(), prefix.c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("chaos", argc, argv);
+  std::string trace_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_prefix = argv[i] + 8;
+    }
+  }
+  if (!trace_prefix.empty()) {
+    RunTraced(trace_prefix);
+  }
+  const int seeds_per_row = report.Calls(5, 1);
+  report.Note("seeds_per_row", seeds_per_row);
   std::printf("Chaos sweep vs Equation 6.1: failed-call fraction under\n"
               "seeded fault schedules (3-member troupe, %d seeds per row,\n"
               "%.0f simulated minutes of chaos per seed, one call per "
               "2 s)\n\n",
-              kSeedsPerRow, kHorizonMinutes);
+              seeds_per_row, kHorizonMinutes);
   std::printf("%-7s %-8s %-9s %8s %7s %9s %11s %5s\n", "mix", "crashes",
               "sweep(s)", "calls", "failed", "measured", "pred. 6.1",
               "viol");
   for (const bool mixed : {false, true}) {
     for (const int crash_actions : {2, 4, 8}) {
       for (const double sweep_seconds : {15.0, 45.0}) {
+        if (report.quick() && (mixed || crash_actions > 2)) {
+          continue;  // one crash-only row is enough for a smoke run
+        }
         const RowResult row =
             RunRow(crash_actions, sweep_seconds, mixed,
                    /*first_seed=*/9000 +
                        static_cast<uint64_t>(crash_actions) * 100 +
                        static_cast<uint64_t>(sweep_seconds) +
-                       (mixed ? 7 : 0));
+                       (mixed ? 7 : 0),
+                   seeds_per_row);
         // Each schedule spreads `crash_actions` crashes over the horizon
         // and the troupe: lambda = crashes / (n * horizon). Replacement
         // waits for the next sweep, half a period on average.
@@ -125,6 +172,15 @@ int main() {
                     mixed ? "mixed" : "crash", row.crashes, sweep_seconds,
                     row.calls_issued, row.calls_failed, measured, predicted,
                     row.violations);
+        report.AddRow("chaos_sweep")
+            .Set("mix", mixed ? "mixed" : "crash")
+            .Set("crashes", row.crashes)
+            .Set("sweep_s", sweep_seconds)
+            .Set("calls", row.calls_issued)
+            .Set("failed", row.calls_failed)
+            .Set("measured", measured)
+            .Set("predicted", predicted)
+            .Set("violations", row.violations);
       }
     }
   }

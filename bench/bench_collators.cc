@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/check.h"
 #include "src/core/process.h"
 #include "src/net/world.h"
@@ -121,28 +122,40 @@ const char* CollationName(Collation c) {
 
 }  // namespace
 
-int main() {
-  constexpr int kCalls = 100;
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("collators", argc, argv);
+  const int kCalls = report.Calls(100, 20);
   constexpr double kMeanServiceMs = 20.0;
+  report.Note("calls", kCalls);
   std::printf("Sections 4.3.4/4.3.6: waiting policies and collators\n");
   std::printf("(member service times ~ Exp(%.0f ms); ms per call over %d "
               "calls)\n\n",
               kMeanServiceMs, kCalls);
   std::printf("%-9s %12s %12s %12s %12s\n", "members", "unanimous",
               "first-come", "majority", "watchdog");
-  for (int members : {1, 3, 5, 7}) {
+  const std::vector<int> sizes = report.quick()
+                                     ? std::vector<int>{1, 3}
+                                     : std::vector<int>{1, 3, 5, 7};
+  for (int members : sizes) {
     std::printf("%-9d", members);
+    circus::obs::json::Value& row =
+        report.AddRow("collation").Set("members", members);
+    const char* keys[] = {"unanimous_ms", "first_come_ms", "majority_ms"};
+    int column = 0;
     for (Collation c : {Collation::kUnanimous, Collation::kFirstCome,
                         Collation::kMajority}) {
-      std::printf(" %12.1f",
-                  MeasureLatency(c, /*watchdog=*/false, members, kCalls,
-                                 kMeanServiceMs, 2222 + members)
-                      .mean_call_ms);
+      const double ms =
+          MeasureLatency(c, /*watchdog=*/false, members, kCalls,
+                         kMeanServiceMs, 2222 + members)
+              .mean_call_ms;
+      std::printf(" %12.1f", ms);
+      row.Set(keys[column++], ms);
     }
     LatencyResult wd =
         MeasureLatency(Collation::kFirstCome, /*watchdog=*/true, members,
                        kCalls, kMeanServiceMs, 2222 + members);
     std::printf(" %12.1f", wd.mean_call_ms);
+    row.Set("watchdog_ms", wd.mean_call_ms);
     CIRCUS_CHECK(wd.watchdog_disagreements == 0);  // replicas agree
     std::printf("\n");
   }

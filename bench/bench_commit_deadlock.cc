@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/avail/analysis.h"
 #include "src/common/check.h"
 #include "src/marshal/marshal.h"
@@ -159,26 +160,33 @@ bool ProtocolTrial(uint64_t seed, int k, int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("commit_deadlock", argc, argv);
+  const int kMonteCarloTrials = report.Calls(100000, 5000);
   std::printf("Equation 5.1: P[deadlock] = 1 - (1/k!)^(n-1)\n\n");
   std::printf("Monte Carlo over independent serialization orders "
-              "(100000 trials):\n");
+              "(%d trials):\n", kMonteCarloTrials);
   std::printf("%-4s %-4s %12s %12s\n", "k", "n", "closed form",
               "Monte Carlo");
   circus::sim::Rng rng(404);
   for (const auto& [k, n] : std::vector<std::pair<int, int>>{
            {1, 3}, {2, 2}, {2, 3}, {2, 5}, {3, 2}, {3, 3}, {4, 2},
            {5, 3}}) {
-    std::printf("%-4d %-4d %12.4f %12.4f\n", k, n,
-                circus::avail::CommitDeadlockProbability(k, n),
-                circus::avail::SimulateCommitDeadlockProbability(
-                    rng, k, n, 100000));
+    const double closed = circus::avail::CommitDeadlockProbability(k, n);
+    const double sampled = circus::avail::SimulateCommitDeadlockProbability(
+        rng, k, n, kMonteCarloTrials);
+    std::printf("%-4d %-4d %12.4f %12.4f\n", k, n, closed, sampled);
+    report.AddRow("monte_carlo")
+        .Set("k", k)
+        .Set("n", n)
+        .Set("closed_form", closed)
+        .Set("monte_carlo", sampled);
   }
 
+  const int kTrials = report.Calls(30, 4);
   std::printf("\nthe protocol itself (2 conflicting clients, 2-member "
-              "troupe, 30 trials):\n");
+              "troupe, %d trials):\n", kTrials);
   int deadlocked = 0;
-  constexpr int kTrials = 30;
   for (int t = 0; t < kTrials; ++t) {
     if (ProtocolTrial(9000 + t, /*k=*/2, /*n=*/2)) {
       ++deadlocked;
@@ -189,5 +197,9 @@ int main() {
               "back-off retry.\n",
               deadlocked, kTrials,
               circus::avail::CommitDeadlockProbability(2, 2));
+  report.AddRow("protocol_trials")
+      .Set("trials", kTrials)
+      .Set("deadlocked", deadlocked)
+      .Set("predicted", circus::avail::CommitDeadlockProbability(2, 2));
   return 0;
 }

@@ -10,9 +10,11 @@
 
 #include "bench/bench_util.h"
 
-int main() {
-  constexpr int kCalls = 200;
-  constexpr int kMaxDegree = 5;
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("fig48", argc, argv);
+  const int kCalls = report.Calls(200, 20);
+  const int kMaxDegree = report.quick() ? 3 : 5;
+  report.Note("calls", kCalls);
   std::vector<circus::bench::EchoTimings> series;
   for (int n = 1; n <= kMaxDegree; ++n) {
     series.push_back(circus::bench::RunCircusEcho(n, kCalls));
@@ -26,6 +28,12 @@ int main() {
     const auto& t = series[n - 1];
     std::printf("%-7d %10.1f %10.1f %10.1f %10.1f\n", n, t.real_ms,
                 t.total_cpu_ms, t.user_cpu_ms, t.kernel_cpu_ms);
+    report.AddRow("fig48")
+        .Set("degree", n)
+        .Set("real_ms", t.real_ms)
+        .Set("total_cpu_ms", t.total_cpu_ms)
+        .Set("user_cpu_ms", t.user_cpu_ms)
+        .Set("kernel_cpu_ms", t.kernel_cpu_ms);
   }
 
   // ASCII plot of real time per call.

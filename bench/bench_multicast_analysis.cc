@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/avail/analysis.h"
 #include "src/common/check.h"
 #include "src/core/process.h"
@@ -98,8 +99,10 @@ double MeasureCallLatency(bool multicast, int replication, int calls) {
 
 }  // namespace
 
-int main() {
-  constexpr int kCalls = 150;
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("multicast_analysis", argc, argv);
+  const int kCalls = report.Calls(150, 15);
+  report.Note("calls", kCalls);
   std::printf("Section 4.4.2: multicast vs point-to-point replicated "
               "calls (ms per call)\n");
   std::printf("%-7s %14s %14s %16s\n", "n", "r*H_n (theory)",
@@ -107,13 +110,21 @@ int main() {
   const double r = 2 * kOneWayMeanMs;  // mean round trip
   std::vector<double> multicast_series;
   std::vector<double> p2p_series;
-  for (int n : {1, 2, 3, 4, 6, 8, 12}) {
+  const std::vector<int> degrees =
+      report.quick() ? std::vector<int>{1, 2, 12}
+                     : std::vector<int>{1, 2, 3, 4, 6, 8, 12};
+  for (int n : degrees) {
     const double theory = circus::avail::ExpectedMaxOfExponentials(n, r);
     const double mc = MeasureCallLatency(/*multicast=*/true, n, kCalls);
     const double pp = MeasureCallLatency(/*multicast=*/false, n, kCalls);
     multicast_series.push_back(mc);
     p2p_series.push_back(pp);
     std::printf("%-7d %14.1f %14.1f %16.1f\n", n, theory, mc, pp);
+    report.AddRow("multicast_vs_p2p")
+        .Set("n", n)
+        .Set("theory_ms", theory)
+        .Set("multicast_ms", mc)
+        .Set("p2p_ms", pp);
   }
   std::printf(
       "\nshape check: multicast 12-member/1-member latency ratio = %.2f "

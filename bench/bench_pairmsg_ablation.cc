@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "src/common/check.h"
 #include "src/msg/paired_endpoint.h"
 #include "src/net/socket.h"
@@ -101,20 +102,28 @@ const char* ModeName(EndpointOptions::Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("pairmsg_ablation", argc, argv);
+  const int kRuns = report.Calls(5, 2);
+  report.Note("runs_per_row", kRuns);
   std::printf("Section 4.2.5: Circus sliding-window vs PARC stop-and-wait "
               "paired messages\n");
   std::printf("(one call message of the given size + short return; 1 ms "
-              "packet delay;\n 5-run averages)\n\n");
+              "packet delay;\n %d-run averages)\n\n", kRuns);
   std::printf("%-9s %-7s %7s %10s %8s %8s %10s\n", "message", "mode",
               "loss", "time(ms)", "data", "acks", "retrans");
   for (size_t message_bytes : {4096, 16384, 65536}) {
+    if (report.quick() && message_bytes == 16384) {
+      continue;  // keep the extremes only for a smoke run
+    }
     for (double loss : {0.0, 0.1, 0.3}) {
+      if (report.quick() && loss == 0.1) {
+        continue;
+      }
       for (EndpointOptions::Mode mode :
            {EndpointOptions::Mode::kSlidingWindow,
             EndpointOptions::Mode::kStopAndWait}) {
         Result sum;
-        constexpr int kRuns = 5;
         for (int run = 0; run < kRuns; ++run) {
           Result r = RunTransfer(mode, message_bytes, loss,
                                  7000 + run * 31 +
@@ -130,6 +139,17 @@ int main() {
                     static_cast<double>(sum.data_segments) / kRuns,
                     static_cast<double>(sum.ack_segments) / kRuns,
                     static_cast<double>(sum.retransmissions) / kRuns);
+        report.AddRow("transfer")
+            .Set("message_bytes", static_cast<uint64_t>(message_bytes))
+            .Set("mode", ModeName(mode))
+            .Set("loss", loss)
+            .Set("time_ms", sum.completion_ms / kRuns)
+            .Set("data_segments",
+                 static_cast<double>(sum.data_segments) / kRuns)
+            .Set("ack_segments",
+                 static_cast<double>(sum.ack_segments) / kRuns)
+            .Set("retransmissions",
+                 static_cast<double>(sum.retransmissions) / kRuns);
       }
     }
   }

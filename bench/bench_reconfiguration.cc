@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/avail/analysis.h"
 #include "src/binding/client.h"
 #include "src/binding/deploy.h"
@@ -211,27 +212,42 @@ RunOutcome RunScenario(int troupe_size, double lifetime_minutes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("reconfiguration", argc, argv);
+  const double run_hours = report.quick() ? 0.5 : 3.0;
+  report.Note("run_hours", run_hours);
   std::printf("Figure 6.3 in vivo: troupe under continuous crash/replace "
               "churn\n");
   std::printf("(member lifetime 30 simulated minutes; reconfiguration "
-              "sweep period varies;\n 3 simulated hours of load, one call "
-              "per 30 s)\n\n");
+              "sweep period varies;\n %.1f simulated hours of load, one "
+              "call per 30 s)\n\n", run_hours);
   std::printf("%-3s %-12s %10s %10s %10s %12s\n", "n", "sweep(min)",
               "calls ok", "failed", "replaced", "pred. avail");
   for (int n : {2, 3}) {
     for (double sweep_minutes : {3.0, 10.0}) {
+      if (report.quick() && (n > 2 || sweep_minutes > 3.0)) {
+        continue;  // one scenario is enough for a smoke run
+      }
       RunOutcome out = RunScenario(n, /*lifetime_minutes=*/30.0,
-                                   sweep_minutes, /*run_hours=*/3.0,
+                                   sweep_minutes, run_hours,
                                    /*seed=*/7700 + n * 10 +
                                        static_cast<uint64_t>(sweep_minutes));
       // Effective mean replacement time ~ half the sweep period plus the
       // sweep's own latency; predict with mu = 1/(sweep/2).
       const double lambda = 1.0 / 30.0;            // per minute
       const double mu = 1.0 / (sweep_minutes / 2);  // per minute
+      const double predicted =
+          circus::avail::TroupeAvailability(n, lambda, mu);
       std::printf("%-3d %-12.0f %10d %10d %10d %12.6f\n", n, sweep_minutes,
                   out.calls_ok, out.calls_failed, out.members_replaced,
-                  circus::avail::TroupeAvailability(n, lambda, mu));
+                  predicted);
+      report.AddRow("churn")
+          .Set("n", n)
+          .Set("sweep_min", sweep_minutes)
+          .Set("calls_ok", out.calls_ok)
+          .Set("calls_failed", out.calls_failed)
+          .Set("members_replaced", out.members_replaced)
+          .Set("predicted_avail", predicted);
     }
   }
   std::printf("\nexpected shape: failures concentrate where the sweep is "

@@ -24,18 +24,27 @@ constexpr PaperRow kPaper[] = {
     {"5", 109.5, 107.2, 21.0, 86.1},
 };
 
-void PrintRow(const char* label, const circus::bench::EchoTimings& t,
-              const PaperRow& paper) {
+void PrintRow(circus::bench::BenchReport& report, const char* label,
+              const circus::bench::EchoTimings& t, const PaperRow& paper) {
   std::printf("%-8s %8.1f %9.1f %8.1f %10.1f   | %8.1f %9.1f %8.1f %10.1f\n",
               label, t.real_ms, t.total_cpu_ms, t.user_cpu_ms,
               t.kernel_cpu_ms, paper.real, paper.total, paper.user,
               paper.kernel);
+  report.AddRow("table41")
+      .Set("degree", label)
+      .Set("real_ms", t.real_ms)
+      .Set("total_cpu_ms", t.total_cpu_ms)
+      .Set("user_cpu_ms", t.user_cpu_ms)
+      .Set("kernel_cpu_ms", t.kernel_cpu_ms)
+      .Set("paper_real_ms", paper.real);
 }
 
 }  // namespace
 
-int main() {
-  constexpr int kCalls = 200;
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("table41", argc, argv);
+  const int kCalls = report.Calls(200, 20);
+  report.Note("calls", kCalls);
   std::printf("Table 4.1: performance of UDP, TCP, and Circus "
               "(ms per call, %d-call average)\n",
               kCalls);
@@ -44,12 +53,14 @@ int main() {
               "user*", "kernel*");
   std::printf("%-8s %49s | (* = paper, VAX-11/750)\n", "", "");
 
-  PrintRow("(UDP)", circus::bench::RunUdpEcho(kCalls), kPaper[0]);
-  PrintRow("(TCP)", circus::bench::RunTcpEcho(kCalls), kPaper[1]);
-  for (int n = 1; n <= 5; ++n) {
+  PrintRow(report, "(UDP)", circus::bench::RunUdpEcho(kCalls), kPaper[0]);
+  PrintRow(report, "(TCP)", circus::bench::RunTcpEcho(kCalls), kPaper[1]);
+  const int max_degree = report.quick() ? 3 : 5;
+  for (int n = 1; n <= max_degree; ++n) {
     char label[8];
     std::snprintf(label, sizeof(label), "%d", n);
-    PrintRow(label, circus::bench::RunCircusEcho(n, kCalls), kPaper[1 + n]);
+    PrintRow(report, label, circus::bench::RunCircusEcho(n, kCalls),
+             kPaper[1 + n]);
   }
   return 0;
 }

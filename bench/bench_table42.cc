@@ -7,6 +7,7 @@
 // calibrated as claimed.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/net/world.h"
 #include "src/sim/syscall.h"
 #include "tests/test_util.h"
@@ -35,7 +36,8 @@ constexpr Row kRows[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("table42", argc, argv);
   const SyscallCostModel model = SyscallCostModel::Berkeley42Bsd();
   circus::net::World world(1, model);
   circus::sim::Host* host = world.AddHost("vax");
@@ -55,11 +57,16 @@ int main() {
                                }
                              }(host, row.syscall));
     const circus::sim::CpuStats used = host->cpu() - before;
+    const double charged_ms = used.time(row.syscall).ToMillisF() / 100.0;
     std::printf("%-14s %10.1f %10.1f %10.1f  %s\n",
                 std::string(SyscallName(row.syscall)).c_str(),
-                model.cost(row.syscall).ToMillisF(),
-                used.time(row.syscall).ToMillisF() / 100.0, row.paper_ms,
-                row.description);
+                model.cost(row.syscall).ToMillisF(), charged_ms,
+                row.paper_ms, row.description);
+    report.AddRow("table42")
+        .Set("syscall", std::string(SyscallName(row.syscall)))
+        .Set("model_ms", model.cost(row.syscall).ToMillisF())
+        .Set("charged_ms", charged_ms)
+        .Set("paper_ms", row.paper_ms);
   }
   return 0;
 }

@@ -24,8 +24,10 @@ constexpr double kPaperSendmsgShare[] = {27.2, 28.8, 32.5, 32.9, 33.0};
 
 }  // namespace
 
-int main() {
-  constexpr int kCalls = 200;
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("table43", argc, argv);
+  const int kCalls = report.Calls(200, 20);
+  report.Note("calls", kCalls);
   std::printf("Table 4.3: execution profile for Circus replicated "
               "procedure calls\n");
   std::printf("(percentage of total client CPU time per system call)\n");
@@ -34,18 +36,24 @@ int main() {
     std::printf(" %12s", std::string(SyscallName(s)).c_str());
   }
   std::printf(" %8s %10s\n", "six sum", "paper-sm*");
-  for (int n = 1; n <= 5; ++n) {
+  const int max_degree = report.quick() ? 3 : 5;
+  for (int n = 1; n <= max_degree; ++n) {
     CpuStats cpu;
     circus::bench::RunCircusEcho(n, kCalls, &cpu);
     const double total_ms = cpu.total_time().ToMillisF();
     std::printf("%-7d", n);
+    circus::obs::json::Value& row = report.AddRow("table43");
+    row.Set("degree", n);
     double sum = 0;
     for (Syscall s : kProfiled) {
       const double share = 100.0 * cpu.time(s).ToMillisF() / total_ms;
       sum += share;
       std::printf(" %12.1f", share);
+      row.Set(std::string(SyscallName(s)) + "_pct", share);
     }
     std::printf(" %8.1f %10.1f\n", sum, kPaperSendmsgShare[n - 1]);
+    row.Set("six_sum_pct", sum);
+    row.Set("paper_sendmsg_pct", kPaperSendmsgShare[n - 1]);
   }
   std::printf("(* paper's sendmsg share for comparison)\n");
   return 0;

@@ -1,8 +1,69 @@
 #include "bench/bench_util.h"
 
+#include <cstring>
+
 #include "src/marshal/marshal.h"
+#include "src/obs/export.h"
 
 namespace circus::bench {
+
+BenchReport::BenchReport(std::string name, int argc, char** argv)
+    : name_(std::move(name)) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      quick_ = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      write_json_ = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      write_json_ = true;
+      json_path_ = arg + 7;
+    }
+    // Unrecognized flags are left for the bench's own parsing.
+  }
+  if (write_json_ && json_path_.empty()) {
+    json_path_ = "BENCH_" + name_ + ".json";
+  }
+}
+
+BenchReport::~BenchReport() {
+  if (!write_json_) {
+    return;
+  }
+  obs::json::Value root = obs::json::Value::Object();
+  root.Set("bench", name_);
+  root.Set("quick", quick_);
+  root.Set("notes", std::move(notes_));
+  obs::json::Value tables = obs::json::Value::Object();
+  for (const std::string& table : table_order_) {
+    obs::json::Value rows = obs::json::Value::Array();
+    for (obs::json::Value& row : tables_[table]) {
+      rows.Append(std::move(row));
+    }
+    tables.Set(table, std::move(rows));
+  }
+  root.Set("tables", std::move(tables));
+  const Status written =
+      obs::WriteStringToFile(json_path_, root.Dump() + "\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s: cannot write %s: %s\n", name_.c_str(),
+                 json_path_.c_str(), written.ToString().c_str());
+  }
+}
+
+obs::json::Value& BenchReport::AddRow(const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    table_order_.push_back(table);
+    it = tables_.emplace(table, std::vector<obs::json::Value>{}).first;
+  }
+  it->second.push_back(obs::json::Value::Object());
+  return it->second.back();
+}
+
+void BenchReport::Note(const std::string& key, obs::json::Value value) {
+  notes_.Set(key, std::move(value));
+}
 
 using circus::Bytes;
 using circus::BytesFromString;

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,8 +16,47 @@
 #include "src/net/socket.h"
 #include "src/net/stream.h"
 #include "src/net/world.h"
+#include "src/obs/json.h"
 
 namespace circus::bench {
+
+// Command-line scaffolding shared by the bench binaries. Flags:
+//   --json[=path]  write the run's rows as a structured result file
+//                  (default path: BENCH_<name>.json in the working
+//                  directory) in addition to the printed table;
+//   --quick        cut iteration counts to smoke-test size (used by
+//                  scripts/check_bench.sh; callers pick the reduced
+//                  counts via Calls()/Quick()).
+// The file is written by the destructor, so `return 0` from main
+// suffices. Format:
+//   {"bench": <name>, "quick": <bool>, "notes": {...},
+//    "tables": {<table>: [{row}, ...], ...}}
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc, char** argv);
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport();
+
+  bool quick() const { return quick_; }
+  // Convenience: `full` iterations normally, `quick` under --quick.
+  int Calls(int full, int quick) const { return quick_ ? quick : full; }
+
+  // Appends a row to the named table and returns it for filling with
+  // Set(). The reference is valid until the next AddRow on that table.
+  obs::json::Value& AddRow(const std::string& table);
+  // Top-level metadata ("seed", "calls", ...).
+  void Note(const std::string& key, obs::json::Value value);
+
+ private:
+  std::string name_;
+  bool quick_ = false;
+  bool write_json_ = false;
+  std::string json_path_;
+  std::vector<std::string> table_order_;
+  std::map<std::string, std::vector<obs::json::Value>> tables_;
+  obs::json::Value notes_ = obs::json::Value::Object();
+};
 
 // Calibration of the simulated testbed against the paper's measurements:
 //  * network propagation + interrupt latency per packet (Table 4.1's

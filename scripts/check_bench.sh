@@ -1,0 +1,107 @@
+#!/bin/sh
+# Runs every table/figure bench in --quick mode with --json export and
+# validates the emitted BENCH_<name>.json files against the shared
+# report schema: a top-level object with "bench" (string), "quick"
+# (bool), "notes" (object) and "tables" (object of arrays of row
+# objects), every table non-empty and every row a flat object of
+# scalars. Catches a bench that stops exporting, emits malformed JSON,
+# or silently drops a table.
+#
+# Usage: scripts/check_bench.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+  echo "check_bench: no bench dir at $bench_dir (build first)" >&2
+  exit 1
+fi
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+cd "$out_dir"
+
+failures=0
+for b in "$bench_dir"/*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  case "$name" in
+    bench_micro) continue ;;  # wall-clock google-benchmark, no report
+  esac
+  if ! "$b" --quick --json >"$name.out" 2>&1; then
+    echo "FAIL: $name exited nonzero"
+    sed 's/^/  /' "$name.out"
+    failures=$((failures + 1))
+  fi
+done
+
+for f in BENCH_*.json; do
+  if [ ! -e "$f" ]; then
+    echo "check_bench: no BENCH_*.json files were produced" >&2
+    exit 1
+  fi
+  break
+done
+
+python3 - "$out_dir" <<'EOF' || failures=$((failures + 1))
+import glob, json, os, sys
+
+ok = True
+files = sorted(glob.glob(os.path.join(sys.argv[1], "BENCH_*.json")))
+if not files:
+    print("no BENCH_*.json produced")
+    sys.exit(1)
+for path in files:
+    name = os.path.basename(path)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except json.JSONDecodeError as err:
+        print(f"FAIL: {name}: malformed JSON: {err}")
+        ok = False
+        continue
+    errs = []
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        errs.append('"bench" missing or not a string')
+    if not isinstance(doc.get("quick"), bool):
+        errs.append('"quick" missing or not a bool')
+    if not isinstance(doc.get("notes"), dict):
+        errs.append('"notes" missing or not an object')
+    tables = doc.get("tables")
+    if not isinstance(tables, dict) or not tables:
+        errs.append('"tables" missing, not an object, or empty')
+    else:
+        for tname, rows in tables.items():
+            if not isinstance(rows, list) or not rows:
+                errs.append(f'table "{tname}" is not a non-empty array')
+                continue
+            for i, row in enumerate(rows):
+                if not isinstance(row, dict) or not row:
+                    errs.append(f'table "{tname}" row {i} is not an object')
+                    break
+                bad = [
+                    k for k, v in row.items()
+                    if not isinstance(v, (bool, int, float, str))
+                ]
+                if bad:
+                    errs.append(
+                        f'table "{tname}" row {i} has non-scalar '
+                        f'column(s): {bad}')
+                    break
+    if errs:
+        ok = False
+        for e in errs:
+            print(f"FAIL: {name}: {e}")
+    else:
+        nrows = sum(len(r) for r in tables.values())
+        print(f"PASS: {name} ({len(tables)} table(s), {nrows} row(s))")
+sys.exit(0 if ok else 1)
+EOF
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_bench: $failures failure(s)" >&2
+  exit 1
+fi
+echo "check_bench: all bench reports valid"

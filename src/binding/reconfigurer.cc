@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "src/common/log.h"
+#include "src/obs/bus.h"
+#include "src/obs/metrics.h"
 
 namespace circus::binding {
 
@@ -143,6 +145,27 @@ Task<StatusOr<ReconfigReport>> Reconfigurer::SweepOnce() {
     final_troupe = co_await binding_->LookupByName(troupe_name_);
   }
   report.final_size = final_troupe.ok() ? final_troupe->members.size() : 0;
+  if (obs::MetricsRegistry* metrics = agent_->metrics();
+      metrics != nullptr) {
+    metrics->GetCounter("reconfig.sweeps")->Increment();
+    metrics->GetCounter("reconfig.members_added")
+        ->Add(static_cast<uint64_t>(report.members_added));
+    metrics->GetCounter("reconfig.members_removed")
+        ->Add(static_cast<uint64_t>(report.members_removed));
+  }
+  if (obs::EventBus* bus = agent_->event_bus();
+      bus != nullptr && bus->active()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kReconfigSweep;
+    e.host = static_cast<uint32_t>(agent_->host()->id());
+    const net::NetAddress self = agent_->process_address();
+    e.origin = obs::PackAddress(self.host, self.port);
+    e.a = static_cast<uint64_t>(report.members_added);
+    e.b = static_cast<uint64_t>(report.members_removed);
+    e.c = static_cast<uint64_t>(report.final_size);
+    e.detail = troupe_name_;
+    bus->Publish(std::move(e));
+  }
   co_return report;
 }
 

@@ -6,6 +6,7 @@
 #include "src/binding/codec.h"
 #include "src/common/log.h"
 #include "src/marshal/marshal.h"
+#include "src/obs/bus.h"
 
 namespace circus::binding {
 
@@ -37,6 +38,24 @@ circus::Bytes EncodeTroupeResult(const Troupe& t) {
   marshal::Writer w;
   WriteTroupe(w, t);
   return w.Take();
+}
+
+// Publishes a binding-registry event (a = the troupe's new ID value,
+// detail = registered name / member address as noted in obs/event.h).
+void PublishBindingEvent(core::RpcProcess* process, obs::EventKind kind,
+                         TroupeId id, std::string detail) {
+  obs::EventBus* bus = process->event_bus();
+  if (bus == nullptr || !bus->active()) {
+    return;
+  }
+  obs::Event e;
+  e.kind = kind;
+  e.host = static_cast<uint32_t>(process->host()->id());
+  const net::NetAddress self = process->process_address();
+  e.origin = obs::PackAddress(self.host, self.port);
+  e.a = id.value;
+  e.detail = std::move(detail);
+  bus->Publish(std::move(e));
 }
 
 }  // namespace
@@ -187,6 +206,7 @@ StatusOr<circus::Bytes> RingmasterServer::Register(
   id_to_name_[entry.troupe.id] = name;
   const TroupeId id = entry.troupe.id;
   by_name_[name] = std::move(entry);
+  PublishBindingEvent(process_, obs::EventKind::kTroupeRegistered, id, name);
   return EncodeId(id);
 }
 
@@ -226,6 +246,8 @@ Task<StatusOr<circus::Bytes>> RingmasterServer::AddMember(
   entry.troupe.members.push_back(member);
   entry.troupe.id = MakeTroupeId(name, entry.version);
   id_to_name_[entry.troupe.id] = name;
+  PublishBindingEvent(process_, obs::EventKind::kTroupeMemberAdded,
+                      entry.troupe.id, name + " " + member.ToString());
   Status propagate = co_await PropagateTroupeId(ctx, entry.troupe);
   if (!propagate.ok()) {
     CIRCUS_LOG(LogLevel::kWarning)
@@ -258,6 +280,8 @@ Task<StatusOr<circus::Bytes>> RingmasterServer::RemoveMember(
   ++entry.version;
   entry.troupe.id = MakeTroupeId(name, entry.version);
   id_to_name_[entry.troupe.id] = name;
+  PublishBindingEvent(process_, obs::EventKind::kTroupeMemberRemoved,
+                      entry.troupe.id, name + " " + member.ToString());
   if (!entry.troupe.members.empty()) {
     Status propagate = co_await PropagateTroupeId(ctx, entry.troupe);
     if (!propagate.ok()) {

@@ -16,7 +16,10 @@
 #include "src/core/collator.h"
 #include "src/core/process.h"
 #include "src/marshal/marshal.h"
+#include "src/model/bus_tap.h"
 #include "src/net/world.h"
+#include "src/obs/bus.h"
+#include "src/obs/export.h"
 #include "src/txn/commit.h"
 
 namespace circus::chaos {
@@ -71,6 +74,11 @@ struct Harness {
   net::World world;
   HarnessOptions opts;
   InvariantMonitor monitor;
+  // Both observers live on the World's event bus: the tap rebuilds the
+  // members' determinism-check recorders from call events, and the
+  // monitor's packet check subscribes to kPacketSend (below).
+  model::BusRecorderTap tap;
+  obs::EventBus::SubscriberId monitor_sub = 0;
 
   binding::RingmasterDeployment ring;
   config::MachineDatabase database;
@@ -111,6 +119,7 @@ struct Harness {
   bool final_checks_done = false;
 
   explicit Harness(const HarnessOptions& options);
+  ~Harness();
 };
 
 // ---------------------------------------------------------------------
@@ -273,7 +282,11 @@ StatusOr<Reconfigurer::LaunchedMember> LaunchMember(Harness* h,
   m->process = std::make_unique<RpcProcess>(
       &h->world.network(), host,
       static_cast<net::Port>(9000 + m->serial));
-  m->process->SetTraceRecorder(m->recorder.get());
+  // Recorded via the bus tap, not SetTraceRecorder: the determinism
+  // check consumes the same event stream every other observer sees.
+  const net::NetAddress address = m->process->process_address();
+  h->tap.Attach(obs::PackAddress(address.host, address.port),
+                m->recorder.get());
   m->server =
       std::make_unique<txn::TransactionalServer>(m->process.get(), kTroupeName);
   m->module = m->server->module_number();
@@ -321,7 +334,9 @@ std::string SpecFor(int n) {
 }
 
 Harness::Harness(const HarnessOptions& options)
-    : world(options.seed, sim::SyscallCostModel::Free()), opts(options) {
+    : world(options.seed, sim::SyscallCostModel::Free()),
+      opts(options),
+      tap(&world.bus()) {
   ring = binding::DeployRingmaster(world, world.AddHosts("ring", 1));
 
   const int pool = opts.troupe_size + opts.spare_machines;
@@ -379,9 +394,19 @@ Harness::Harness(const HarnessOptions& options)
   net::World* world_ptr = &world;
   monitor.SetClock([world_ptr] { return world_ptr->now().nanos(); });
   InvariantMonitor* monitor_ptr = &monitor;
-  world.network().SetPacketObserver(
-      [monitor_ptr](const net::Datagram& d) { monitor_ptr->ObservePacket(d); });
+  monitor_sub = world.bus().Subscribe([monitor_ptr](const obs::Event& e) {
+    if (e.kind != obs::EventKind::kPacketSend) {
+      return;
+    }
+    monitor_ptr->ObservePacket(
+        net::NetAddress{obs::PackedAddressHost(e.a),
+                        obs::PackedAddressPort(e.a)},
+        net::NetAddress{obs::PackedAddressHost(e.b),
+                        obs::PackedAddressPort(e.b)});
+  });
 }
+
+Harness::~Harness() { world.bus().Unsubscribe(monitor_sub); }
 
 // ---------------------------------------------------------------------
 // Repair: fail-stop a member whose state provably forked, so the
@@ -709,6 +734,13 @@ ChaosReport RunChaos(const Schedule& schedule, const HarnessOptions& options) {
   }
 
   Harness h(opts);
+  const bool want_events = opts.collect_events ||
+                           !opts.trace_json_path.empty() ||
+                           !opts.trace_jsonl_path.empty();
+  std::optional<obs::EventLog> event_log;
+  if (want_events) {
+    event_log.emplace(&h.world.bus());
+  }
   h.world.executor().Spawn(SweepLoop(&h));
   h.world.executor().Spawn(ClientCallLoop(&h));
   if (opts.with_transactions) {
@@ -756,6 +788,29 @@ ChaosReport RunChaos(const Schedule& schedule, const HarnessOptions& options) {
   report.suspects_killed = h.suspects_killed;
   report.violations = h.monitor.Finish();
   report.trace_digest = h.monitor.TraceDigest();
+  report.metrics = h.world.metrics().Snap(h.world.now().nanos());
+  if (event_log.has_value()) {
+    if (!opts.trace_json_path.empty()) {
+      Status written = obs::WriteStringToFile(
+          opts.trace_json_path,
+          obs::ToChromeTrace(event_log->events(), h.world.HostNames()));
+      if (!written.ok()) {
+        report.violations.push_back("trace export failed: " +
+                                    written.ToString());
+      }
+    }
+    if (!opts.trace_jsonl_path.empty()) {
+      Status written = obs::WriteStringToFile(
+          opts.trace_jsonl_path, obs::ToJsonLines(event_log->events()));
+      if (!written.ok()) {
+        report.violations.push_back("trace export failed: " +
+                                    written.ToString());
+      }
+    }
+    if (opts.collect_events) {
+      report.events = event_log->Take();
+    }
+  }
   return report;
 }
 

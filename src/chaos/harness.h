@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "src/chaos/schedule.h"
+#include "src/obs/event.h"
+#include "src/obs/metrics.h"
 #include "src/sim/time.h"
 
 namespace circus::chaos {
@@ -59,6 +61,15 @@ struct HarnessOptions {
   // catch (used by chaos_test and the shrinker's self-check).
   bool broken_collator = false;         // accepts a mangled reply value
   bool nondeterministic_member = false;  // member serial 1 computes wrong
+
+  // Observability. The harness always routes its monitor and recorders
+  // through the World's event bus; these knobs additionally capture the
+  // full event stream. collect_events copies it into ChaosReport.events;
+  // a non-empty path writes the Chrome trace_event JSON / JSONL export
+  // there at the end of the run.
+  bool collect_events = false;
+  std::string trace_json_path;
+  std::string trace_jsonl_path;
 };
 
 struct ChaosReport {
@@ -77,6 +88,12 @@ struct ChaosReport {
   int suspects_killed = 0;
 
   std::vector<std::string> violations;
+
+  // The run's full event stream (only when options.collect_events) and
+  // the final metrics snapshot (always).
+  std::vector<obs::Event> events;
+  obs::MetricsRegistry::Snapshot metrics;
+
   bool ok() const { return violations.empty(); }
   std::string Summary() const;
 };

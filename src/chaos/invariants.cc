@@ -8,17 +8,18 @@
 
 namespace circus::chaos {
 
-void InvariantMonitor::ObservePacket(const net::Datagram& datagram) {
-  if (datagram.destination.is_multicast()) {
+void InvariantMonitor::ObservePacket(net::NetAddress source,
+                                     net::NetAddress destination) {
+  if (destination.is_multicast()) {
     return;
   }
-  if (member_addresses_.contains(datagram.source) &&
-      member_addresses_.contains(datagram.destination)) {
+  if (member_addresses_.contains(source) &&
+      member_addresses_.contains(destination)) {
     // The join-tail exemption (see AddMemberAddress in the header).
     if (now_nanos_) {
       const int64_t now = now_nanos_();
-      auto src = member_since_.find(datagram.source);
-      auto dst = member_since_.find(datagram.destination);
+      auto src = member_since_.find(source);
+      auto dst = member_since_.find(destination);
       if ((src != member_since_.end() &&
            now - src->second < kJoinGraceNanos) ||
           (dst != member_since_.end() &&
@@ -31,8 +32,8 @@ void InvariantMonitor::ObservePacket(const net::Datagram& datagram) {
       const int64_t now = now_nanos_ ? now_nanos_() : -1;
       violations_.push_back("member-to-member packet at t=" +
                             std::to_string(now) + "ns: " +
-                            datagram.source.ToString() + " -> " +
-                            datagram.destination.ToString());
+                            source.ToString() + " -> " +
+                            destination.ToString());
     }
   }
 }

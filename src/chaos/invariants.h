@@ -51,8 +51,13 @@ class InvariantMonitor {
   void SetClock(std::function<int64_t()> now_nanos) {
     now_nanos_ = std::move(now_nanos);
   }
-  // Called for every send operation (install via SetPacketObserver).
-  void ObservePacket(const net::Datagram& datagram);
+  // Called for every send operation. The address-pair form is what a
+  // kPacketSend bus subscription feeds (the harness's wiring); the
+  // Datagram form delegates to it for direct packet-observer use.
+  void ObservePacket(net::NetAddress source, net::NetAddress destination);
+  void ObservePacket(const net::Datagram& datagram) {
+    ObservePacket(datagram.source, datagram.destination);
+  }
   // Marks `address` as a registered troupe member for the
   // member-to-member check. Idempotent; members stay in the set after
   // crash or removal (an orphan must not talk to members either).

@@ -8,6 +8,7 @@ namespace circus {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+LogSink g_sink;  // empty => stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,15 +30,29 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void SetLogSink(LogSink sink) { g_sink = std::move(sink); }
+
+std::string FormatLogRecord(LogLevel level, int64_t sim_time_ns,
+                            const std::string& message) {
+  char prefix[64];
+  if (sim_time_ns >= 0) {
+    std::snprintf(prefix, sizeof(prefix), "[%s %10.6fs] ", LevelName(level),
+                  static_cast<double>(sim_time_ns) / 1e9);
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[%s] ", LevelName(level));
+  }
+  return std::string(prefix) + message;
+}
+
 namespace internal {
 
 void EmitLog(LogLevel level, int64_t sim_time_ns, const std::string& message) {
-  if (sim_time_ns >= 0) {
-    std::fprintf(stderr, "[%s %10.6fs] %s\n", LevelName(level),
-                 static_cast<double>(sim_time_ns) / 1e9, message.c_str());
-  } else {
-    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (g_sink) {
+    g_sink(level, sim_time_ns, message);
+    return;
   }
+  std::fprintf(stderr, "%s\n",
+               FormatLogRecord(level, sim_time_ns, message).c_str());
 }
 
 }  // namespace internal

@@ -5,6 +5,7 @@
 #define SRC_COMMON_LOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -22,23 +23,43 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Pluggable destination for formatted log records; `sim_time_ns` < 0 means
+// "no sim time". Installing an empty sink restores the default (stderr).
+// The sink sees every record that passes the threshold, including records
+// logged from coroutine frames mid-simulation, so it must not re-enter the
+// logger or touch sim state.
+using LogSink =
+    std::function<void(LogLevel, int64_t sim_time_ns, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+// Formats one record as the default stderr emitter would, without the
+// trailing newline ("[I   0.001000s] message"). For sinks that want the
+// canonical rendering.
+std::string FormatLogRecord(LogLevel level, int64_t sim_time_ns,
+                            const std::string& message);
+
 namespace internal {
 
-// Emits one formatted line to stderr; `sim_time_ns` < 0 means "no sim time".
+// Routes one record to the installed sink (stderr by default).
 void EmitLog(LogLevel level, int64_t sim_time_ns, const std::string& message);
 
 class LogLine {
  public:
+  // The threshold is latched once at construction so a line is all-or-
+  // nothing: a concurrent SetLogLevel cannot produce a half-formatted
+  // record (operator<< and the destructor agreeing is what EmitLog needs).
   LogLine(LogLevel level, int64_t sim_time_ns)
-      : level_(level), sim_time_ns_(sim_time_ns) {}
+      : level_(level),
+        sim_time_ns_(sim_time_ns),
+        enabled_(level >= GetLogLevel()) {}
   ~LogLine() {
-    if (level_ >= GetLogLevel()) {
+    if (enabled_) {
       EmitLog(level_, sim_time_ns_, stream_.str());
     }
   }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    if (level_ >= GetLogLevel()) {
+    if (enabled_) {
       stream_ << v;
     }
     return *this;
@@ -47,6 +68,7 @@ class LogLine {
  private:
   LogLevel level_;
   int64_t sim_time_ns_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 

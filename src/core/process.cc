@@ -31,8 +31,36 @@ RpcProcess::RpcProcess(net::Network* network, sim::Host* host,
       static_cast<uint64_t>(host->executor().now().nanos() / 1000);
   next_msg_call_ = static_cast<uint32_t>(boot_us % 0x3FFFFFFF) + 1;
   next_local_thread_ = static_cast<uint16_t>(boot_us % 0x7FFF) + 1;
+  bus_ = network->event_bus();
+  if (obs::MetricsRegistry* metrics = network->metrics();
+      metrics != nullptr) {
+    collator_wait_metric_ = metrics->GetHistogram("rpc.collator_wait_ms");
+  }
   InstallRuntimeModule();
   host_->Spawn(DispatchLoop());
+}
+
+void RpcProcess::PublishCallEvent(obs::EventKind kind, const ThreadId& thread,
+                                  uint32_t thread_seq, uint64_t module,
+                                  uint64_t procedure,
+                                  const circus::Bytes* payload, uint64_t c) {
+  if (bus_ == nullptr || !bus_->active()) {
+    return;
+  }
+  obs::Event e;
+  e.kind = kind;
+  e.host = static_cast<uint32_t>(host_->id());
+  const net::NetAddress self = process_address();
+  e.origin = obs::PackAddress(self.host, self.port);
+  e.thread = obs::ThreadRef{thread.machine, thread.port, thread.local};
+  e.thread_seq = thread_seq;
+  e.a = module;
+  e.b = procedure;
+  e.c = c;
+  if (payload != nullptr) {
+    e.payload = *payload;
+  }
+  bus_->Publish(std::move(e));
 }
 
 RpcProcess::~RpcProcess() = default;
@@ -146,6 +174,9 @@ Task<circus::StatusOr<circus::Bytes>> RpcProcess::Call(
   body.arguments = std::move(args);
   // Client-side history: the call event (Section 3.3.1).
   RecordEvent(thread, model::MakeCall(module, procedure, body.arguments));
+  PublishCallEvent(obs::EventKind::kCallIssue, thread, body.thread_seq,
+                   module, procedure, &body.arguments,
+                   server.members.size());
   circus::Bytes encoded = body.Encode();
 
   // Stub/user-mode bookkeeping cost (the user-time column of Table 4.1
@@ -159,6 +190,7 @@ Task<circus::StatusOr<circus::Bytes>> RpcProcess::Call(
   }
 
   const uint32_t msg_call = NextMessageCallNumber();
+  const sim::TimePoint fanout_start = host_->executor().now();
   ReplyStream stream(host_, static_cast<int>(server.members.size()));
   if (opts.multicast_group.has_value()) {
     co_await endpoint_->BlastMulticast(
@@ -192,15 +224,22 @@ Task<circus::StatusOr<circus::Bytes>> RpcProcess::Call(
                   opts.collation.value_or(options_.default_collation));
     result = co_await collator(stream);
   }
+  // Time from fan-out to collated outcome: the collator-wait latency.
+  if (collator_wait_metric_ != nullptr) {
+    collator_wait_metric_->Observe(
+        static_cast<double>(
+            (host_->executor().now() - fanout_start).nanos()) /
+        1e6);
+  }
   host_->ChargeSyscallInstant(Syscall::kGetTimeOfDay);
   // Client-side history: the matching return event (error returns are
   // recorded with the status text so divergent failures are visible).
-  RecordEvent(thread,
-              model::MakeReturn(
-                  module, procedure,
-                  result.ok() ? *result
-                              : circus::BytesFromString(
-                                    "!" + result.status().ToString())));
+  circus::Bytes outcome =
+      result.ok() ? *result
+                  : circus::BytesFromString("!" + result.status().ToString());
+  RecordEvent(thread, model::MakeReturn(module, procedure, outcome));
+  PublishCallEvent(obs::EventKind::kCallCollate, thread, body.thread_seq,
+                   module, procedure, &outcome, result.ok() ? 1 : 0);
   co_return result;
 }
 
@@ -309,6 +348,9 @@ Task<void> RpcProcess::DispatchLoop() {
     // unbound (zero) destination is the binding-agent-free path.
     if (body->server_troupe.bound() && body->server_troupe != troupe_id_) {
       ++stats_.stale_bindings_rejected;
+      PublishCallEvent(obs::EventKind::kStaleBindingReject, body->thread,
+                       body->thread_seq, body->module, body->procedure,
+                       nullptr, 0);
       host_->Spawn(SendReturnTo(
           m.peer, m.call_number,
           ReturnBody::Error(ErrorCode::kStaleBinding,
@@ -334,6 +376,9 @@ Task<void> RpcProcess::DispatchLoop() {
       if (!call->replied_to.contains(m.peer)) {
         call->replied_to.insert(m.peer);
         ++stats_.late_members_served;
+        PublishCallEvent(obs::EventKind::kLateReplyServed, body->thread,
+                         body->thread_seq, body->module, body->procedure,
+                         nullptr, 0);
         host_->Spawn(
             SendReturnTo(m.peer, m.call_number, *call->return_payload));
       }
@@ -458,6 +503,16 @@ Task<void> RpcProcess::HandleInbound(InboundKey key,
         co_await host_->Compute(options_.server_user_cost);
       }
       ++stats_.calls_executed;
+      // Adopt the caller's position in the thread's call sequence, so the
+      // handler's nested calls continue the thread's numbering instead of
+      // restarting from this process's own counter (which would reuse the
+      // enclosing call's seq and break cross-host trace correlation).
+      // Every replica sees the same inbound seq, so replicas still issue
+      // identical nested (thread, seq) pairs for many-to-one collation.
+      uint32_t& adopted_seq = thread_seq_[key.thread];
+      if (adopted_seq < key.thread_seq) {
+        adopted_seq = key.thread_seq;
+      }
       // Server-side history: the execution of the call on the adopted
       // thread. Nested calls made by the handler are recorded between
       // this call event and its return event, giving exactly the
@@ -465,14 +520,23 @@ Task<void> RpcProcess::HandleInbound(InboundKey key,
       RecordEvent(key.thread, model::MakeCall(first_body.module,
                                               first_body.procedure,
                                               ctx.arguments));
+      PublishCallEvent(obs::EventKind::kExecuteBegin, key.thread,
+                       key.thread_seq, first_body.module,
+                       first_body.procedure, &ctx.arguments,
+                       call->received.size());
       circus::StatusOr<circus::Bytes> result =
           co_await (*handler)(ctx, ctx.arguments);
-      RecordEvent(key.thread,
-                  model::MakeReturn(
-                      first_body.module, first_body.procedure,
-                      result.ok() ? *result
-                                  : circus::BytesFromString(
-                                        "!" + result.status().ToString())));
+      circus::Bytes outcome =
+          result.ok()
+              ? *result
+              : circus::BytesFromString("!" + result.status().ToString());
+      RecordEvent(key.thread, model::MakeReturn(first_body.module,
+                                                first_body.procedure,
+                                                outcome));
+      PublishCallEvent(obs::EventKind::kExecuteEnd, key.thread,
+                       key.thread_seq, first_body.module,
+                       first_body.procedure, &outcome,
+                       result.ok() ? 1 : 0);
       if (result.ok()) {
         return_payload =
             ReturnBody::Success(std::move(result).value()).Encode();

@@ -36,6 +36,8 @@
 #include "src/model/recorder.h"
 #include "src/msg/paired_endpoint.h"
 #include "src/net/socket.h"
+#include "src/obs/bus.h"
+#include "src/obs/metrics.h"
 #include "src/sim/channel.h"
 #include "src/sim/task.h"
 
@@ -192,6 +194,12 @@ class RpcProcess {
     recorder_ = recorder;
   }
 
+  // The World's observability hub, reached through the network (null
+  // outside a World). Layers built on top of RpcProcess (binding, txn)
+  // publish their protocol events here.
+  obs::EventBus* event_bus() const { return network_->event_bus(); }
+  obs::MetricsRegistry* metrics() const { return network_->metrics(); }
+
   // ------------------------------------------------------ client role --
   // Creates a fresh logical thread rooted at this (base) process.
   ThreadId NewRootThread();
@@ -261,9 +269,20 @@ class RpcProcess {
     }
   }
 
+  // Publishes a call-level event (issue/collate/execute) to the World's
+  // bus; no-op when nobody subscribed. `payload` carries the marshalled
+  // arguments or result so bus subscribers see exactly what a directly
+  // attached TraceRecorder would.
+  void PublishCallEvent(obs::EventKind kind, const ThreadId& thread,
+                        uint32_t thread_seq, uint64_t module,
+                        uint64_t procedure, const circus::Bytes* payload,
+                        uint64_t c);
+
   net::Network* network_;
   sim::Host* host_;
   model::TraceRecorder* recorder_ = nullptr;
+  obs::EventBus* bus_ = nullptr;  // cached from the network at construction
+  obs::Histogram* collator_wait_metric_ = nullptr;
   RpcOptions options_;
   std::unique_ptr<net::DatagramSocket> socket_;
   std::unique_ptr<msg::PairedEndpoint> endpoint_;

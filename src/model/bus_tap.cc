@@ -1,0 +1,45 @@
+#include "src/model/bus_tap.h"
+
+#include <utility>
+
+namespace circus::model {
+
+BusRecorderTap::BusRecorderTap(obs::EventBus* bus) : bus_(bus) {
+  id_ = bus_->Subscribe([this](const obs::Event& e) { OnEvent(e); });
+}
+
+BusRecorderTap::~BusRecorderTap() { bus_->Unsubscribe(id_); }
+
+void BusRecorderTap::Attach(uint64_t origin, TraceRecorder* recorder) {
+  recorders_[origin] = recorder;
+}
+
+void BusRecorderTap::Detach(uint64_t origin) { recorders_.erase(origin); }
+
+void BusRecorderTap::OnEvent(const obs::Event& e) {
+  Op op;
+  switch (e.kind) {
+    case obs::EventKind::kCallIssue:
+    case obs::EventKind::kExecuteBegin:
+      op = Op::kCall;
+      break;
+    case obs::EventKind::kCallCollate:
+    case obs::EventKind::kExecuteEnd:
+      op = Op::kReturn;
+      break;
+    default:
+      return;
+  }
+  auto it = recorders_.find(e.origin);
+  if (it == recorders_.end()) {
+    return;
+  }
+  Event recorded;
+  recorded.op = op;
+  recorded.proc.module = static_cast<uint32_t>(e.a);
+  recorded.proc.procedure = static_cast<uint32_t>(e.b);
+  recorded.val = e.payload;
+  it->second->Record(e.thread.ToString(), std::move(recorded));
+}
+
+}  // namespace circus::model

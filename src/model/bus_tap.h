@@ -1,0 +1,46 @@
+// BusRecorderTap: rebuilds TraceRecorder histories from the obs event
+// bus instead of the RPC layer's wired-in recorder hook. The call-level
+// events (kCallIssue/kCallCollate/kExecuteBegin/kExecuteEnd) carry the
+// same (module, procedure, payload) triples the RPC layer hands to
+// RpcProcess::SetTraceRecorder, keyed by the same thread string, so a
+// tap attached for a process's origin address reproduces that process's
+// recorder byte-for-byte — which lets the chaos harness run its
+// Section 3.5.2 determinism checks off the bus like every other
+// observer, with no second instrumentation path to keep in sync.
+#ifndef SRC_MODEL_BUS_TAP_H_
+#define SRC_MODEL_BUS_TAP_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/model/recorder.h"
+#include "src/obs/bus.h"
+
+namespace circus::model {
+
+class BusRecorderTap {
+ public:
+  // Subscribes to `bus` (which must outlive the tap).
+  explicit BusRecorderTap(obs::EventBus* bus);
+  BusRecorderTap(const BusRecorderTap&) = delete;
+  BusRecorderTap& operator=(const BusRecorderTap&) = delete;
+  ~BusRecorderTap();
+
+  // Routes call events whose origin equals `origin` (the process's
+  // packed address, obs::PackAddress) into `recorder`. The recorder
+  // must outlive the tap or be detached first. Re-attaching an origin
+  // replaces the previous recorder.
+  void Attach(uint64_t origin, TraceRecorder* recorder);
+  void Detach(uint64_t origin);
+
+ private:
+  void OnEvent(const obs::Event& e);
+
+  obs::EventBus* bus_;
+  obs::EventBus::SubscriberId id_ = 0;
+  std::map<uint64_t, TraceRecorder*> recorders_;
+};
+
+}  // namespace circus::model
+
+#endif  // SRC_MODEL_BUS_TAP_H_

@@ -34,7 +34,33 @@ PairedEndpoint::PairedEndpoint(net::DatagramSocket* socket,
                                            : DeriveJitterSeed(socket)),
       incoming_calls_(
           std::make_unique<sim::Channel<Message>>(socket->host())) {
+  if (net::Network* network = socket->network(); network != nullptr) {
+    bus_ = network->event_bus();
+    if (obs::MetricsRegistry* metrics = network->metrics();
+        metrics != nullptr) {
+      retransmits_metric_ = metrics->GetCounter("msg.retransmits");
+      probe_rounds_metric_ = metrics->GetCounter("msg.probe_rounds");
+      duplicates_metric_ = metrics->GetCounter("msg.duplicates_suppressed");
+      crash_detections_metric_ = metrics->GetCounter("msg.crash_detections");
+    }
+  }
   host()->Spawn(ReceiverLoop());
+}
+
+void PairedEndpoint::PublishSegmentEvent(obs::EventKind kind,
+                                         const net::NetAddress& peer,
+                                         uint32_t call_number, uint64_t c) {
+  if (bus_ == nullptr || !bus_->active()) {
+    return;
+  }
+  obs::Event e;
+  e.kind = kind;
+  e.host = static_cast<uint32_t>(host()->id());
+  e.origin = obs::PackAddress(local_address().host, local_address().port);
+  e.a = obs::PackAddress(peer.host, peer.port);
+  e.b = call_number;
+  e.c = c;
+  bus_->Publish(std::move(e));
 }
 
 Duration PairedEndpoint::Jittered(Duration base) {
@@ -57,16 +83,24 @@ sim::Task<void> PairedEndpoint::TransmitSegment(const net::NetAddress& to,
   // Critical region around protocol state (the paper's user-mode
   // implementation masks software interrupts with sigblock).
   host()->ChargeSyscallInstant(Syscall::kSigBlock);
+  obs::EventKind kind = obs::EventKind::kSegmentSend;
   if (seg.ack) {
     ++counters_.ack_segments_sent;
+    kind = obs::EventKind::kAckSend;
   } else if (seg.is_probe()) {
     ++counters_.probe_segments_sent;
+    kind = obs::EventKind::kProbeSend;
   } else {
     ++counters_.data_segments_sent;
   }
   if (retransmission) {
     ++counters_.retransmitted_segments;
+    if (retransmits_metric_ != nullptr) {
+      retransmits_metric_->Increment();
+    }
+    kind = obs::EventKind::kSegmentRetransmit;
   }
+  PublishSegmentEvent(kind, to, seg.call_number, seg.segment_number);
   co_await socket_->Send(to, seg.Encode());
 }
 
@@ -105,6 +139,11 @@ sim::Task<circus::Status> PairedEndpoint::SendMessage(net::NetAddress to,
       if (++retries > options_.max_retransmits) {
         result = Status(ErrorCode::kCrashDetected,
                         "no acknowledgment from " + to.ToString());
+        if (crash_detections_metric_ != nullptr) {
+          crash_detections_metric_->Increment();
+        }
+        PublishSegmentEvent(obs::EventKind::kPeerCrashDetected, to,
+                            call_number, 0);
         break;
       }
       Segment again = state->unacked.front();
@@ -136,6 +175,11 @@ sim::Task<circus::Status> PairedEndpoint::SendMessage(net::NetAddress to,
         if (++attempts > options_.max_retransmits) {
           result = Status(ErrorCode::kCrashDetected,
                           "no acknowledgment from " + to.ToString());
+          if (crash_detections_metric_ != nullptr) {
+            crash_detections_metric_->Increment();
+          }
+          PublishSegmentEvent(obs::EventKind::kPeerCrashDetected, to,
+                              call_number, 0);
           break;
         }
         Segment again = state->unacked.front();
@@ -198,8 +242,16 @@ sim::Task<circus::StatusOr<Message>> PairedEndpoint::AwaitReturn(
       silent_probes = 0;
     } else if (++silent_probes > options_.max_silent_probes) {
       return_slots_.erase(key);
+      if (crash_detections_metric_ != nullptr) {
+        crash_detections_metric_->Increment();
+      }
+      PublishSegmentEvent(obs::EventKind::kPeerCrashDetected, peer,
+                          call_number, static_cast<uint64_t>(silent_probes));
       co_return Status(ErrorCode::kCrashDetected,
                        "no response to probes from " + peer.ToString());
+    }
+    if (probe_rounds_metric_ != nullptr) {
+      probe_rounds_metric_->Increment();
     }
     // Probe: a control segment asking for the ack state of our call.
     Segment probe;
@@ -339,6 +391,11 @@ void PairedEndpoint::HandleData(const net::NetAddress& from,
     // Duplicate of a completed exchange: re-acknowledge, never redeliver
     // (this is what makes execution exactly-once at the message level).
     ++counters_.duplicate_messages_suppressed;
+    if (duplicates_metric_ != nullptr) {
+      duplicates_metric_->Increment();
+    }
+    PublishSegmentEvent(obs::EventKind::kDuplicateSuppressed, from,
+                        seg.call_number, seg.segment_number);
     if (seg.please_ack) {
       SendAck(from, seg.type, seg.call_number, done->second, done->second);
     }
@@ -404,6 +461,7 @@ void PairedEndpoint::SendAck(const net::NetAddress& to, MessageType type,
   // Acks are sent from within the receiver's critical region; fire and
   // forget (they are themselves unreliable).
   ++counters_.ack_segments_sent;
+  PublishSegmentEvent(obs::EventKind::kAckSend, to, call_number, ack_number);
   host()->ChargeSyscallInstant(Syscall::kSigBlock);
   host()->ChargeSyscallInstant(Syscall::kSendMsg);
   socket_->SendRaw(to, ack.Encode());
@@ -413,6 +471,8 @@ void PairedEndpoint::DeliverMessage(const net::NetAddress& from,
                                     MessageType type, uint32_t call_number,
                                     circus::Bytes data) {
   ++counters_.messages_delivered;
+  PublishSegmentEvent(obs::EventKind::kMessageDelivered, from, call_number,
+                      data.size());
   Message m{from, type, call_number, std::move(data)};
   if (type == MessageType::kCall) {
     incoming_calls_->Send(std::move(m));

@@ -35,6 +35,8 @@
 #include "src/common/status.h"
 #include "src/msg/segment.h"
 #include "src/net/socket.h"
+#include "src/obs/bus.h"
+#include "src/obs/metrics.h"
 #include "src/sim/channel.h"
 #include "src/sim/random.h"
 #include "src/sim/task.h"
@@ -186,11 +188,22 @@ class PairedEndpoint {
                                   const Segment& seg, bool retransmission);
   // A timer interval with this endpoint's jitter applied.
   sim::Duration Jittered(sim::Duration base);
+  // Publishes a segment-level event to the World's bus (no-op when
+  // nobody subscribed). `c` is the kind-specific third field.
+  void PublishSegmentEvent(obs::EventKind kind, const net::NetAddress& peer,
+                           uint32_t call_number, uint64_t c);
 
   net::DatagramSocket* socket_;
   EndpointOptions options_;
   Counters counters_;
   sim::Rng jitter_rng_;
+  // Observability hub (null outside a World); instrument pointers are
+  // resolved once at construction.
+  obs::EventBus* bus_ = nullptr;
+  obs::Counter* retransmits_metric_ = nullptr;
+  obs::Counter* probe_rounds_metric_ = nullptr;
+  obs::Counter* duplicates_metric_ = nullptr;
+  obs::Counter* crash_detections_metric_ = nullptr;
 
   std::map<ExchangeKey, std::shared_ptr<SenderState>> senders_;
   std::map<ExchangeKey, Reassembly> reassembly_;

@@ -100,6 +100,16 @@ void Network::Transmit(sim::Host* sender, Datagram datagram) {
   if (observer_) {
     observer_(datagram);
   }
+  if (event_bus_ != nullptr && event_bus_->active()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kPacketSend;
+    e.host = static_cast<uint32_t>(sender->id());
+    e.a = obs::PackAddress(datagram.source.host, datagram.source.port);
+    e.b = obs::PackAddress(datagram.destination.host,
+                           datagram.destination.port);
+    e.c = datagram.payload.size();
+    event_bus_->Publish(std::move(e));
+  }
   if (datagram.destination.is_multicast()) {
     auto it = groups_.find(datagram.destination.host);
     if (it == groups_.end()) {

@@ -16,6 +16,8 @@
 
 #include "src/common/bytes.h"
 #include "src/net/address.h"
+#include "src/obs/bus.h"
+#include "src/obs/metrics.h"
 #include "src/sim/host.h"
 #include "src/sim/random.h"
 #include "src/sim/time.h"
@@ -105,6 +107,14 @@ class Network {
     observer_ = std::move(observer);
   }
 
+  // The World's observability hub, carried here so every layer that can
+  // reach the network (sockets, endpoints, processes) can publish
+  // events and bump metrics without new plumbing. Null outside a World.
+  void set_event_bus(obs::EventBus* bus) { event_bus_ = bus; }
+  obs::EventBus* event_bus() const { return event_bus_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   friend class DatagramSocket;
 
@@ -134,6 +144,8 @@ class Network {
   std::map<HostAddress, std::set<DatagramSocket*>> groups_;
   NetworkStats stats_;
   PacketObserver observer_;
+  obs::EventBus* event_bus_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace circus::net

@@ -29,6 +29,7 @@ class DatagramSocket {
   ~DatagramSocket();
 
   sim::Host* host() const { return host_; }
+  Network* network() const { return network_; }
   NetAddress local_address() const { return local_; }
   bool closed() const { return closed_; }
 

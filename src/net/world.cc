@@ -5,7 +5,11 @@ namespace circus::net {
 World::World(uint64_t seed, sim::SyscallCostModel cost_model)
     : rng_(seed),
       network_(&executor_, rng_.Fork()),
-      cost_model_(cost_model) {}
+      cost_model_(cost_model) {
+  bus_.SetClock([this] { return executor_.now().nanos(); });
+  network_.set_event_bus(&bus_);
+  network_.set_metrics(&metrics_);
+}
 
 World::~World() {
   // Tear down in fail-stop style: crash everything so that coroutines
@@ -23,6 +27,14 @@ sim::Host* World::AddHost(const std::string& name) {
   network_.AttachHost(host.get(), MakeHostAddress(index));
   hosts_.push_back(std::move(host));
   return hosts_.back().get();
+}
+
+std::map<uint32_t, std::string> World::HostNames() const {
+  std::map<uint32_t, std::string> names;
+  for (const auto& host : hosts_) {
+    names[static_cast<uint32_t>(host->id())] = host->name();
+  }
+  return names;
 }
 
 std::vector<sim::Host*> World::AddHosts(const std::string& prefix, int n) {

@@ -5,11 +5,14 @@
 #ifndef SRC_NET_WORLD_H_
 #define SRC_NET_WORLD_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/net/network.h"
+#include "src/obs/bus.h"
+#include "src/obs/metrics.h"
 #include "src/sim/executor.h"
 #include "src/sim/host.h"
 #include "src/sim/random.h"
@@ -31,6 +34,14 @@ class World {
   Network& network() { return network_; }
   sim::Rng& rng() { return rng_; }
 
+  // The observability hub: one event bus + metrics registry per World,
+  // stamped with this world's simulated clock. Protocol layers reach
+  // them through the Network; tests and exporters subscribe here.
+  obs::EventBus& bus() { return bus_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  // host id -> host name, for exporter process_name metadata.
+  std::map<uint32_t, std::string> HostNames() const;
+
   // Creates a host with the world's cost model and the next 10.x.y.z
   // address.
   sim::Host* AddHost(const std::string& name);
@@ -51,6 +62,10 @@ class World {
 
  private:
   sim::Rng rng_;
+  // The hub is declared before the network and hosts so that protocol
+  // teardown (which may still publish) never outlives it.
+  obs::EventBus bus_;
+  obs::MetricsRegistry metrics_;
   sim::Executor executor_;
   Network network_;
   sim::SyscallCostModel cost_model_;

@@ -1,0 +1,46 @@
+#include "src/obs/bus.h"
+
+namespace circus::obs {
+
+EventBus::SubscriberId EventBus::Subscribe(Subscriber fn) {
+  const SubscriberId id = next_id_++;
+  subscribers_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void EventBus::Unsubscribe(SubscriberId id) {
+  for (size_t i = 0; i < subscribers_.size(); ++i) {
+    if (subscribers_[i].first == id) {
+      subscribers_.erase(subscribers_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+void EventBus::Publish(Event event) {
+  if (subscribers_.empty()) {
+    return;
+  }
+  if (event.time_ns < 0 && clock_) {
+    event.time_ns = clock_();
+  }
+  ++published_;
+  // Index loop: a subscriber may subscribe/unsubscribe during delivery.
+  for (size_t i = 0; i < subscribers_.size(); ++i) {
+    subscribers_[i].second(event);
+  }
+}
+
+EventLog::EventLog(EventBus* bus) : bus_(bus) {
+  if (bus_ != nullptr) {
+    id_ = bus_->Subscribe([this](const Event& e) { events_.push_back(e); });
+  }
+}
+
+EventLog::~EventLog() {
+  if (bus_ != nullptr) {
+    bus_->Unsubscribe(id_);
+  }
+}
+
+}  // namespace circus::obs

@@ -1,0 +1,78 @@
+#include "src/obs/event.h"
+
+#include <cstdio>
+
+namespace circus::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPacketSend:
+      return "packet_send";
+    case EventKind::kSegmentSend:
+      return "segment_send";
+    case EventKind::kSegmentRetransmit:
+      return "segment_retransmit";
+    case EventKind::kAckSend:
+      return "ack_send";
+    case EventKind::kProbeSend:
+      return "probe_send";
+    case EventKind::kMessageDelivered:
+      return "message_delivered";
+    case EventKind::kDuplicateSuppressed:
+      return "duplicate_suppressed";
+    case EventKind::kPeerCrashDetected:
+      return "peer_crash_detected";
+    case EventKind::kCallIssue:
+      return "call_issue";
+    case EventKind::kCallCollate:
+      return "call_collate";
+    case EventKind::kExecuteBegin:
+      return "execute_begin";
+    case EventKind::kExecuteEnd:
+      return "execute_end";
+    case EventKind::kLateReplyServed:
+      return "late_reply_served";
+    case EventKind::kStaleBindingReject:
+      return "stale_binding_reject";
+    case EventKind::kTxnVote:
+      return "txn_vote";
+    case EventKind::kTxnDecision:
+      return "txn_decision";
+    case EventKind::kTxnRetry:
+      return "txn_retry";
+    case EventKind::kTxnResolved:
+      return "txn_resolved";
+    case EventKind::kBroadcastPropose:
+      return "broadcast_propose";
+    case EventKind::kBroadcastAccept:
+      return "broadcast_accept";
+    case EventKind::kBroadcastDeliver:
+      return "broadcast_deliver";
+    case EventKind::kTroupeRegistered:
+      return "troupe_registered";
+    case EventKind::kTroupeMemberAdded:
+      return "troupe_member_added";
+    case EventKind::kTroupeMemberRemoved:
+      return "troupe_member_removed";
+    case EventKind::kReconfigSweep:
+      return "reconfig_sweep";
+  }
+  return "unknown";
+}
+
+std::string ThreadRef::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "thread:%08x:%u:%u", machine, port, local);
+  return buf;
+}
+
+std::string PackedAddressToString(uint64_t packed) {
+  const uint32_t host = PackedAddressHost(packed);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (host >> 24) & 0xFF,
+                (host >> 16) & 0xFF, (host >> 8) & 0xFF, host & 0xFF,
+                PackedAddressPort(packed));
+  return buf;
+}
+
+}  // namespace circus::obs

@@ -1,0 +1,144 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace circus::obs::json {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto byte = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+Value& Value::Set(std::string key, Value value) {
+  type_ = Type::kObject;
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Value& Value::Append(Value value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+size_t Value::size() const {
+  return type_ == Type::kObject ? members_.size() : items_.size();
+}
+
+double Value::as_double() const {
+  switch (type_) {
+    case Type::kInt:
+      return static_cast<double>(int_);
+    case Type::kUint:
+      return static_cast<double>(uint_);
+    default:
+      return double_;
+  }
+}
+
+std::string Value::Dump() const {
+  std::string out;
+  DumpTo(out);
+  return out;
+}
+
+void Value::DumpTo(std::string& out) const {
+  char buf[40];
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    case Type::kUint:
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(uint_));
+      out += buf;
+      break;
+    case Type::kDouble:
+      if (std::isfinite(double_)) {
+        std::snprintf(buf, sizeof(buf), "%.12g", double_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    case Type::kString:
+      out += '"';
+      out += Escape(str_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : items_) {
+        if (!first) out += ',';
+        first = false;
+        v.DumpTo(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += Escape(k);
+        out += "\":";
+        v.DumpTo(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace circus::obs::json

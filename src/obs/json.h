@@ -1,0 +1,83 @@
+// A minimal JSON value + writer, sufficient for the repository's export
+// formats (Chrome trace_event files, JSONL streams, BENCH_*.json). No
+// parsing, no external dependency; output is deterministic — object keys
+// keep insertion order and doubles always render the same way.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace circus::obs::json {
+
+// JSON string escaping (no surrounding quotes). Escapes the two
+// mandatory characters, control bytes, and nothing else; non-ASCII
+// bytes pass through (the repo only emits ASCII).
+std::string Escape(std::string_view s);
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  Value() = default;
+  Value(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  Value(int v) : type_(Type::kInt), int_(v) {}                    // NOLINT
+  Value(int64_t v) : type_(Type::kInt), int_(v) {}                // NOLINT
+  Value(uint64_t v) : type_(Type::kUint), uint_(v) {}             // NOLINT
+  Value(double v) : type_(Type::kDouble), double_(v) {}           // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), str_(s) {}         // NOLINT
+
+  static Value Array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+
+  // Object: appends (keys are assumed unique; insertion order is kept).
+  Value& Set(std::string key, Value value);
+  // Array: appends.
+  Value& Append(Value value);
+
+  // Object lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+  // Array/object element count.
+  size_t size() const;
+  const std::vector<Value>& items() const { return items_; }
+
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const { return int_; }
+  uint64_t as_uint() const { return uint_; }
+  double as_double() const;
+  const std::string& as_string() const { return str_; }
+
+  // Compact single-line rendering.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string str_;
+  std::vector<Value> items_;                          // array elements
+  std::vector<std::pair<std::string, Value>> members_;  // object members
+};
+
+}  // namespace circus::obs::json
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,114 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+
+namespace circus::obs {
+
+namespace {
+constexpr int kZeroBucket = std::numeric_limits<int32_t>::min();
+
+int BucketOf(double value) {
+  if (!(value > 0)) {
+    return kZeroBucket;
+  }
+  return static_cast<int>(std::ceil(std::log2(value)));
+}
+
+double BucketUpperBound(int bucket) {
+  return bucket == kZeroBucket ? 0.0 : std::exp2(bucket);
+}
+}  // namespace
+
+void Histogram::Observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketOf(value)];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const double target = p * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets_) {
+    seen += n;
+    if (static_cast<double>(seen) >= target) {
+      const double bound = BucketUpperBound(bucket);
+      return bound > max_ ? max_ : bound;
+    }
+  }
+  return max_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap(int64_t time_ns) const {
+  Snapshot snap;
+  snap.time_ns = time_ns;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramStats s;
+    s.count = hist->count();
+    s.sum = hist->sum();
+    s.min = hist->min();
+    s.max = hist->max();
+    s.mean = hist->mean();
+    s.p50 = hist->Percentile(0.50);
+    s.p90 = hist->Percentile(0.90);
+    s.p99 = hist->Percentile(0.99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::Snapshot::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "metrics @ %.6fs\n",
+                static_cast<double>(time_ns) / 1e9);
+  out += buf;
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "  %s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %s: n=%llu mean=%.3f min=%.3f p50=%.3f p90=%.3f "
+                  "p99=%.3f max=%.3f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean, h.min, h.p50, h.p90, h.p99, h.max);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace circus::obs

@@ -1,0 +1,94 @@
+// Metrics registry: named counters and histograms, snapshot-able at any
+// simulated time. Everything is single-threaded (the simulation is), so
+// counters are plain integers and snapshots are trivially consistent.
+//
+// Pointers returned by GetCounter/GetHistogram are stable for the
+// registry's lifetime; publishers look their instruments up once at
+// construction and bump them on the hot path without a map lookup.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace circus::obs {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(uint64_t n) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Fixed-cost histogram: exact count/sum/min/max plus power-of-two
+// buckets for percentile estimates (a percentile resolves to its
+// bucket's upper bound, clamped to the observed max — deterministic and
+// good to within 2x, which is plenty for protocol latencies).
+class Histogram {
+ public:
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  // p in [0, 1]; 0 with no observations.
+  double Percentile(double p) const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  // bucket b holds values in (2^(b-1), 2^b]; values <= 0 land in the
+  // sentinel bucket INT32_MIN.
+  std::map<int, uint64_t> buckets_;
+};
+
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates; the returned pointer stays valid for the
+  // registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // A consistent view of every instrument at `time_ns` (simulated).
+  struct Snapshot {
+    int64_t time_ns = 0;
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, HistogramStats> histograms;
+
+    // Deterministic human-readable rendering, one instrument per line.
+    std::string ToString() const;
+  };
+  Snapshot Snap(int64_t time_ns) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace circus::obs
+
+#endif  // SRC_OBS_METRICS_H_

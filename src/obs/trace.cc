@@ -1,0 +1,227 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace circus::obs {
+
+namespace {
+
+// (thread, seq) — identifies one logical call across every host.
+using CallKey = std::tuple<uint32_t, uint16_t, uint16_t, uint32_t>;
+// (host, thread) — identifies one thread's activity on one host.
+using StackKey = std::tuple<uint32_t, uint32_t, uint16_t, uint16_t>;
+
+CallKey MakeCallKey(const Event& e) {
+  return {e.thread.machine, e.thread.port, e.thread.local, e.thread_seq};
+}
+
+StackKey MakeStackKey(const Event& e) {
+  return {e.host, e.thread.machine, e.thread.port, e.thread.local};
+}
+
+struct Node {
+  Span span;
+  std::vector<size_t> children;
+  bool root = false;
+};
+
+Span Materialize(const std::vector<Node>& arena, size_t index) {
+  Span out = arena[index].span;
+  out.children.reserve(arena[index].children.size());
+  for (const size_t child : arena[index].children) {
+    out.children.push_back(Materialize(arena, child));
+  }
+  return out;
+}
+
+void RemoveFromStack(std::vector<size_t>& stack, size_t node) {
+  for (size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1] == node) {
+      stack.erase(stack.begin() + static_cast<long>(i - 1));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Span> AssembleSpans(const std::vector<Event>& events) {
+  std::vector<Node> arena;
+  // Per (host, thread): indices of open spans, innermost last.
+  std::map<StackKey, std::vector<size_t>> stacks;
+  // Per (thread, seq): call-span indices in issue order. Entries stay
+  // after the call closes so a late member's execute still attaches.
+  std::map<CallKey, std::vector<size_t>> calls;
+  std::vector<size_t> roots;
+
+  auto open_span = [&](const Event& e, Span::Kind kind) -> size_t {
+    Node node;
+    node.span.kind = kind;
+    node.span.thread = e.thread;
+    node.span.seq = e.thread_seq;
+    node.span.host = e.host;
+    node.span.module = e.a;
+    node.span.procedure = e.b;
+    node.span.begin_ns = e.time_ns;
+    arena.push_back(std::move(node));
+    return arena.size() - 1;
+  };
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kCallIssue: {
+        const size_t node = open_span(e, Span::Kind::kCall);
+        auto& stack = stacks[MakeStackKey(e)];
+        if (!stack.empty()) {
+          arena[stack.back()].children.push_back(node);
+        } else {
+          arena[node].root = true;
+          roots.push_back(node);
+        }
+        stack.push_back(node);
+        calls[MakeCallKey(e)].push_back(node);
+        break;
+      }
+      case EventKind::kCallCollate: {
+        auto it = calls.find(MakeCallKey(e));
+        if (it == calls.end()) {
+          break;
+        }
+        for (const size_t node : it->second) {
+          Span& span = arena[node].span;
+          if (span.host == e.host && span.end_ns < 0) {
+            span.end_ns = e.time_ns;
+            span.ok = e.c != 0;
+            RemoveFromStack(stacks[MakeStackKey(e)], node);
+            break;
+          }
+        }
+        break;
+      }
+      case EventKind::kExecuteBegin: {
+        const size_t node = open_span(e, Span::Kind::kExecute);
+        auto it = calls.find(MakeCallKey(e));
+        size_t parent = SIZE_MAX;
+        if (it != calls.end()) {
+          // Attach to the earliest-issued call still open at this point
+          // in the stream: replicated client members' concurrent calls
+          // resolve to the first issuer, while a later reuse of the same
+          // (thread, seq) — the thread's numbering continuing in another
+          // process — cannot capture executions of a closed span.
+          for (const size_t candidate : it->second) {
+            if (arena[candidate].span.end_ns < 0) {
+              parent = candidate;
+              break;
+            }
+          }
+          if (parent == SIZE_MAX && !it->second.empty()) {
+            // Late member: its call already collated; attach to the
+            // latest (temporally nearest) issuer.
+            parent = it->second.back();
+          }
+        }
+        if (parent != SIZE_MAX) {
+          arena[parent].children.push_back(node);
+        } else {
+          arena[node].root = true;
+          roots.push_back(node);
+        }
+        stacks[MakeStackKey(e)].push_back(node);
+        break;
+      }
+      case EventKind::kExecuteEnd: {
+        auto& stack = stacks[MakeStackKey(e)];
+        for (size_t i = stack.size(); i > 0; --i) {
+          Span& span = arena[stack[i - 1]].span;
+          if (span.kind == Span::Kind::kExecute && span.seq == e.thread_seq &&
+              span.end_ns < 0) {
+            span.end_ns = e.time_ns;
+            span.ok = e.c != 0;
+            stack.erase(stack.begin() + static_cast<long>(i - 1));
+            break;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::vector<Span> out;
+  out.reserve(roots.size());
+  for (const size_t root : roots) {
+    out.push_back(Materialize(arena, root));
+  }
+  return out;
+}
+
+std::string Span::Structure() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s(%llu:%llu)%s",
+                kind == Kind::kCall ? "call" : "exec",
+                static_cast<unsigned long long>(module),
+                static_cast<unsigned long long>(procedure), ok ? "" : "!");
+  std::string out = buf;
+  if (!children.empty()) {
+    out += '{';
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += children[i].Structure();
+    }
+    out += '}';
+  }
+  return out;
+}
+
+std::string Span::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s(%llu:%llu)@h%u %s#%u [%lld,%lld]%s",
+                kind == Kind::kCall ? "call" : "exec",
+                static_cast<unsigned long long>(module),
+                static_cast<unsigned long long>(procedure), host,
+                thread.ToString().c_str(), seq,
+                static_cast<long long>(begin_ns),
+                static_cast<long long>(end_ns), ok ? "" : "!");
+  std::string out = buf;
+  if (!children.empty()) {
+    out += '{';
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += children[i].ToString();
+    }
+    out += '}';
+  }
+  return out;
+}
+
+size_t Span::TotalSpans() const {
+  size_t n = 1;
+  for (const Span& child : children) {
+    n += child.TotalSpans();
+  }
+  return n;
+}
+
+std::string StructureOf(const std::vector<Span>& roots) {
+  std::string out;
+  for (const Span& root : roots) {
+    out += root.Structure();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Render(const std::vector<Span>& roots) {
+  std::string out;
+  for (const Span& root : roots) {
+    out += root.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace circus::obs

@@ -1,0 +1,68 @@
+// TraceAssembler: turns a run's event stream into per-call span trees.
+//
+// The correlation key is the Section 3.4.1 logical thread: a client span
+// opens at kCallIssue and closes at kCallCollate; every server member
+// that executes the call emits kExecuteBegin/kExecuteEnd with the same
+// (thread, thread_seq), and those execute spans become children of the
+// call span — across hosts. Nested calls a handler makes parent to the
+// enclosing execute span on the same (host, thread). The result: one
+// connected tree per root thread, no matter how many troupe members the
+// call fanned out across.
+//
+// Replicated *clients* issue the same (thread, thread_seq) from several
+// hosts; the server's single execution then attaches to the
+// earliest-issued member call still open (deterministic), and the
+// sibling members' call spans stay leaves. Spans whose end event never
+// arrived (crashed host, abandoned call) keep end_ns = -1.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/event.h"
+
+namespace circus::obs {
+
+struct Span {
+  enum class Kind : uint8_t {
+    kCall,     // client side: issue -> collate
+    kExecute,  // server member: execute begin -> end
+  };
+
+  Kind kind = Kind::kCall;
+  ThreadRef thread;
+  uint32_t seq = 0;
+  uint32_t host = 0;
+  uint64_t module = 0;
+  uint64_t procedure = 0;
+  int64_t begin_ns = -1;
+  int64_t end_ns = -1;
+  bool ok = true;
+  std::vector<Span> children;
+
+  // Structural rendering: kind, procedure, outcome, children — no
+  // hosts, threads, or times. Equal across replicas of one call and
+  // across seeds of one workload (thread ids are clock-seeded and so
+  // differ per seed; structure does not).
+  std::string Structure() const;
+  // Full rendering including host, thread, and timestamps: equal only
+  // for byte-identical runs (same seed, same workload).
+  std::string ToString() const;
+
+  size_t TotalSpans() const;
+};
+
+// Assembles the span forest from `events` (must be in publish order, as
+// an EventLog records them). Events of non-span kinds are ignored.
+// Roots come out in issue order.
+std::vector<Span> AssembleSpans(const std::vector<Event>& events);
+
+// Concatenated Structure()/ToString() of a forest, one root per line.
+std::string StructureOf(const std::vector<Span>& roots);
+std::string Render(const std::vector<Span>& roots);
+
+}  // namespace circus::obs
+
+#endif  // SRC_OBS_TRACE_H_

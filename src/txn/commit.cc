@@ -4,6 +4,8 @@
 
 #include "src/binding/codec.h"
 #include "src/common/log.h"
+#include "src/obs/bus.h"
+#include "src/obs/metrics.h"
 
 namespace circus::txn {
 
@@ -13,6 +15,32 @@ using core::ServerCallContext;
 using core::Troupe;
 using sim::Duration;
 using sim::Task;
+
+namespace {
+
+// Publishes a transaction-protocol event keyed by the transaction's
+// logical thread, so commit traffic lands in the same trace tree as the
+// calls that ran the transaction body.
+void PublishTxnEvent(core::RpcProcess* process, obs::EventKind kind,
+                     const TxnId& txn, uint64_t a, std::string detail) {
+  obs::EventBus* bus = process->event_bus();
+  if (bus == nullptr || !bus->active()) {
+    return;
+  }
+  obs::Event e;
+  e.kind = kind;
+  e.host = static_cast<uint32_t>(process->host()->id());
+  const net::NetAddress self = process->process_address();
+  e.origin = obs::PackAddress(self.host, self.port);
+  e.thread = obs::ThreadRef{txn.thread.machine, txn.thread.port,
+                            txn.thread.local};
+  e.a = a;
+  e.c = txn.num;
+  e.detail = std::move(detail);
+  bus->Publish(std::move(e));
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------
 // CommitCoordinator
@@ -61,10 +89,14 @@ Task<StatusOr<circus::Bytes>> CommitCoordinator::HandleReadyToCommit(
       // Any abort vote decides immediately.
       p->decision = false;
       p->decided.Notify();
+      PublishTxnEvent(process_, obs::EventKind::kTxnDecision, txn, 0,
+                      txn.ToString() + " abort-vote");
     } else if (p->votes >= p->expected) {
       // Every member of the server troupe is ready: commit.
       p->decision = true;
       p->decided.Notify();
+      PublishTxnEvent(process_, obs::EventKind::kTxnDecision, txn, 1,
+                      txn.ToString());
     }
   }
   if (!p->decision.has_value()) {
@@ -72,10 +104,16 @@ Task<StatusOr<circus::Bytes>> CommitCoordinator::HandleReadyToCommit(
     // are ready is precisely what turns divergent commit orders into a
     // deadlock (Theorem 5.1). The timeout is the deadlock breaker.
     const uint64_t timer = process_->host()->executor().ScheduleAfter(
-        p->timeout, [p, this] {
+        p->timeout, [p, txn, this] {
           if (!p->decision.has_value()) {
             p->decision = false;  // presume deadlock; abort
             ++timeouts_;
+            if (obs::MetricsRegistry* metrics = process_->metrics();
+                metrics != nullptr) {
+              metrics->GetCounter("txn.decision_timeouts")->Increment();
+            }
+            PublishTxnEvent(process_, obs::EventKind::kTxnDecision, txn, 0,
+                            txn.ToString() + " deadlock-timeout");
             p->decided.Notify();
           }
         });
@@ -129,6 +167,8 @@ Task<StatusOr<circus::Bytes>> TransactionalServer::HandleFinish(
   // operations failed here (deadlock / lock timeout poisoned it).
   const bool vote =
       vote_hook_ ? vote_hook_(txn) : !store_->Poisoned(txn);
+  PublishTxnEvent(process_, obs::EventKind::kTxnVote, txn, vote ? 1 : 0,
+                  txn.ToString());
   // Call ready_to_commit back at the client troupe. The roles of client
   // and server are reversed here (Section 5.3). Each server troupe
   // member makes this call-back on a thread of its own: votes are
@@ -176,6 +216,15 @@ Task<Status> RunTransaction(core::RpcProcess* process,
                             const TransactionBody& body,
                             const RunTransactionOptions& options) {
   Status last(ErrorCode::kAborted, "transaction never attempted");
+  obs::MetricsRegistry* metrics = process->metrics();
+  obs::Histogram* commit_ms_metric =
+      metrics != nullptr ? metrics->GetHistogram("txn.commit_ms") : nullptr;
+  obs::Counter* restarts_metric =
+      metrics != nullptr ? metrics->GetCounter("txn.deadlock_restarts")
+                         : nullptr;
+  obs::Counter* aborts_metric =
+      metrics != nullptr ? metrics->GetCounter("txn.aborts") : nullptr;
+  const sim::TimePoint txn_start = process->host()->executor().now();
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
     const TxnId txn{thread, coordinator->NextTxnNum(thread)};
     coordinator->Begin(txn, static_cast<int>(server.members.size()),
@@ -190,6 +239,11 @@ Task<Status> RunTransaction(core::RpcProcess* process,
       last = body_status;
       if (body_status.code() != ErrorCode::kDeadlock &&
           body_status.code() != ErrorCode::kAborted) {
+        if (aborts_metric != nullptr) {
+          aborts_metric->Increment();
+        }
+        PublishTxnEvent(process, obs::EventKind::kTxnResolved, txn, 0,
+                        body_status.ToString());
         co_return body_status;  // a real error; do not retry
       }
     } else {
@@ -209,6 +263,15 @@ Task<Status> RunTransaction(core::RpcProcess* process,
         marshal::Reader rr(*r);
         const bool committed = rr.ReadBool();
         if (rr.ok() && committed) {
+          if (commit_ms_metric != nullptr) {
+            commit_ms_metric->Observe(
+                static_cast<double>(
+                    (process->host()->executor().now() - txn_start)
+                        .nanos()) /
+                1e6);
+          }
+          PublishTxnEvent(process, obs::EventKind::kTxnResolved, txn, 1,
+                          txn.ToString());
           co_return Status::Ok();
         }
         last = Status(ErrorCode::kAborted,
@@ -218,10 +281,20 @@ Task<Status> RunTransaction(core::RpcProcess* process,
         if (last.code() != ErrorCode::kDeadlock &&
             last.code() != ErrorCode::kAborted &&
             last.code() != ErrorCode::kDisagreement) {
+          if (aborts_metric != nullptr) {
+            aborts_metric->Increment();
+          }
+          PublishTxnEvent(process, obs::EventKind::kTxnResolved, txn, 0,
+                          last.ToString());
           co_return last;
         }
       }
     }
+    if (restarts_metric != nullptr) {
+      restarts_metric->Increment();
+    }
+    PublishTxnEvent(process, obs::EventKind::kTxnRetry, txn,
+                    static_cast<uint64_t>(attempt) + 1, last.ToString());
     // Binary exponential back-off before retrying (Section 5.3.1).
     Duration delay = options.backoff_base * (1LL << std::min(attempt, 10));
     if (options.rng != nullptr) {
@@ -230,6 +303,11 @@ Task<Status> RunTransaction(core::RpcProcess* process,
     }
     co_await process->host()->SleepFor(delay);
   }
+  if (aborts_metric != nullptr) {
+    aborts_metric->Increment();
+  }
+  PublishTxnEvent(process, obs::EventKind::kTxnResolved,
+                  TxnId{thread, 0}, 0, "attempts exhausted");
   co_return last;
 }
 

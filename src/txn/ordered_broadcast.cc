@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/marshal/marshal.h"
+#include "src/obs/bus.h"
 
 namespace circus::txn {
 
@@ -10,6 +11,31 @@ using circus::Status;
 using circus::StatusOr;
 using core::ServerCallContext;
 using sim::Task;
+
+namespace {
+
+// Publishes an ordered-broadcast event (a = message id, b = logical
+// time). `thread` is the replicated call's thread when the event happens
+// inside a handler, or zero for local delivery from the queue.
+void PublishBroadcastEvent(core::RpcProcess* process, obs::EventKind kind,
+                           const core::ThreadId& thread, uint64_t msg_id,
+                           int64_t logical_time) {
+  obs::EventBus* bus = process->event_bus();
+  if (bus == nullptr || !bus->active()) {
+    return;
+  }
+  obs::Event e;
+  e.kind = kind;
+  e.host = static_cast<uint32_t>(process->host()->id());
+  const net::NetAddress self = process->process_address();
+  e.origin = obs::PackAddress(self.host, self.port);
+  e.thread = obs::ThreadRef{thread.machine, thread.port, thread.local};
+  e.a = msg_id;
+  e.b = static_cast<uint64_t>(logical_time);
+  bus->Publish(std::move(e));
+}
+
+}  // namespace
 
 OrderedBroadcastServer::OrderedBroadcastServer(
     core::RpcProcess* process, const std::string& module_name)
@@ -19,7 +45,7 @@ OrderedBroadcastServer::OrderedBroadcastServer(
   module_ = process_->ExportModule(module_name);
   process_->ExportProcedure(
       module_, kGetProposedTime,
-      [this](ServerCallContext&,
+      [this](ServerCallContext& ctx,
              const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
         marshal::Reader r(args);
         const uint64_t msg_id = r.ReadU64();
@@ -35,13 +61,15 @@ OrderedBroadcastServer::OrderedBroadcastServer(
           by_id_[msg_id] = key;
           queue_[key] = Entry{std::move(payload), EntryStatus::kProposed};
         }
+        PublishBroadcastEvent(process_, obs::EventKind::kBroadcastPropose,
+                              ctx.thread, msg_id, by_id_[msg_id].time);
         marshal::Writer w;
         w.WriteI64(by_id_[msg_id].time);
         co_return w.Take();
       });
   process_->ExportProcedure(
       module_, kAcceptTime,
-      [this](ServerCallContext&,
+      [this](ServerCallContext& ctx,
              const circus::Bytes& args) -> Task<StatusOr<circus::Bytes>> {
         marshal::Reader r(args);
         const uint64_t msg_id = r.ReadU64();
@@ -49,6 +77,8 @@ OrderedBroadcastServer::OrderedBroadcastServer(
         if (!r.AtEnd()) {
           co_return Status(ErrorCode::kProtocolError, "bad accept args");
         }
+        PublishBroadcastEvent(process_, obs::EventKind::kBroadcastAccept,
+                              ctx.thread, msg_id, accepted_time);
         auto it = by_id_.find(msg_id);
         if (it == by_id_.end()) {
           co_return Status(ErrorCode::kNotFound, "unknown broadcast");
@@ -95,6 +125,9 @@ void OrderedBroadcastServer::DrainDeliverable() {
     }
     by_id_.erase(head->first.msg_id);
     ++delivered_count_;
+    PublishBroadcastEvent(process_, obs::EventKind::kBroadcastDeliver,
+                          core::ThreadId{}, head->first.msg_id,
+                          head->first.time);
     delivered_->Send(std::move(head->second.payload));
     queue_.erase(head);
   }

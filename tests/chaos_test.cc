@@ -4,11 +4,16 @@
 // bugs and shrinks their schedules to minimal reproducers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 
 #include "src/chaos/harness.h"
 #include "src/chaos/schedule.h"
 #include "src/chaos/sweep.h"
+#include "src/obs/event.h"
 
 namespace circus::chaos {
 namespace {
@@ -88,6 +93,68 @@ TEST(ChaosHarness, SameSeedReproducesByteIdenticalRun) {
   // The run did real work and real damage.
   EXPECT_GT(first.calls_issued, 0);
   EXPECT_GT(first.faults_applied, 0);
+}
+
+TEST(ChaosHarness, TracedRunExportsCorrelatedEventStream) {
+  Schedule schedule = GenerateSchedule(31, CiSchedule());
+  HarnessOptions harness = CiHarness();
+  harness.seed = 31;
+  harness.collect_events = true;
+  const std::string prefix = ::testing::TempDir() + "chaos_trace_31";
+  harness.trace_json_path = prefix + ".json";
+  harness.trace_jsonl_path = prefix + ".jsonl";
+  ChaosReport report = RunChaos(schedule, harness);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  ASSERT_FALSE(report.events.empty());
+
+  // Correlation: every server-side execution carries a thread that some
+  // client-side call issue also carries — one root ThreadId ties a
+  // replicated call's events together across all troupe members.
+  std::set<std::string> issue_threads;
+  std::set<uint32_t> execute_hosts;
+  for (const obs::Event& e : report.events) {
+    if (e.kind == obs::EventKind::kCallIssue) {
+      issue_threads.insert(e.thread.ToString());
+    }
+  }
+  ASSERT_FALSE(issue_threads.empty());
+  for (const obs::Event& e : report.events) {
+    if (e.kind == obs::EventKind::kExecuteBegin) {
+      EXPECT_TRUE(issue_threads.count(e.thread.ToString()) == 1)
+          << "execution on host " << e.host << " has unknown thread "
+          << e.thread.ToString();
+      execute_hosts.insert(e.host);
+    }
+  }
+  EXPECT_GE(execute_hosts.size(), 2u);  // the call fanned out
+
+  // The metrics snapshot rode along and saw protocol activity.
+  EXPECT_GT(report.metrics.counters.at("msg.retransmits") +
+                report.metrics.counters.at("msg.probe_rounds"),
+            0u);
+  EXPECT_GT(report.metrics.histograms.at("rpc.collator_wait_ms").count, 0u);
+
+  // Both export files landed: the Chrome envelope and one JSONL line per
+  // collected event.
+  std::ifstream json_in(harness.trace_json_path);
+  ASSERT_TRUE(json_in.good());
+  std::stringstream json_buf;
+  json_buf << json_in.rdbuf();
+  const std::string chrome = json_buf.str();
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  ASSERT_FALSE(chrome.empty());
+  EXPECT_EQ(chrome.back(), '}');
+  EXPECT_NE(chrome.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+
+  std::ifstream jsonl_in(harness.trace_jsonl_path);
+  ASSERT_TRUE(jsonl_in.good());
+  std::stringstream jsonl_buf;
+  jsonl_buf << jsonl_in.rdbuf();
+  const std::string jsonl = jsonl_buf.str();
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(jsonl.begin(), jsonl.end(), '\n')),
+            report.events.size());
+  EXPECT_NE(jsonl.find("\"kind\":\"call_issue\""), std::string::npos);
 }
 
 TEST(ChaosSweep, HundredSeedsHoldTheInvariants) {

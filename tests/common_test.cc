@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "src/common/bytes.h"
 #include "src/common/hexdump.h"
+#include "src/common/log.h"
 #include "src/common/status.h"
 
 namespace circus {
@@ -62,6 +67,58 @@ TEST(HexDumpTest, FormatsOffsetsHexAndAscii) {
 
 TEST(HexDumpTest, EmptyBufferYieldsEmptyDump) {
   EXPECT_EQ(HexDump(Bytes{}), "");
+}
+
+class LogSinkTest : public ::testing::Test {
+ protected:
+  ~LogSinkTest() override {
+    SetLogSink({});  // restore stderr for the rest of the binary
+    SetLogLevel(LogLevel::kWarning);
+  }
+};
+
+TEST_F(LogSinkTest, SinkReceivesRecordsAboveThreshold) {
+  std::vector<std::pair<LogLevel, std::string>> seen;
+  SetLogSink([&](LogLevel level, int64_t, const std::string& message) {
+    seen.emplace_back(level, message);
+  });
+  SetLogLevel(LogLevel::kInfo);
+  CIRCUS_LOG(LogLevel::kDebug) << "filtered";
+  CIRCUS_LOG(LogLevel::kInfo) << "kept " << 42;
+  CIRCUS_LOG_AT(LogLevel::kError, 1500000) << "timed";
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair{LogLevel::kInfo, std::string("kept 42")}));
+  EXPECT_EQ(seen[1].second, "timed");
+}
+
+TEST_F(LogSinkTest, SinkSeesSimTimeAndFormatterRendersIt) {
+  int64_t seen_ns = -2;
+  SetLogSink([&](LogLevel, int64_t sim_time_ns, const std::string&) {
+    seen_ns = sim_time_ns;
+  });
+  SetLogLevel(LogLevel::kInfo);
+  CIRCUS_LOG_AT(LogLevel::kInfo, 2500000000) << "at 2.5s";
+  EXPECT_EQ(seen_ns, 2500000000);
+  EXPECT_EQ(FormatLogRecord(LogLevel::kInfo, 2500000000, "at 2.5s"),
+            "[I   2.500000s] at 2.5s");
+  EXPECT_EQ(FormatLogRecord(LogLevel::kWarning, -1, "no time"),
+            "[W] no time");
+}
+
+TEST_F(LogSinkTest, ThresholdIsLatchedPerLine) {
+  // A line below the threshold at construction stays suppressed even if
+  // the level drops while it is being streamed.
+  std::vector<std::string> seen;
+  SetLogSink([&](LogLevel, int64_t, const std::string& message) {
+    seen.push_back(message);
+  });
+  SetLogLevel(LogLevel::kError);
+  {
+    internal::LogLine line(LogLevel::kInfo, -1);
+    SetLogLevel(LogLevel::kTrace);
+    line << "started suppressed";
+  }
+  EXPECT_TRUE(seen.empty());
 }
 
 }  // namespace

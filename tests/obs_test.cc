@@ -1,0 +1,469 @@
+// Tests for src/obs: the event bus, metrics registry, JSON value,
+// exporters, and the TraceAssembler — plus the end-to-end property the
+// subsystem exists for: a replicated call that fans out across two
+// troupes (with a transaction beside it) reconstructs into one connected
+// span tree per root thread, with byte-identical output for equal seeds
+// and structurally identical output across seeds and replicas.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/process.h"
+#include "src/marshal/marshal.h"
+#include "src/net/world.h"
+#include "src/obs/bus.h"
+#include "src/obs/event.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/txn/commit.h"
+
+namespace circus::obs {
+namespace {
+
+using circus::core::ModuleNumber;
+using circus::core::RpcProcess;
+using circus::core::ServerCallContext;
+using circus::core::ThreadId;
+using circus::core::Troupe;
+using circus::net::World;
+using circus::sim::Duration;
+using circus::sim::Task;
+using circus::txn::CommitCoordinator;
+using circus::txn::TransactionalServer;
+using circus::txn::TxnId;
+
+// ------------------------------------------------------------- bus ----
+
+TEST(EventBusTest, InactiveUntilSubscribedAndFansOutInOrder) {
+  EventBus bus;
+  EXPECT_FALSE(bus.active());
+  std::vector<std::pair<int, EventKind>> seen;
+  const EventBus::SubscriberId first =
+      bus.Subscribe([&](const Event& e) { seen.emplace_back(1, e.kind); });
+  bus.Subscribe([&](const Event& e) { seen.emplace_back(2, e.kind); });
+  EXPECT_TRUE(bus.active());
+
+  Event e;
+  e.kind = EventKind::kCallIssue;
+  bus.Publish(e);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, 1);  // subscription order
+  EXPECT_EQ(seen[1].first, 2);
+
+  bus.Unsubscribe(first);
+  e.kind = EventKind::kCallCollate;
+  bus.Publish(e);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[2].first, 2);
+  EXPECT_EQ(bus.published(), 2u);
+}
+
+TEST(EventBusTest, ClockStampsOnlyUnsetTimes) {
+  EventBus bus;
+  bus.SetClock([] { return int64_t{12345}; });
+  std::vector<int64_t> stamps;
+  bus.Subscribe([&](const Event& e) { stamps.push_back(e.time_ns); });
+
+  bus.Publish(Event{});  // time_ns defaults to -1: stamped
+  Event preset;
+  preset.time_ns = 777;
+  bus.Publish(preset);  // publisher-chosen time survives
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0], 12345);
+  EXPECT_EQ(stamps[1], 777);
+}
+
+TEST(EventLogTest, BuffersWhileAliveAndDetachesOnDestruction) {
+  EventBus bus;
+  {
+    EventLog log(&bus);
+    bus.Publish(Event{});
+    bus.Publish(Event{});
+    EXPECT_EQ(log.events().size(), 2u);
+    std::vector<Event> taken = log.Take();
+    EXPECT_EQ(taken.size(), 2u);
+    EXPECT_TRUE(log.events().empty());
+  }
+  EXPECT_FALSE(bus.active());
+}
+
+// --------------------------------------------------------- metrics ----
+
+TEST(MetricsTest, CountersAndHistogramsSnapshotConsistently) {
+  MetricsRegistry registry;
+  Counter* calls = registry.GetCounter("rpc.calls");
+  calls->Increment();
+  calls->Add(4);
+  EXPECT_EQ(registry.GetCounter("rpc.calls"), calls);  // stable pointer
+
+  Histogram* wait = registry.GetHistogram("rpc.wait_ms");
+  for (int i = 1; i <= 100; ++i) {
+    wait->Observe(i);
+  }
+  EXPECT_EQ(wait->count(), 100u);
+  EXPECT_DOUBLE_EQ(wait->min(), 1.0);
+  EXPECT_DOUBLE_EQ(wait->max(), 100.0);
+  EXPECT_DOUBLE_EQ(wait->mean(), 50.5);
+  // Power-of-two buckets: a percentile lands within 2x of the truth.
+  EXPECT_GE(wait->Percentile(0.5), 50.0);
+  EXPECT_LE(wait->Percentile(0.5), 100.0);
+
+  MetricsRegistry::Snapshot snap = registry.Snap(42);
+  EXPECT_EQ(snap.time_ns, 42);
+  EXPECT_EQ(snap.counters.at("rpc.calls"), 5u);
+  EXPECT_EQ(snap.histograms.at("rpc.wait_ms").count, 100u);
+  EXPECT_FALSE(snap.ToString().empty());
+  EXPECT_EQ(snap.ToString(), registry.Snap(42).ToString());
+  // Snapshot is a copy: later bumps do not leak in.
+  calls->Increment();
+  EXPECT_EQ(snap.counters.at("rpc.calls"), 5u);
+  EXPECT_EQ(registry.Snap(42).counters.at("rpc.calls"), 6u);
+}
+
+// ------------------------------------------------------------ json ----
+
+TEST(JsonTest, DumpsNestedValuesDeterministically) {
+  json::Value root = json::Value::Object();
+  root.Set("name", "tab\"le");
+  root.Set("n", 3);
+  root.Set("ratio", 0.5);
+  root.Set("ok", true);
+  json::Value rows = json::Value::Array();
+  rows.Append(json::Value::Object().Set("x", 1));
+  rows.Append(json::Value::Object().Set("x", 2));
+  root.Set("rows", std::move(rows));
+  EXPECT_EQ(root.Dump(),
+            "{\"name\":\"tab\\\"le\",\"n\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"rows\":[{\"x\":1},{\"x\":2}]}");
+}
+
+// ----------------------------------------------------------- event ----
+
+TEST(EventTest, PackAddressRoundTripsAndThreadRefMatchesThreadId) {
+  const uint64_t packed = PackAddress(0x0A000003, 9000);
+  EXPECT_EQ(PackedAddressHost(packed), 0x0A000003u);
+  EXPECT_EQ(PackedAddressPort(packed), 9000);
+
+  const ThreadRef ref{0x0A000003, 8000, 7};
+  const ThreadId id{0x0A000003, 8000, 7};
+  EXPECT_EQ(ref.ToString(), id.ToString());  // keys line up across layers
+  EXPECT_FALSE(ref.zero());
+  EXPECT_TRUE(ThreadRef{}.zero());
+}
+
+// ------------------------------------------------- trace assembler ----
+
+TEST(TraceAssemblerTest, NestsExecuteAndNestedCallsUnderTheRootCall) {
+  const ThreadRef t{1, 8000, 1};
+  std::vector<Event> events;
+  auto push = [&](EventKind kind, uint32_t host, uint32_t seq, int64_t ns) {
+    Event e;
+    e.kind = kind;
+    e.host = host;
+    e.thread = t;
+    e.thread_seq = seq;
+    e.time_ns = ns;
+    e.c = 1;
+    events.push_back(e);
+  };
+  push(EventKind::kCallIssue, 1, 1, 10);     // client call
+  push(EventKind::kExecuteBegin, 2, 1, 20);  // member 2 executes it
+  push(EventKind::kCallIssue, 2, 2, 30);     // nested call from member 2
+  push(EventKind::kExecuteBegin, 3, 2, 40);  // backend executes the nested
+  push(EventKind::kExecuteEnd, 3, 2, 50);
+  push(EventKind::kCallCollate, 2, 2, 60);
+  push(EventKind::kExecuteEnd, 2, 1, 70);
+  push(EventKind::kCallCollate, 1, 1, 80);
+
+  std::vector<Span> roots = AssembleSpans(events);
+  ASSERT_EQ(roots.size(), 1u);
+  const Span& root = roots[0];
+  EXPECT_EQ(root.kind, Span::Kind::kCall);
+  EXPECT_EQ(root.TotalSpans(), 4u);
+  ASSERT_EQ(root.children.size(), 1u);
+  const Span& execute = root.children[0];
+  EXPECT_EQ(execute.kind, Span::Kind::kExecute);
+  ASSERT_EQ(execute.children.size(), 1u);
+  const Span& nested = execute.children[0];
+  EXPECT_EQ(nested.kind, Span::Kind::kCall);
+  ASSERT_EQ(nested.children.size(), 1u);
+  EXPECT_EQ(nested.children[0].kind, Span::Kind::kExecute);
+  EXPECT_EQ(nested.children[0].end_ns, 50);
+}
+
+// ------------------------------------- end-to-end span-tree checks ----
+
+constexpr core::ProcedureNumber kTxnAdd = 1;
+
+Bytes EncodeAdd(const TxnId& txn, int64_t delta) {
+  marshal::Writer w;
+  txn.Write(w);
+  w.WriteI64(delta);
+  return w.Take();
+}
+
+Task<Status> AddBody(RpcProcess* process, ThreadId thread, Troupe troupe,
+                     ModuleNumber module, TxnId txn) {
+  StatusOr<Bytes> r = co_await process->Call(thread, troupe, module,
+                                             kTxnAdd, EncodeAdd(txn, 1));
+  co_return r.status();
+}
+
+struct WorkloadResult {
+  std::vector<Event> events;
+  std::vector<Span> spans;
+  std::string call_thread;  // root thread of the nested replicated call
+  std::string txn_thread;   // root thread of the transaction
+};
+
+// One full workload under an EventLog: a client calls a 2-member front
+// troupe whose handler makes a nested call into a 2-member backend
+// troupe; a second root thread runs a committed transaction against a
+// 2-member transactional troupe.
+WorkloadResult RunWorkload(uint64_t seed) {
+  World world(seed, sim::SyscallCostModel::Free());
+  EventLog log(&world.bus());
+
+  Troupe backend;
+  backend.id = core::TroupeId{600};
+  std::vector<std::unique_ptr<RpcProcess>> backend_members;
+  for (int i = 0; i < 2; ++i) {
+    sim::Host* host = world.AddHost("backend" + std::to_string(i));
+    auto process =
+        std::make_unique<RpcProcess>(&world.network(), host, 9100);
+    const ModuleNumber module = process->ExportModule("store");
+    process->ExportProcedure(
+        module, 0,
+        [](ServerCallContext&, const Bytes& args) -> Task<StatusOr<Bytes>> {
+          co_return args;
+        });
+    process->SetTroupeId(backend.id);
+    backend.members.push_back(process->module_address(module));
+    backend_members.push_back(std::move(process));
+  }
+
+  Troupe front;
+  front.id = core::TroupeId{601};
+  std::vector<std::unique_ptr<RpcProcess>> front_members;
+  for (int i = 0; i < 2; ++i) {
+    sim::Host* host = world.AddHost("front" + std::to_string(i));
+    auto process =
+        std::make_unique<RpcProcess>(&world.network(), host, 9000);
+    const ModuleNumber module = process->ExportModule("front");
+    const Troupe backend_copy = backend;
+    process->ExportProcedure(
+        module, 0,
+        [backend_copy](ServerCallContext& ctx,
+                       const Bytes& args) -> Task<StatusOr<Bytes>> {
+          co_return co_await ctx.Call(backend_copy, 0, 0, args);
+        });
+    process->SetTroupeId(front.id);
+    front.members.push_back(process->module_address(module));
+    front_members.push_back(std::move(process));
+  }
+
+  Troupe txn_troupe;
+  txn_troupe.id = core::TroupeId{602};
+  ModuleNumber txn_module = 0;
+  std::vector<std::unique_ptr<RpcProcess>> txn_procs;
+  std::vector<std::unique_ptr<TransactionalServer>> txn_servers;
+  for (int i = 0; i < 2; ++i) {
+    sim::Host* host = world.AddHost("txn" + std::to_string(i));
+    auto process =
+        std::make_unique<RpcProcess>(&world.network(), host, 9200);
+    auto server =
+        std::make_unique<TransactionalServer>(process.get(), "counter");
+    txn_module = server->module_number();
+    TransactionalServer* raw = server.get();
+    server->ExportProcedure(
+        kTxnAdd,
+        [raw](ServerCallContext&,
+              const Bytes& args) -> Task<StatusOr<Bytes>> {
+          marshal::Reader r(args);
+          const TxnId txn = TxnId::Read(r);
+          const int64_t delta = r.ReadI64();
+          raw->store().Begin(txn);
+          marshal::Writer w;
+          w.WriteI64(delta);
+          Status s = co_await raw->store().Put(txn, "x", w.Take());
+          if (!s.ok()) {
+            co_return s;
+          }
+          co_return Bytes{};
+        });
+    process->SetTroupeId(txn_troupe.id);
+    txn_troupe.members.push_back(process->module_address(txn_module));
+    txn_procs.push_back(std::move(process));
+    txn_servers.push_back(std::move(server));
+  }
+
+  sim::Host* client_host = world.AddHost("client");
+  RpcProcess client(&world.network(), client_host, 8000);
+  CommitCoordinator coordinator(&client);
+
+  WorkloadResult result;
+  world.executor().Spawn(
+      [](RpcProcess* c, Troupe t, std::string* thread_out) -> Task<void> {
+        const ThreadId thread = c->NewRootThread();
+        *thread_out = thread.ToString();
+        StatusOr<Bytes> r =
+            co_await c->Call(thread, t, 0, 0, BytesFromString("req"));
+        CIRCUS_CHECK(r.ok());
+      }(&client, front, &result.call_thread));
+  world.executor().Spawn(
+      [](RpcProcess* c, CommitCoordinator* coord, Troupe t,
+         ModuleNumber mod, std::string* thread_out) -> Task<void> {
+        const ThreadId thread = c->NewRootThread();
+        *thread_out = thread.ToString();
+        const circus::txn::TransactionBody body =
+            [c, thread, t, mod](const TxnId& txn) {
+              return AddBody(c, thread, t, mod, txn);
+            };
+        Status s = co_await circus::txn::RunTransaction(
+            c, coord, thread, t, mod, body);
+        CIRCUS_CHECK(s.ok());
+      }(&client, &coordinator, txn_troupe, txn_module,
+        &result.txn_thread));
+  world.RunFor(Duration::Seconds(30));
+
+  result.events = log.Take();
+  result.spans = AssembleSpans(result.events);
+  return result;
+}
+
+// Concatenated Structure()/Render of the roots belonging to one thread
+// (a thread's calls are sequential, so this order is deterministic even
+// when two threads' trees interleave in the global forest).
+std::string StructureOfThread(const WorkloadResult& r,
+                              const std::string& thread) {
+  std::string out;
+  for (const Span& root : r.spans) {
+    if (root.thread.ToString() == thread) {
+      out += root.Structure() + "\n";
+    }
+  }
+  return out;
+}
+
+TEST(ObsEndToEndTest, NestedCallFormsOneConnectedTreePerRootThread) {
+  WorkloadResult r = RunWorkload(2024);
+  ASSERT_FALSE(r.events.empty());
+  ASSERT_FALSE(r.spans.empty());
+  ASSERT_NE(r.call_thread, r.txn_thread);
+
+  // Both workload threads appear as root threads. Executing a call never
+  // invents a thread: any other root thread was created by a server
+  // process for its own machinery (the commit protocol's internal
+  // exchanges), so it is rooted at a server port, not at the client.
+  std::set<std::string> root_threads;
+  for (const Span& root : r.spans) {
+    root_threads.insert(root.thread.ToString());
+  }
+  EXPECT_EQ(root_threads.count(r.call_thread), 1u);
+  EXPECT_EQ(root_threads.count(r.txn_thread), 1u);
+  for (const Span& root : r.spans) {
+    if (root.thread.ToString() != r.call_thread &&
+        root.thread.ToString() != r.txn_thread) {
+      EXPECT_NE(root.thread.port, 8000) << root.thread.ToString();
+    }
+  }
+
+  // The nested replicated call is ONE connected tree: the root call span
+  // holds both front members' executions, and each execution holds its
+  // nested call into the backend troupe.
+  std::vector<const Span*> call_roots;
+  for (const Span& root : r.spans) {
+    if (root.thread.ToString() == r.call_thread) {
+      call_roots.push_back(&root);
+    }
+  }
+  ASSERT_EQ(call_roots.size(), 1u);
+  const Span& call = *call_roots[0];
+  EXPECT_EQ(call.kind, Span::Kind::kCall);
+  ASSERT_EQ(call.children.size(), 2u);  // both front members executed
+  EXPECT_NE(call.children[0].host, call.children[1].host);
+  size_t backend_executes = 0;
+  for (const Span& execute : call.children) {
+    EXPECT_EQ(execute.kind, Span::Kind::kExecute);
+    ASSERT_EQ(execute.children.size(), 1u);  // the nested backend call
+    const Span& nested = execute.children[0];
+    EXPECT_EQ(nested.kind, Span::Kind::kCall);
+    // Deterministic replicas: both members issued the same nested call.
+    EXPECT_EQ(nested.seq, call.children[0].children[0].seq);
+    EXPECT_GT(nested.seq, call.seq);  // continues the thread's numbering
+    backend_executes += nested.children.size();
+  }
+  // Many-to-one collation: the backend saw ONE replicated call from the
+  // front troupe and each backend member executed it once, attached
+  // under the earliest member's nested call span.
+  EXPECT_EQ(backend_executes, 2u);
+  // 1 call + 2 executes + 2 nested calls + 2 backend executes.
+  EXPECT_EQ(call.TotalSpans(), 7u);
+
+  // The transaction's thread has at least the body call plus the commit
+  // exchange, all as spans of that single thread.
+  size_t txn_spans = 0;
+  for (const Span& root : r.spans) {
+    if (root.thread.ToString() == r.txn_thread) {
+      txn_spans += root.TotalSpans();
+    }
+  }
+  EXPECT_GE(txn_spans, 2u);
+
+  // The commit protocol's events carry the transaction's thread too.
+  bool saw_txn_resolved = false;
+  for (const Event& e : r.events) {
+    if (e.kind == EventKind::kTxnResolved) {
+      saw_txn_resolved = true;
+      EXPECT_EQ(e.thread.ToString(), r.txn_thread);
+      EXPECT_EQ(e.a, 1u);  // committed
+    }
+  }
+  EXPECT_TRUE(saw_txn_resolved);
+}
+
+TEST(ObsEndToEndTest, SameSeedRunsAreByteIdentical) {
+  WorkloadResult r1 = RunWorkload(77);
+  WorkloadResult r2 = RunWorkload(77);
+  EXPECT_EQ(ToJsonLines(r1.events), ToJsonLines(r2.events));
+  EXPECT_EQ(Render(r1.spans), Render(r2.spans));
+  EXPECT_EQ(ToChromeTrace(r1.events), ToChromeTrace(r2.events));
+}
+
+TEST(ObsEndToEndTest, SpanStructureIsIdenticalAcrossSeeds) {
+  WorkloadResult r1 = RunWorkload(77);
+  WorkloadResult r2 = RunWorkload(78);
+  // Thread ids are clock-seeded and differ per seed, so the full
+  // renderings differ — but the shape of each thread's forest does not.
+  EXPECT_EQ(StructureOfThread(r1, r1.call_thread),
+            StructureOfThread(r2, r2.call_thread));
+  EXPECT_EQ(StructureOfThread(r1, r1.txn_thread),
+            StructureOfThread(r2, r2.txn_thread));
+}
+
+// ------------------------------------------------------- exporters ----
+
+TEST(ExportTest, JsonLinesOnePerEventAndChromeTraceEnvelope) {
+  WorkloadResult r = RunWorkload(99);
+  const std::string jsonl = ToJsonLines(r.events);
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(jsonl.begin(), jsonl.end(), '\n')),
+            r.events.size());
+  EXPECT_EQ(jsonl.find("\"kind\":\"call_issue\"") != std::string::npos,
+            true);
+
+  const std::string chrome = ToChromeTrace(r.events, {{1, "backend0"}});
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);  // spans
+  EXPECT_NE(chrome.find("backend0"), std::string::npos);  // host names
+}
+
+}  // namespace
+}  // namespace circus::obs
