@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/bytes.h"
 #include "src/marshal/marshal.h"
 #include "src/msg/segment.h"
@@ -119,6 +120,55 @@ void BM_ExecutorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutorEventThroughput);
 
+// Mirrors each google-benchmark run into the shared BENCH_micro.json
+// report (one "micro" table row per benchmark) while keeping the usual
+// console output.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(circus::bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      report_->AddRow("micro")
+          .Set("name", run.benchmark_name())
+          .Set("iterations", static_cast<int64_t>(run.iterations))
+          .Set("real_ns_per_iter", run.GetAdjustedRealTime())
+          .Set("cpu_ns_per_iter", run.GetAdjustedCPUTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  circus::bench::BenchReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("micro", argc, argv);
+  // Forward everything except the report's own flags to google-benchmark;
+  // --quick maps to a short minimum measuring time.
+  std::vector<char*> bench_argv;
+  bench_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick" || arg.rfind("--json", 0) == 0) {
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (report.quick()) {
+    bench_argv.push_back(min_time.data());
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Real-network analogue of Table 4.1: latency of a raw UDP echo and of
+// Circus replicated calls at degree 1..3, measured over real loopback
+// sockets through rt::Runtime (wall-clock time, kernel UDP path). The
+// paper's VAX-11/750 numbers are printed for context only — a modern
+// kernel's loopback is three to four orders of magnitude faster than a
+// 1985 Ethernet — the point of this bench is the *shape*: Circus degree
+// 1 costs a small multiple of a bare UDP exchange, and each added
+// member a roughly constant increment, on real sockets as in the
+// simulator.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/process.h"
+#include "src/rt/runtime.h"
+
+namespace {
+
+using circus::Bytes;
+using circus::StatusOr;
+using circus::core::ModuleNumber;
+using circus::core::RpcProcess;
+using circus::core::ServerCallContext;
+using circus::core::ThreadId;
+using circus::core::Troupe;
+using circus::core::TroupeId;
+using circus::net::DatagramSocket;
+using circus::net::NetAddress;
+using circus::rt::Runtime;
+using circus::sim::Duration;
+using circus::sim::Task;
+
+struct LatencyStats {
+  int calls = 0;
+  double mean_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+};
+
+LatencyStats Summarize(const std::vector<double>& samples) {
+  LatencyStats s;
+  s.calls = static_cast<int>(samples.size());
+  if (samples.empty()) {
+    return s;
+  }
+  s.min_ms = samples.front();
+  s.max_ms = samples.front();
+  double total = 0;
+  for (double ms : samples) {
+    total += ms;
+    s.min_ms = ms < s.min_ms ? ms : s.min_ms;
+    s.max_ms = ms > s.max_ms ? ms : s.max_ms;
+  }
+  s.mean_ms = total / s.calls;
+  return s;
+}
+
+// ------------------------------------------------------- raw UDP echo --
+
+Task<void> UdpEchoServer(DatagramSocket* socket, int calls) {
+  for (int i = 0; i < calls; ++i) {
+    circus::net::Datagram d = co_await socket->Receive();
+    socket->SendRaw(d.source, std::move(d.payload));
+  }
+}
+
+Task<void> UdpEchoClient(Runtime* runtime, DatagramSocket* socket,
+                         NetAddress server, int calls, int payload_bytes,
+                         std::vector<double>* out, bool* done) {
+  const Bytes payload(static_cast<size_t>(payload_bytes), 0x5A);
+  for (int i = 0; i < calls; ++i) {
+    const circus::sim::TimePoint t0 = runtime->loop().WallNow();
+    circus::Status sent = co_await socket->Send(server, payload);
+    CIRCUS_CHECK(sent.ok());
+    co_await socket->Receive();
+    out->push_back((runtime->loop().WallNow() - t0).ToMillisF());
+  }
+  *done = true;
+}
+
+LatencyStats RunRawUdpEcho(int calls, int payload_bytes) {
+  Runtime runtime;
+  circus::sim::Host* client_host = runtime.AddHost("client");
+  circus::sim::Host* server_host = runtime.AddHost("server");
+  DatagramSocket client(&runtime.fabric(), client_host, 0);
+  DatagramSocket server(&runtime.fabric(), server_host, 0);
+
+  std::vector<double> samples;
+  bool done = false;
+  server_host->Spawn(UdpEchoServer(&server, calls));
+  client_host->Spawn(UdpEchoClient(&runtime, &client,
+                                   server.local_address(), calls,
+                                   payload_bytes, &samples, &done));
+  CIRCUS_CHECK(runtime.RunUntil([&done] { return done; },
+                                Duration::Seconds(60)));
+  return Summarize(samples);
+}
+
+// ------------------------------------------------ Circus echo, degree n --
+
+Task<void> CircusEchoClient(Runtime* runtime, RpcProcess* process,
+                            Troupe troupe, ModuleNumber module, int calls,
+                            int payload_bytes, std::vector<double>* out,
+                            bool* done) {
+  const ThreadId thread = process->NewRootThread();
+  const Bytes args(static_cast<size_t>(payload_bytes), 0x5A);
+  for (int i = 0; i < calls; ++i) {
+    const circus::sim::TimePoint t0 = runtime->loop().WallNow();
+    StatusOr<Bytes> r =
+        co_await process->Call(thread, troupe, module, 0, args);
+    CIRCUS_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    out->push_back((runtime->loop().WallNow() - t0).ToMillisF());
+  }
+  *done = true;
+}
+
+LatencyStats RunCircusEchoReal(int degree, int calls, int payload_bytes) {
+  Runtime runtime;
+
+  Troupe troupe;
+  troupe.id = TroupeId{static_cast<uint64_t>(100 + degree)};
+  std::vector<std::unique_ptr<RpcProcess>> members;
+  ModuleNumber module = 0;
+  for (int i = 0; i < degree; ++i) {
+    circus::sim::Host* host =
+        runtime.AddHost("member" + std::to_string(i));
+    auto process =
+        std::make_unique<RpcProcess>(&runtime.fabric(), host, 0);
+    module = process->ExportModule("echo");
+    process->ExportProcedure(
+        module, 0,
+        [](ServerCallContext&, const Bytes& args) -> Task<StatusOr<Bytes>> {
+          co_return Bytes(args);
+        });
+    process->SetTroupeId(troupe.id);
+    troupe.members.push_back(process->module_address(module));
+    members.push_back(std::move(process));
+  }
+
+  circus::sim::Host* client_host = runtime.AddHost("client");
+  RpcProcess client(&runtime.fabric(), client_host, 0);
+
+  std::vector<double> samples;
+  bool done = false;
+  client_host->Spawn(CircusEchoClient(&runtime, &client, troupe, module,
+                                      calls, payload_bytes, &samples,
+                                      &done));
+  CIRCUS_CHECK(runtime.RunUntil([&done] { return done; },
+                                Duration::Seconds(120)));
+  return Summarize(samples);
+}
+
+void PrintRow(circus::bench::BenchReport& report, const char* label,
+              const LatencyStats& s, double paper_real_ms) {
+  std::printf("%-8s %6d %10.4f %10.4f %10.4f   | %8.1f\n", label, s.calls,
+              s.mean_ms, s.min_ms, s.max_ms, paper_real_ms);
+  report.AddRow("realnet")
+      .Set("degree", label)
+      .Set("calls", s.calls)
+      .Set("mean_ms", s.mean_ms)
+      .Set("min_ms", s.min_ms)
+      .Set("max_ms", s.max_ms)
+      .Set("paper_real_ms", paper_real_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  circus::bench::BenchReport report("realnet", argc, argv);
+  const int kCalls = report.Calls(200, 20);
+  const int kPayload = 64;
+  report.Note("calls", kCalls);
+  report.Note("payload_bytes", kPayload);
+  report.Note("transport", "real loopback UDP (rt::Runtime)");
+
+  std::printf("Table 4.1 over real loopback UDP "
+              "(ms per call, %d-call average, %d-byte payload)\n",
+              kCalls, kPayload);
+  std::printf("%-8s %6s %10s %10s %10s   | %8s\n", "degree", "calls",
+              "mean", "min", "max", "real*");
+  std::printf("%60s | (* = paper, VAX-11/750 Ethernet)\n", "");
+
+  PrintRow(report, "(UDP)", RunRawUdpEcho(kCalls, kPayload), 26.5);
+  constexpr double kPaperReal[] = {48.0, 58.0, 69.4};
+  for (int n = 1; n <= 3; ++n) {
+    char label[8];
+    std::snprintf(label, sizeof(label), "%d", n);
+    PrintRow(report, label, RunCircusEchoReal(n, kCalls, kPayload),
+             kPaperReal[n - 1]);
+  }
+  return 0;
+}

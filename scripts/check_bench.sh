@@ -27,9 +27,6 @@ failures=0
 for b in "$bench_dir"/*; do
   [ -x "$b" ] || continue
   name=$(basename "$b")
-  case "$name" in
-    bench_micro) continue ;;  # wall-clock google-benchmark, no report
-  esac
   if ! "$b" --quick --json >"$name.out" 2>&1; then
     echo "FAIL: $name exited nonzero"
     sed 's/^/  /' "$name.out"

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the real-network (loopback UDP) test binaries repeatedly. Unlike
+# the simulator tests these race against a real kernel scheduler and
+# real timers, so a single green run proves little; 20 consecutive runs
+# catch the flaky timing assumptions (epoll wakeup ordering, ephemeral
+# port reuse, retransmit-timer skew) that one run would miss.
+#
+# Usage: scripts/check_realnet.sh [build-dir] [runs]   (default: build 20)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+runs=${2:-20}
+
+failures=0
+for t in "$build_dir"/tests/rt_fabric_test "$build_dir"/tests/rt_loopback_test; do
+  if [ ! -x "$t" ]; then
+    echo "check_realnet: missing $t (build first)" >&2
+    exit 1
+  fi
+  i=1
+  while [ "$i" -le "$runs" ]; do
+    if ! "$t" >/dev/null 2>&1; then
+      echo "FAIL: $t (run $i/$runs)"
+      failures=$((failures + 1))
+    fi
+    i=$((i + 1))
+  done
+  echo "PASS: $t ($runs runs)"
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_realnet: $failures failing run(s)" >&2
+  exit 1
+fi
+echo "check_realnet: rt suite stable over $runs runs"

@@ -14,12 +14,12 @@ using sim::Duration;
 using sim::Syscall;
 using sim::Task;
 
-RpcProcess::RpcProcess(net::Network* network, sim::Host* host,
+RpcProcess::RpcProcess(net::Fabric* fabric, sim::Host* host,
                        net::Port port, RpcOptions options)
-    : network_(network),
+    : fabric_(fabric),
       host_(host),
       options_(options),
-      socket_(std::make_unique<net::DatagramSocket>(network, host, port)),
+      socket_(std::make_unique<net::DatagramSocket>(fabric, host, port)),
       endpoint_(std::make_unique<msg::PairedEndpoint>(socket_.get(),
                                                       options.endpoint)) {
   // Seed message call numbers and local thread numbers from the clock,
@@ -31,8 +31,8 @@ RpcProcess::RpcProcess(net::Network* network, sim::Host* host,
       static_cast<uint64_t>(host->executor().now().nanos() / 1000);
   next_msg_call_ = static_cast<uint32_t>(boot_us % 0x3FFFFFFF) + 1;
   next_local_thread_ = static_cast<uint16_t>(boot_us % 0x7FFF) + 1;
-  bus_ = network->event_bus();
-  if (obs::MetricsRegistry* metrics = network->metrics();
+  bus_ = fabric->event_bus();
+  if (obs::MetricsRegistry* metrics = fabric->metrics();
       metrics != nullptr) {
     collator_wait_metric_ = metrics->GetHistogram("rpc.collator_wait_ms");
   }

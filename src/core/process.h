@@ -148,7 +148,7 @@ class RpcProcess {
   using TroupeResolver =
       std::function<sim::Task<circus::StatusOr<Troupe>>(TroupeId)>;
 
-  RpcProcess(net::Network* network, sim::Host* host, net::Port port,
+  RpcProcess(net::Fabric* fabric, sim::Host* host, net::Port port,
              RpcOptions options = {});
   RpcProcess(const RpcProcess&) = delete;
   RpcProcess& operator=(const RpcProcess&) = delete;
@@ -197,8 +197,8 @@ class RpcProcess {
   // The World's observability hub, reached through the network (null
   // outside a World). Layers built on top of RpcProcess (binding, txn)
   // publish their protocol events here.
-  obs::EventBus* event_bus() const { return network_->event_bus(); }
-  obs::MetricsRegistry* metrics() const { return network_->metrics(); }
+  obs::EventBus* event_bus() const { return fabric_->event_bus(); }
+  obs::MetricsRegistry* metrics() const { return fabric_->metrics(); }
 
   // ------------------------------------------------------ client role --
   // Creates a fresh logical thread rooted at this (base) process.
@@ -278,7 +278,7 @@ class RpcProcess {
                         uint64_t procedure, const circus::Bytes* payload,
                         uint64_t c);
 
-  net::Network* network_;
+  net::Fabric* fabric_;
   sim::Host* host_;
   model::TraceRecorder* recorder_ = nullptr;
   obs::EventBus* bus_ = nullptr;  // cached from the network at construction

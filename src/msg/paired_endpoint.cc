@@ -34,9 +34,9 @@ PairedEndpoint::PairedEndpoint(net::DatagramSocket* socket,
                                            : DeriveJitterSeed(socket)),
       incoming_calls_(
           std::make_unique<sim::Channel<Message>>(socket->host())) {
-  if (net::Network* network = socket->network(); network != nullptr) {
-    bus_ = network->event_bus();
-    if (obs::MetricsRegistry* metrics = network->metrics();
+  if (net::Fabric* fabric = socket->fabric(); fabric != nullptr) {
+    bus_ = fabric->event_bus();
+    if (obs::MetricsRegistry* metrics = fabric->metrics();
         metrics != nullptr) {
       retransmits_metric_ = metrics->GetCounter("msg.retransmits");
       probe_rounds_metric_ = metrics->GetCounter("msg.probe_rounds");

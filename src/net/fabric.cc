@@ -1,0 +1,29 @@
+#include "src/net/fabric.h"
+
+#include <utility>
+
+#include "src/net/socket.h"
+
+namespace circus::net {
+
+void Fabric::DeliverToSocket(DatagramSocket* socket, Datagram d) {
+  socket->EnqueueIncoming(std::move(d));
+}
+
+void Fabric::ObserveSend(sim::Host* sender, const Datagram& datagram) {
+  if (observer_) {
+    observer_(datagram);
+  }
+  if (event_bus_ != nullptr && event_bus_->active()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kPacketSend;
+    e.host = static_cast<uint32_t>(sender->id());
+    e.a = obs::PackAddress(datagram.source.host, datagram.source.port);
+    e.b = obs::PackAddress(datagram.destination.host,
+                           datagram.destination.port);
+    e.c = datagram.payload.size();
+    event_bus_->Publish(std::move(e));
+  }
+}
+
+}  // namespace circus::net

@@ -1,0 +1,104 @@
+// The transport seam. A Fabric is anything that can carry datagrams
+// between hosts: the simulated Network (fault injection, virtual time)
+// or the real-time rt::UdpFabric (AF_INET sockets, wall-clock time).
+// Every layer above the socket — msg/, core/, txn/, binding/ — holds a
+// Fabric* and runs unmodified over either implementation; the seam is a
+// type, never a branch.
+#ifndef SRC_NET_FABRIC_H_
+#define SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/net/address.h"
+#include "src/obs/bus.h"
+#include "src/obs/metrics.h"
+#include "src/sim/host.h"
+
+namespace circus::net {
+
+struct Datagram {
+  NetAddress source;
+  NetAddress destination;  // as addressed (may be a multicast group)
+  circus::Bytes payload;
+};
+
+class DatagramSocket;
+
+class Fabric {
+ public:
+  // The largest datagram the fabric will carry (the MTU constraint of
+  // Section 4.2.4). Both the simulated Ethernet and the real UDP path
+  // enforce the same limit so segmenting behaves identically.
+  static constexpr size_t kMaxDatagramBytes = 1500;
+
+  Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+  virtual ~Fabric() = default;
+
+  // The (single) network address of an attached host.
+  virtual HostAddress AddressOfHost(sim::Host::HostId id) const = 0;
+
+  // Invoked for every send operation before the packet enters the wire
+  // (and before any fault injection); useful for asserting properties
+  // such as "troupe members never talk to each other" (Section 4.3.3)
+  // and for the sim/real wire-parity golden test.
+  using PacketObserver = std::function<void(const Datagram&)>;
+  void SetPacketObserver(PacketObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  // The runtime's observability hub, carried here so every layer that
+  // can reach the fabric (sockets, endpoints, processes) can publish
+  // events and bump metrics without new plumbing. Null outside a
+  // World / rt::Runtime.
+  void set_event_bus(obs::EventBus* bus) { event_bus_ = bus; }
+  obs::EventBus* event_bus() const { return event_bus_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  // Restricts the range Bind draws port-0 allocations from (inclusive).
+  // The default mirrors the IANA dynamic range.
+  void set_ephemeral_port_range(Port lo, Port hi) {
+    ephemeral_lo_ = lo;
+    ephemeral_hi_ = hi;
+  }
+
+ protected:
+  friend class DatagramSocket;
+
+  // Binds `socket` on its host; port 0 picks an ephemeral port from the
+  // configured range. Fails with kAlreadyExists if the port is taken and
+  // kUnavailable if the ephemeral range is exhausted.
+  virtual circus::StatusOr<NetAddress> Bind(DatagramSocket* socket,
+                                            Port port) = 0;
+  // Releases the socket's binding and any group memberships.
+  virtual void Unbind(DatagramSocket* socket) = 0;
+  // Entry point used by DatagramSocket::Send/SendRaw. `datagram.payload`
+  // must fit kMaxDatagramBytes.
+  virtual void Transmit(sim::Host* sender, Datagram datagram) = 0;
+  virtual void JoinGroup(HostAddress group, DatagramSocket* socket) = 0;
+  virtual void LeaveGroup(HostAddress group, DatagramSocket* socket) = 0;
+
+  // Bridge into the socket's (private) receive queue, so concrete
+  // fabrics do not need to be friends of DatagramSocket themselves.
+  static void DeliverToSocket(DatagramSocket* socket, Datagram d);
+
+  // Shared send-side observation: packet observer + kPacketSend event.
+  void ObserveSend(sim::Host* sender, const Datagram& datagram);
+
+  Port ephemeral_lo_ = 49152;
+  Port ephemeral_hi_ = 65535;
+
+ private:
+  PacketObserver observer_;
+  obs::EventBus* event_bus_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace circus::net
+
+#endif  // SRC_NET_FABRIC_H_

@@ -59,32 +59,49 @@ void Network::LeaveGroup(HostAddress group, DatagramSocket* socket) {
   }
 }
 
-void Network::RegisterSocket(DatagramSocket* socket) {
-  const NetAddress addr = socket->local_address();
-  CIRCUS_CHECK_MSG(sockets_.find(addr) == sockets_.end(),
-                   "port already bound");
-  sockets_[addr] = socket;
+circus::StatusOr<NetAddress> Network::Bind(DatagramSocket* socket,
+                                           Port port) {
+  const HostAddress addr = AddressOfHost(socket->host()->id());
+  if (port == 0) {
+    circus::StatusOr<Port> ephemeral = AllocateEphemeralPort(addr);
+    if (!ephemeral.ok()) {
+      return ephemeral.status();
+    }
+    port = *ephemeral;
+  }
+  const NetAddress local{addr, port};
+  if (sockets_.find(local) != sockets_.end()) {
+    return circus::Status(circus::ErrorCode::kAlreadyExists,
+                          "port already bound");
+  }
+  sockets_[local] = socket;
+  return local;
 }
 
-void Network::UnregisterSocket(DatagramSocket* socket) {
+void Network::Unbind(DatagramSocket* socket) {
   sockets_.erase(socket->local_address());
   for (auto& [group, members] : groups_) {
     members.erase(socket);
   }
 }
 
-Port Network::AllocateEphemeralPort(HostAddress host) {
-  for (int attempts = 0; attempts < 16384; ++attempts) {
+circus::StatusOr<Port> Network::AllocateEphemeralPort(HostAddress host) {
+  if (next_ephemeral_port_ < ephemeral_lo_ ||
+      next_ephemeral_port_ > ephemeral_hi_) {
+    next_ephemeral_port_ = ephemeral_lo_;
+  }
+  const int range = ephemeral_hi_ - ephemeral_lo_ + 1;
+  for (int attempts = 0; attempts < range; ++attempts) {
     Port p = next_ephemeral_port_++;
-    if (next_ephemeral_port_ == 0) {
-      next_ephemeral_port_ = 49152;
+    if (next_ephemeral_port_ > ephemeral_hi_) {
+      next_ephemeral_port_ = ephemeral_lo_;
     }
     if (sockets_.find(NetAddress{host, p}) == sockets_.end()) {
       return p;
     }
   }
-  CIRCUS_CHECK_MSG(false, "ephemeral ports exhausted");
-  return 0;
+  return circus::Status(circus::ErrorCode::kUnavailable,
+                        "ephemeral ports exhausted");
 }
 
 const FaultPlan& Network::PlanFor(sim::Host::HostId src,
@@ -97,19 +114,7 @@ void Network::Transmit(sim::Host* sender, Datagram datagram) {
   CIRCUS_CHECK_MSG(datagram.payload.size() <= kMaxDatagramBytes,
                    "datagram exceeds network MTU");
   ++stats_.packets_sent;
-  if (observer_) {
-    observer_(datagram);
-  }
-  if (event_bus_ != nullptr && event_bus_->active()) {
-    obs::Event e;
-    e.kind = obs::EventKind::kPacketSend;
-    e.host = static_cast<uint32_t>(sender->id());
-    e.a = obs::PackAddress(datagram.source.host, datagram.source.port);
-    e.b = obs::PackAddress(datagram.destination.host,
-                           datagram.destination.port);
-    e.c = datagram.payload.size();
-    event_bus_->Publish(std::move(e));
-  }
+  ObserveSend(sender, datagram);
   if (datagram.destination.is_multicast()) {
     auto it = groups_.find(datagram.destination.host);
     if (it == groups_.end()) {
@@ -186,7 +191,7 @@ void Network::DeliverTo(DatagramSocket* socket, const Datagram& datagram,
             return;
           }
           ++stats_.packets_delivered;
-          target->EnqueueIncoming(std::move(d));
+          DeliverToSocket(target, std::move(d));
         });
   }
 }

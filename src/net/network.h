@@ -2,33 +2,27 @@
 // lost, delayed, or duplicated (Section 2.2); checksums turn garbled
 // packets into lost ones, so garbling is folded into the loss probability.
 // The network also models partitions (Section 4.3.5) and true multicast
-// delivery (Section 4.3.7).
+// delivery (Section 4.3.7). It is one implementation of the net::Fabric
+// seam; rt::UdpFabric is the other.
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
-#include <memory>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/status.h"
 #include "src/net/address.h"
-#include "src/obs/bus.h"
-#include "src/obs/metrics.h"
+#include "src/net/fabric.h"
 #include "src/sim/host.h"
 #include "src/sim/random.h"
 #include "src/sim/time.h"
 
 namespace circus::net {
-
-struct Datagram {
-  NetAddress source;
-  NetAddress destination;  // as addressed (may be a multicast group)
-  circus::Bytes payload;
-};
 
 // Loss/duplication/latency characteristics of a path. The defaults model
 // the paper's lightly loaded 10 Mb/s Ethernet: sub-millisecond delivery,
@@ -56,24 +50,16 @@ struct NetworkStats {
   uint64_t packets_blocked_by_partition = 0;
 };
 
-class DatagramSocket;
-
-class Network {
+class Network : public Fabric {
  public:
-  // The largest datagram the network will carry (the MTU constraint of
-  // Section 4.2.4).
-  static constexpr size_t kMaxDatagramBytes = 1500;
-
   Network(sim::Executor* executor, sim::Rng rng)
       : executor_(executor), rng_(std::move(rng)) {}
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
 
   // --- Topology ---
   // Gives `host` its (single) network address. Must be called before any
   // socket is opened on the host.
   void AttachHost(sim::Host* host, HostAddress address);
-  HostAddress AddressOfHost(sim::Host::HostId id) const;
+  HostAddress AddressOfHost(sim::Host::HostId id) const override;
 
   // --- Fault injection ---
   void set_default_fault_plan(const FaultPlan& plan) {
@@ -92,37 +78,21 @@ class Network {
   void HealPartitions();
   bool Connected(sim::Host::HostId a, sim::Host::HostId b) const;
 
-  // --- Multicast groups ---
-  void JoinGroup(HostAddress group, DatagramSocket* socket);
-  void LeaveGroup(HostAddress group, DatagramSocket* socket);
-
   // --- Observation ---
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
-  // Invoked for every send operation before fault injection; useful for
-  // asserting properties such as "troupe members never talk to each
-  // other" (Section 4.3.3).
-  using PacketObserver = std::function<void(const Datagram&)>;
-  void SetPacketObserver(PacketObserver observer) {
-    observer_ = std::move(observer);
-  }
 
-  // The World's observability hub, carried here so every layer that can
-  // reach the network (sockets, endpoints, processes) can publish
-  // events and bump metrics without new plumbing. Null outside a World.
-  void set_event_bus(obs::EventBus* bus) { event_bus_ = bus; }
-  obs::EventBus* event_bus() const { return event_bus_; }
-  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
-  obs::MetricsRegistry* metrics() const { return metrics_; }
+ protected:
+  circus::StatusOr<NetAddress> Bind(DatagramSocket* socket,
+                                    Port port) override;
+  void Unbind(DatagramSocket* socket) override;
+  // Entry point used by DatagramSocket::Send.
+  void Transmit(sim::Host* sender, Datagram datagram) override;
+  void JoinGroup(HostAddress group, DatagramSocket* socket) override;
+  void LeaveGroup(HostAddress group, DatagramSocket* socket) override;
 
  private:
-  friend class DatagramSocket;
-
-  void RegisterSocket(DatagramSocket* socket);
-  void UnregisterSocket(DatagramSocket* socket);
-  Port AllocateEphemeralPort(HostAddress host);
-  // Entry point used by DatagramSocket::Send.
-  void Transmit(sim::Host* sender, Datagram datagram);
+  circus::StatusOr<Port> AllocateEphemeralPort(HostAddress host);
   void DeliverUnicast(sim::Host::HostId src_host, Datagram datagram);
   void DeliverTo(DatagramSocket* socket, const Datagram& datagram,
                  const FaultPlan& plan);
@@ -139,13 +109,10 @@ class Network {
   uint32_t next_island_ = 1;
   std::unordered_map<sim::Host::HostId, HostAddress> host_address_;
   std::unordered_map<HostAddress, sim::Host::HostId> address_host_;
-  Port next_ephemeral_port_ = 49152;
+  Port next_ephemeral_port_ = 0;  // 0: start of configured range
   std::unordered_map<NetAddress, DatagramSocket*, NetAddressHash> sockets_;
   std::map<HostAddress, std::set<DatagramSocket*>> groups_;
   NetworkStats stats_;
-  PacketObserver observer_;
-  obs::EventBus* event_bus_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace circus::net

@@ -7,18 +7,36 @@
 
 namespace circus::net {
 
-DatagramSocket::DatagramSocket(Network* network, sim::Host* host, Port port)
-    : network_(network), host_(host), incoming_(host) {
+DatagramSocket::DatagramSocket(Fabric* fabric, sim::Host* host)
+    : fabric_(fabric), host_(host), incoming_(host) {
   CIRCUS_CHECK_MSG(host->up(), "cannot open socket on a crashed host");
-  const HostAddress addr = network->AddressOfHost(host->id());
-  if (port == 0) {
-    port = network->AllocateEphemeralPort(addr);
+}
+
+DatagramSocket::DatagramSocket(Fabric* fabric, sim::Host* host, Port port)
+    : DatagramSocket(fabric, host) {
+  circus::StatusOr<NetAddress> bound = fabric_->Bind(this, port);
+  CIRCUS_CHECK_MSG(bound.ok(), bound.status().ToString().c_str());
+  FinishBind(*bound);
+}
+
+circus::StatusOr<std::unique_ptr<DatagramSocket>> DatagramSocket::Open(
+    Fabric* fabric, sim::Host* host, Port port) {
+  std::unique_ptr<DatagramSocket> socket(new DatagramSocket(fabric, host));
+  circus::StatusOr<NetAddress> bound = fabric->Bind(socket.get(), port);
+  if (!bound.ok()) {
+    return bound.status();
   }
-  local_ = NetAddress{addr, port};
-  network_->RegisterSocket(this);
+  socket->FinishBind(*bound);
+  return socket;
+}
+
+void DatagramSocket::FinishBind(NetAddress local) {
+  local_ = local;
+  bound_ = true;
   crash_listener_ = host_->AddCrashListener([this] {
     // Fail-stop: the socket vanishes with the machine.
-    network_->UnregisterSocket(this);
+    fabric_->Unbind(this);
+    bound_ = false;
     closed_ = true;
   });
 }
@@ -30,25 +48,37 @@ void DatagramSocket::Close() {
     return;
   }
   closed_ = true;
-  network_->UnregisterSocket(this);
-  host_->RemoveCrashListener(crash_listener_);
+  if (bound_) {
+    fabric_->Unbind(this);
+    bound_ = false;
+    host_->RemoveCrashListener(crash_listener_);
+  }
 }
 
-sim::Task<void> DatagramSocket::Send(NetAddress to, circus::Bytes payload) {
+sim::Task<circus::Status> DatagramSocket::Send(NetAddress to,
+                                               circus::Bytes payload) {
   if (!host_->up()) {
     throw sim::HostCrashedError();
   }
-  CIRCUS_CHECK(!closed_);
+  if (closed_) {
+    co_return circus::Status(circus::ErrorCode::kFailedPrecondition,
+                             "send on closed socket");
+  }
   co_await host_->DoSyscall(sim::Syscall::kSendMsg);
-  network_->Transmit(host_, Datagram{local_, to, std::move(payload)});
+  fabric_->Transmit(host_, Datagram{local_, to, std::move(payload)});
+  co_return circus::Status::Ok();
 }
 
-void DatagramSocket::SendRaw(NetAddress to, circus::Bytes payload) {
+circus::Status DatagramSocket::SendRaw(NetAddress to, circus::Bytes payload) {
   if (!host_->up()) {
     throw sim::HostCrashedError();
   }
-  CIRCUS_CHECK(!closed_);
-  network_->Transmit(host_, Datagram{local_, to, std::move(payload)});
+  if (closed_) {
+    return circus::Status(circus::ErrorCode::kFailedPrecondition,
+                          "send on closed socket");
+  }
+  fabric_->Transmit(host_, Datagram{local_, to, std::move(payload)});
+  return circus::Status::Ok();
 }
 
 sim::Task<Datagram> DatagramSocket::ReceiveRaw() {
@@ -80,12 +110,12 @@ std::optional<Datagram> DatagramSocket::Poll() {
 
 void DatagramSocket::JoinGroup(HostAddress group) {
   CIRCUS_CHECK(!closed_);
-  network_->JoinGroup(group, this);
+  fabric_->JoinGroup(group, this);
   joined_groups_.push_back(group);
 }
 
 void DatagramSocket::LeaveGroup(HostAddress group) {
-  network_->LeaveGroup(group, this);
+  fabric_->LeaveGroup(group, this);
   std::erase(joined_groups_, group);
 }
 

@@ -57,12 +57,12 @@ constexpr sim::Duration kRetransmitTimeout = sim::Duration::Millis(200);
 // ---------------------------------------------------------------------
 // StreamConnection
 
-StreamConnection::StreamConnection(Network* network, sim::Host* host,
+StreamConnection::StreamConnection(Fabric* fabric, sim::Host* host,
                                    NetAddress peer)
-    : network_(network),
+    : fabric_(fabric),
       host_(host),
       peer_(peer),
-      socket_(std::make_unique<DatagramSocket>(network, host, 0)),
+      socket_(std::make_unique<DatagramSocket>(fabric, host, 0)),
       in_stream_(host),
       ack_channel_(std::make_unique<sim::Channel<uint32_t>>(host)),
       established_channel_(std::make_unique<sim::Channel<bool>>(host)) {}
@@ -169,8 +169,8 @@ sim::Task<circus::Bytes> StreamConnection::ReadExactly(size_t n) {
 // ---------------------------------------------------------------------
 // StreamListener
 
-StreamListener::StreamListener(Network* network, sim::Host* host, Port port)
-    : network_(network), host_(host), socket_(network, host, port) {}
+StreamListener::StreamListener(Fabric* fabric, sim::Host* host, Port port)
+    : fabric_(fabric), host_(host), socket_(fabric, host, port) {}
 
 sim::Task<std::unique_ptr<StreamConnection>> StreamListener::Accept() {
   while (true) {
@@ -180,7 +180,7 @@ sim::Task<std::unique_ptr<StreamConnection>> StreamListener::Accept() {
       continue;  // duplicate or stray packet
     }
     auto conn =
-        std::make_unique<StreamConnection>(network_, host_, d.source);
+        std::make_unique<StreamConnection>(fabric_, host_, d.source);
     conn->StartReceiverLoop();
     // Retransmit SYN-ACK until the client's ACK (or first data) arrives.
     for (int attempt = 0; attempt < 16; ++attempt) {
@@ -203,9 +203,9 @@ sim::Task<std::unique_ptr<StreamConnection>> StreamListener::Accept() {
 // StreamConnect
 
 sim::Task<circus::StatusOr<std::unique_ptr<StreamConnection>>> StreamConnect(
-    Network* network, sim::Host* host, NetAddress server, int attempts,
+    Fabric* fabric, sim::Host* host, NetAddress server, int attempts,
     sim::Duration syn_timeout) {
-  auto conn = std::make_unique<StreamConnection>(network, host, server);
+  auto conn = std::make_unique<StreamConnection>(fabric, host, server);
   for (int i = 0; i < attempts; ++i) {
     conn->socket_->SendRaw(server, EncodePacket(kSyn, 0, {}));
     // Wait for the SYN-ACK directly on the connection socket; the

@@ -26,7 +26,7 @@ class StreamConnection;
 // Server-side listening endpoint.
 class StreamListener {
  public:
-  StreamListener(Network* network, sim::Host* host, Port port);
+  StreamListener(Fabric* fabric, sim::Host* host, Port port);
 
   NetAddress local_address() const { return socket_.local_address(); }
 
@@ -34,7 +34,7 @@ class StreamListener {
   sim::Task<std::unique_ptr<StreamConnection>> Accept();
 
  private:
-  Network* network_;
+  Fabric* fabric_;
   sim::Host* host_;
   DatagramSocket socket_;
 };
@@ -42,13 +42,13 @@ class StreamListener {
 // Client-side connect: performs the three-way handshake. Returns an error
 // after `attempts` unanswered SYNs.
 sim::Task<circus::StatusOr<std::unique_ptr<StreamConnection>>> StreamConnect(
-    Network* network, sim::Host* host, NetAddress server, int attempts = 5,
+    Fabric* fabric, sim::Host* host, NetAddress server, int attempts = 5,
     sim::Duration syn_timeout = sim::Duration::Millis(500));
 
 // One direction-pair of an established stream.
 class StreamConnection {
  public:
-  StreamConnection(Network* network, sim::Host* host, NetAddress peer);
+  StreamConnection(Fabric* fabric, sim::Host* host, NetAddress peer);
   ~StreamConnection();
 
   NetAddress local_address() const { return socket_->local_address(); }
@@ -69,7 +69,7 @@ class StreamConnection {
  private:
   friend class StreamListener;
   friend sim::Task<circus::StatusOr<std::unique_ptr<StreamConnection>>>
-  StreamConnect(Network*, sim::Host*, NetAddress, int, sim::Duration);
+  StreamConnect(Fabric*, sim::Host*, NetAddress, int, sim::Duration);
 
   static constexpr size_t kSegmentBytes = 1024;
 
@@ -77,7 +77,7 @@ class StreamConnection {
   sim::Task<void> ReceiverLoop();
   sim::Task<void> SendSegmentReliably(const circus::Bytes& segment);
 
-  Network* network_;
+  Fabric* fabric_;
   sim::Host* host_;
   NetAddress peer_;
   std::unique_ptr<DatagramSocket> socket_;

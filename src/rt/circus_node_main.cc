@@ -1,0 +1,208 @@
+// circus_node: one Circus node over real UDP. Reads a small key=value
+// config (see node_config.h) and runs one role:
+//
+//   ringmaster  serves the binding interface on its listen address;
+//   member      exports the configured interface, joins the troupe via
+//               the Section 6.4.1 get_state + add_troupe_member recipe,
+//               then serves calls;
+//   client      imports the troupe by name and issues replicated calls,
+//               reporting wall-clock latency (the Table 4.1 shape).
+//
+// A loopback testbed is a handful of circus_node processes sharing
+// 127.0.0.1; a LAN deployment is the same configs with real addresses.
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/binding/client.h"
+#include "src/binding/ringmaster.h"
+#include "src/core/process.h"
+#include "src/marshal/marshal.h"
+#include "src/rt/node_config.h"
+#include "src/rt/runtime.h"
+
+namespace circus::rt {
+namespace {
+
+// The Ringmaster's binding interface is the first module its process
+// exports, so its module number is the same on every node.
+constexpr core::ModuleNumber kRingmasterModule = 0;
+
+core::Troupe BootstrapRingmasterTroupe(net::NetAddress address) {
+  core::Troupe troupe;
+  troupe.id = binding::kRingmasterTroupeId;
+  troupe.members.push_back(
+      core::ModuleAddress{address, kRingmasterModule});
+  return troupe;
+}
+
+sim::Duration ServeBudget(const NodeConfig& config) {
+  return config.run_seconds > 0 ? sim::Duration::Seconds(config.run_seconds)
+                                : sim::Duration::Seconds(1 << 30);
+}
+
+int RunRingmaster(const NodeConfig& config) {
+  Runtime runtime;
+  sim::Host* host = runtime.AddHost("ringmaster", config.listen.host);
+  core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  binding::RingmasterServer server(&process);
+  server.BootstrapSelf(BootstrapRingmasterTroupe(config.listen));
+  std::fprintf(stderr, "circus_node: ringmaster on %s\n",
+               config.listen.ToString().c_str());
+  runtime.RunFor(ServeBudget(config));
+  return 0;
+}
+
+int RunMember(const NodeConfig& config) {
+  Runtime runtime;
+  sim::Host* host = runtime.AddHost("member", config.listen.host);
+  core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  binding::BindingClient binding(
+      &process, BootstrapRingmasterTroupe(config.ringmaster));
+  binding::BindingCache cache(&binding);
+  process.SetClientTroupeResolver(cache.MakeResolver());
+
+  // The exported module: an echo procedure (0) plus a counter
+  // procedure (1) whose value is the module state — deterministic, so
+  // replicas stay aligned and get_state can seed a joiner.
+  auto counter = std::make_shared<int32_t>(0);
+  const core::ModuleNumber module =
+      process.ExportModule(config.interface_name);
+  process.ExportProcedure(
+      module, 0,
+      [](core::ServerCallContext&, const circus::Bytes& args)
+          -> sim::Task<circus::StatusOr<circus::Bytes>> {
+        co_return circus::Bytes(args);
+      });
+  process.ExportProcedure(
+      module, 1,
+      [counter](core::ServerCallContext&, const circus::Bytes&)
+          -> sim::Task<circus::StatusOr<circus::Bytes>> {
+        marshal::Writer w;
+        w.WriteI32(++*counter);
+        co_return w.Take();
+      });
+  process.SetStateProvider(module, [counter] {
+    marshal::Writer w;
+    w.WriteI32(*counter);
+    return w.Take();
+  });
+
+  bool joined = false;
+  host->Spawn([](core::RpcProcess* p, core::ModuleNumber m,
+                 binding::BindingClient* b, std::string name,
+                 std::shared_ptr<int32_t> state,
+                 bool* done) -> sim::Task<void> {
+    // Hoisted: a capturing lambda must not become a std::function inside
+    // the co_await statement (CLAUDE.md rule 1).
+    std::function<void(const circus::Bytes&)> accept_state =
+        [state](const circus::Bytes& bytes) {
+          marshal::Reader r(bytes);
+          *state = r.ReadI32();
+        };
+    circus::Status status =
+        co_await binding::JoinTroupe(p, m, b, name, accept_state);
+    if (!status.ok()) {
+      std::fprintf(stderr, "circus_node: join failed: %s\n",
+                   status.ToString().c_str());
+    }
+    *done = status.ok();
+  }(&process, module, &binding, config.troupe, counter, &joined));
+
+  if (!runtime.RunUntil([&joined] { return joined; },
+                        sim::Duration::Seconds(30))) {
+    std::fprintf(stderr, "circus_node: could not join troupe '%s'\n",
+                 config.troupe.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "circus_node: member of '%s' on %s\n",
+               config.troupe.c_str(), config.listen.ToString().c_str());
+  runtime.RunFor(ServeBudget(config));
+  return 0;
+}
+
+int RunClient(const NodeConfig& config) {
+  Runtime runtime;
+  sim::Host* host = runtime.AddHost("client", config.listen.host);
+  core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  binding::BindingClient binding(
+      &process, BootstrapRingmasterTroupe(config.ringmaster));
+  binding::BindingCache cache(&binding);
+  process.SetClientTroupeResolver(cache.MakeResolver());
+
+  struct Progress {
+    std::vector<double> latencies_ms;
+    bool finished = false;
+    bool ok = true;
+  };
+  auto progress = std::make_shared<Progress>();
+  host->Spawn([](Runtime* rt, core::RpcProcess* p, binding::BindingCache* c,
+                 NodeConfig cfg,
+                 std::shared_ptr<Progress> out) -> sim::Task<void> {
+    const core::ThreadId thread = p->NewRootThread();
+    const circus::Bytes args(static_cast<size_t>(cfg.payload), 0x5A);
+    for (int i = 0; i < cfg.calls; ++i) {
+      const sim::TimePoint start = rt->loop().WallNow();
+      circus::StatusOr<circus::Bytes> result = co_await c->CallByName(
+          p, thread, cfg.troupe, /*procedure=*/0, args);
+      if (!result.ok()) {
+        std::fprintf(stderr, "circus_node: call %d failed: %s\n", i,
+                     result.status().ToString().c_str());
+        out->ok = false;
+        break;
+      }
+      out->latencies_ms.push_back(
+          (rt->loop().WallNow() - start).ToMillisF());
+    }
+    out->finished = true;
+  }(&runtime, &process, &cache, config, progress));
+
+  runtime.RunUntil([progress] { return progress->finished; },
+                   sim::Duration::Seconds(60 + config.calls));
+  if (!progress->finished || !progress->ok ||
+      progress->latencies_ms.empty()) {
+    std::fprintf(stderr, "circus_node: client run failed\n");
+    return 1;
+  }
+  double total = 0;
+  double min = progress->latencies_ms.front();
+  double max = min;
+  for (double ms : progress->latencies_ms) {
+    total += ms;
+    min = ms < min ? ms : min;
+    max = ms > max ? ms : max;
+  }
+  std::printf("calls=%zu mean_ms=%.3f min_ms=%.3f max_ms=%.3f\n",
+              progress->latencies_ms.size(),
+              total / progress->latencies_ms.size(), min, max);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: circus_node <config-file>\n");
+    return 2;
+  }
+  circus::StatusOr<NodeConfig> config = LoadNodeConfig(argv[1]);
+  if (!config.ok()) {
+    std::fprintf(stderr, "circus_node: %s\n",
+                 config.status().ToString().c_str());
+    return 2;
+  }
+  switch (config->role) {
+    case NodeConfig::Role::kRingmaster:
+      return RunRingmaster(*config);
+    case NodeConfig::Role::kMember:
+      return RunMember(*config);
+    case NodeConfig::Role::kClient:
+      return RunClient(*config);
+  }
+  return 2;
+}
+
+}  // namespace
+}  // namespace circus::rt
+
+int main(int argc, char** argv) { return circus::rt::Main(argc, argv); }

@@ -1,0 +1,77 @@
+// The real-time pump for the discrete-event executor. The simulator's
+// entire concurrency model is "callbacks ordered by a virtual clock";
+// IoLoop replays that model against the wall clock: it runs every event
+// whose virtual deadline has passed, arms a timerfd for the next pending
+// deadline, and sleeps in epoll(7) until either the timer fires or a
+// watched file descriptor (a real UDP socket) becomes readable. The loop
+// is single-threaded by construction — coroutines, channels, and hosts
+// keep exactly the semantics they have under the simulator, so every
+// CLAUDE.md coroutine convention carries over unchanged.
+//
+// Virtual-to-wall mapping: at construction the executor's clock is
+// advanced to the CLOCK_REALTIME epoch (nanoseconds since 1970), so the
+// clock-seeded identifiers in the protocol layers (message call numbers,
+// thread IDs) are unique across daemon restarts, exactly as a rebooted
+// simulated host never reuses its predecessor's identifiers. From then
+// on the loop paces the executor with CLOCK_MONOTONIC so NTP steps
+// cannot run time backwards.
+#ifndef SRC_RT_IO_LOOP_H_
+#define SRC_RT_IO_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/sim/executor.h"
+#include "src/sim/time.h"
+
+namespace circus::rt {
+
+class IoLoop {
+ public:
+  explicit IoLoop(sim::Executor* executor);
+  IoLoop(const IoLoop&) = delete;
+  IoLoop& operator=(const IoLoop&) = delete;
+  ~IoLoop();
+
+  sim::Executor& executor() { return *executor_; }
+
+  // Registers a nonblocking fd; `on_readable` runs from the loop when it
+  // becomes readable. The callback typically drains the fd and feeds a
+  // sim::Channel, whose Send schedules the consumer coroutine's wakeup
+  // on the executor — the loop then resumes it like any due event.
+  void WatchFd(int fd, std::function<void()> on_readable);
+  void UnwatchFd(int fd);
+
+  // What the executor's clock should read right now (wall-paced).
+  sim::TimePoint WallNow() const;
+
+  // Pumps events until `done()` returns true (checked after each batch
+  // of due events) or `wall_timeout` of real time elapses. Returns the
+  // final done() value; an empty `done` just runs out the timeout.
+  bool RunUntil(const std::function<bool()>& done,
+                sim::Duration wall_timeout);
+  void RunFor(sim::Duration wall_duration) { RunUntil({}, wall_duration); }
+
+  // Makes the innermost RunUntil return after the current batch. Safe
+  // only from within the loop (callbacks / executor events) — the loop
+  // is single-threaded and there is no cross-thread wakeup.
+  void Stop() { stop_ = true; }
+
+ private:
+  void ArmTimer(sim::TimePoint wake);
+  static int64_t MonotonicNanos();
+
+  sim::Executor* executor_;
+  int epoll_fd_ = -1;
+  int timer_fd_ = -1;
+  // Anchor of the virtual<->wall mapping.
+  sim::TimePoint sim_origin_;
+  int64_t mono_origin_ns_ = 0;
+  std::unordered_map<int, std::function<void()>> fd_callbacks_;
+  bool stop_ = false;
+};
+
+}  // namespace circus::rt
+
+#endif  // SRC_RT_IO_LOOP_H_

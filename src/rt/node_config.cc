@@ -1,0 +1,160 @@
+#include "src/rt/node_config.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace circus::rt {
+
+namespace {
+
+circus::Status ParseError(const std::string& what) {
+  return circus::Status(circus::ErrorCode::kInvalidArgument, what);
+}
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+circus::StatusOr<int> ParseInt(const std::string& key,
+                               const std::string& value) {
+  try {
+    size_t consumed = 0;
+    int v = std::stoi(value, &consumed);
+    if (consumed != value.size()) {
+      return ParseError(key + ": trailing junk in '" + value + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return ParseError(key + ": not a number: '" + value + "'");
+  }
+}
+
+}  // namespace
+
+circus::StatusOr<net::NetAddress> ParseNetAddress(const std::string& text) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    return ParseError("address '" + text + "' missing ':port'");
+  }
+  circus::StatusOr<int> port = ParseInt("port", text.substr(colon + 1));
+  if (!port.ok()) {
+    return port.status();
+  }
+  if (*port < 0 || *port > 65535) {
+    return ParseError("port out of range in '" + text + "'");
+  }
+  uint32_t host = 0;
+  int octets = 0;
+  std::istringstream ip(text.substr(0, colon));
+  std::string part;
+  while (std::getline(ip, part, '.')) {
+    circus::StatusOr<int> octet = ParseInt("ip octet", part);
+    if (!octet.ok()) {
+      return octet.status();
+    }
+    if (*octet < 0 || *octet > 255) {
+      return ParseError("bad IPv4 octet in '" + text + "'");
+    }
+    host = (host << 8) | static_cast<uint32_t>(*octet);
+    ++octets;
+  }
+  if (octets != 4) {
+    return ParseError("'" + text + "' is not dotted-quad IPv4");
+  }
+  return net::NetAddress{host, static_cast<net::Port>(*port)};
+}
+
+circus::StatusOr<NodeConfig> ParseNodeConfig(const std::string& text) {
+  NodeConfig config;
+  bool have_listen = false;
+  bool have_ringmaster = false;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (size_t hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return ParseError("line " + std::to_string(lineno) +
+                        ": expected key = value");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key == "role") {
+      if (value == "ringmaster") {
+        config.role = NodeConfig::Role::kRingmaster;
+      } else if (value == "member") {
+        config.role = NodeConfig::Role::kMember;
+      } else if (value == "client") {
+        config.role = NodeConfig::Role::kClient;
+      } else {
+        return ParseError("unknown role '" + value + "'");
+      }
+    } else if (key == "listen") {
+      circus::StatusOr<net::NetAddress> addr = ParseNetAddress(value);
+      if (!addr.ok()) {
+        return addr.status();
+      }
+      config.listen = *addr;
+      have_listen = true;
+    } else if (key == "ringmaster") {
+      circus::StatusOr<net::NetAddress> addr = ParseNetAddress(value);
+      if (!addr.ok()) {
+        return addr.status();
+      }
+      config.ringmaster = *addr;
+      have_ringmaster = true;
+    } else if (key == "troupe") {
+      config.troupe = value;
+    } else if (key == "interface") {
+      config.interface_name = value;
+    } else if (key == "calls" || key == "payload" || key == "run_seconds") {
+      circus::StatusOr<int> v = ParseInt(key, value);
+      if (!v.ok()) {
+        return v.status();
+      }
+      if (*v < 0) {
+        return ParseError(key + " must be non-negative");
+      }
+      (key == "calls"     ? config.calls
+       : key == "payload" ? config.payload
+                          : config.run_seconds) = *v;
+    } else {
+      return ParseError("line " + std::to_string(lineno) +
+                        ": unknown key '" + key + "'");
+    }
+  }
+  if (!have_listen) {
+    return ParseError("config missing 'listen'");
+  }
+  if (config.role != NodeConfig::Role::kRingmaster && !have_ringmaster) {
+    return ParseError("role needs a 'ringmaster' bootstrap address");
+  }
+  return config;
+}
+
+circus::StatusOr<NodeConfig> LoadNodeConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return circus::Status(circus::ErrorCode::kNotFound,
+                          "cannot open config: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseNodeConfig(text.str());
+}
+
+}  // namespace circus::rt

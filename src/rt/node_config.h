@@ -1,0 +1,50 @@
+// Configuration for the circus_node daemon: a small key=value file
+// (comments with '#', blank lines ignored) describing one node of a real
+// deployment. One circus_node OS process runs one role; a loopback
+// testbed is several circus_node processes (or one rt_loopback_test
+// process) sharing 127.0.0.1.
+//
+//   role = ringmaster | member | client
+//   listen = 127.0.0.1:9000        # this node's process address
+//   ringmaster = 127.0.0.1:9000    # bootstrap binding (member/client)
+//   troupe = echo                  # troupe name to register/join/call
+//   interface = echo               # exported interface name (member)
+//   calls = 100                    # client: calls to issue
+//   payload = 64                   # client: argument bytes per call
+//   run_seconds = 0                # serve duration; 0 = forever
+#ifndef SRC_RT_NODE_CONFIG_H_
+#define SRC_RT_NODE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/address.h"
+
+namespace circus::rt {
+
+struct NodeConfig {
+  enum class Role { kRingmaster, kMember, kClient };
+
+  Role role = Role::kMember;
+  net::NetAddress listen;
+  net::NetAddress ringmaster;
+  std::string troupe = "echo";
+  std::string interface_name = "echo";
+  int calls = 100;
+  int payload = 64;
+  int run_seconds = 0;
+};
+
+// "10.1.2.3:9000" -> NetAddress (host byte order).
+circus::StatusOr<net::NetAddress> ParseNetAddress(const std::string& text);
+
+// Parses config text; unknown keys are an error (they are typos).
+circus::StatusOr<NodeConfig> ParseNodeConfig(const std::string& text);
+
+// Reads and parses a config file.
+circus::StatusOr<NodeConfig> LoadNodeConfig(const std::string& path);
+
+}  // namespace circus::rt
+
+#endif  // SRC_RT_NODE_CONFIG_H_

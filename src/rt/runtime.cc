@@ -1,0 +1,30 @@
+#include "src/rt/runtime.h"
+
+namespace circus::rt {
+
+Runtime::Runtime() : loop_(&executor_), fabric_(&loop_) {
+  bus_.SetClock([this] { return executor_.now().nanos(); });
+  fabric_.set_event_bus(&bus_);
+  fabric_.set_metrics(&metrics_);
+}
+
+Runtime::~Runtime() {
+  // Tear down in fail-stop style: crash everything so that coroutines
+  // suspended on host primitives unwind and free their frames.
+  for (auto& host : hosts_) {
+    host->Crash();
+  }
+  executor_.RunUntilIdle();
+}
+
+sim::Host* Runtime::AddHost(const std::string& name,
+                            net::HostAddress interface_ip) {
+  const uint32_t index = next_host_index_++;
+  auto host = std::make_unique<sim::Host>(&executor_, index + 1, name,
+                                          sim::SyscallCostModel::WallClock());
+  fabric_.AttachHost(host.get(), interface_ip);
+  hosts_.push_back(std::move(host));
+  return hosts_.back().get();
+}
+
+}  // namespace circus::rt

@@ -1,0 +1,83 @@
+// A net::Fabric backed by real AF_INET UDP sockets. Host addresses are
+// real IPv4 addresses in host byte order (127.0.0.1 == 0x7F000001), so
+// the protocol layers' NetAddress values are the actual wire addresses.
+// Datagrams take the kernel's UDP path; loss, duplication, and delay are
+// whatever the real network provides (there is no fault injection here —
+// that is the simulator's job).
+//
+// Multicast (class-D destinations) is emulated by fanning a send out to
+// every locally joined socket's unicast address. That matches the
+// simulated Network's delivery semantics exactly for single-machine
+// (loopback) runtimes; cross-host IP multicast is an open item in
+// ROADMAP.md.
+#ifndef SRC_RT_UDP_FABRIC_H_
+#define SRC_RT_UDP_FABRIC_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/net/fabric.h"
+#include "src/net/socket.h"
+#include "src/rt/io_loop.h"
+
+namespace circus::rt {
+
+struct UdpFabricStats {
+  uint64_t packets_sent = 0;       // send operations (multicast counts 1)
+  uint64_t packets_delivered = 0;  // datagrams read off real sockets
+  uint64_t send_errors = 0;        // sendto failures (dropped, like UDP)
+  uint64_t truncated = 0;          // inbound datagrams over the MTU
+};
+
+class UdpFabric : public net::Fabric {
+ public:
+  explicit UdpFabric(IoLoop* loop) : loop_(loop) {}
+  ~UdpFabric() override;
+
+  // Gives `host` its interface address (a real local IP, host byte
+  // order). Several hosts may share one interface — e.g. a whole troupe
+  // on 127.0.0.1 — because ports, not addresses, distinguish sockets.
+  void AttachHost(sim::Host* host, net::HostAddress interface_ip);
+  net::HostAddress AddressOfHost(sim::Host::HostId id) const override;
+
+  const UdpFabricStats& stats() const { return stats_; }
+
+ protected:
+  circus::StatusOr<net::NetAddress> Bind(net::DatagramSocket* socket,
+                                         net::Port port) override;
+  void Unbind(net::DatagramSocket* socket) override;
+  void Transmit(sim::Host* sender, net::Datagram datagram) override;
+  void JoinGroup(net::HostAddress group,
+                 net::DatagramSocket* socket) override;
+  void LeaveGroup(net::HostAddress group,
+                  net::DatagramSocket* socket) override;
+
+ private:
+  struct Binding {
+    int fd = -1;
+    net::NetAddress local;
+  };
+
+  // Opens + binds a nonblocking UDP fd on (ip, port); port 0 is resolved
+  // from the fabric's ephemeral range, mirroring the simulated Network's
+  // allocator (the OS allocator would ignore set_ephemeral_port_range).
+  circus::StatusOr<Binding> OpenAndBind(net::HostAddress ip, net::Port port);
+  void DrainFd(net::DatagramSocket* socket);
+
+  IoLoop* loop_;
+  std::unordered_map<sim::Host::HostId, net::HostAddress> host_ip_;
+  std::unordered_map<net::DatagramSocket*, Binding> bindings_;
+  // Socket lookup by local address, for the sender-side fd resolution.
+  std::unordered_map<net::NetAddress, net::DatagramSocket*,
+                     net::NetAddressHash>
+      by_address_;
+  std::map<net::HostAddress, std::set<net::DatagramSocket*>> groups_;
+  net::Port next_ephemeral_port_ = 0;  // 0: start of configured range
+  UdpFabricStats stats_;
+};
+
+}  // namespace circus::rt
+
+#endif  // SRC_RT_UDP_FABRIC_H_

@@ -46,6 +46,20 @@ bool Executor::RunOne() {
   return false;
 }
 
+std::optional<TimePoint> Executor::NextEventTime() {
+  while (!queue_.empty()) {
+    const Event& ev = queue_.top();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it == cancelled_.end()) {
+      return ev.when;
+    }
+    // Lazily discard cancelled tombstones so they do not pin the timer.
+    cancelled_.erase(cancelled_it);
+    queue_.pop();
+  }
+  return std::nullopt;
+}
+
 void Executor::RunUntilIdle() {
   while (RunOne()) {
   }

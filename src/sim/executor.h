@@ -7,6 +7,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -46,6 +47,11 @@ class Executor {
   void RunFor(Duration d) { RunUntil(now_ + d); }
 
   size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  // Time of the earliest pending (non-cancelled) event, or nullopt when
+  // the queue is empty. Used by the real-time runtime to arm its timer:
+  // the wall-clock IoLoop sleeps exactly until the next virtual deadline.
+  std::optional<TimePoint> NextEventTime();
 
   // Starts a detached coroutine. The coroutine begins running immediately
   // (until its first suspension). A HostCrashedError escaping the task is

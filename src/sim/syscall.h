@@ -50,6 +50,11 @@ struct SyscallCostModel {
   // All-zero model, for logical tests that should not be slowed by CPU
   // accounting.
   static SyscallCostModel Free();
+
+  // All-zero model for the real-time runtime: real system calls cost
+  // real (wall-clock) time, so the simulator must not charge them again.
+  // An alias of Free() kept distinct so call sites state their intent.
+  static SyscallCostModel WallClock() { return Free(); }
 };
 
 // Per-host CPU accounting, split user/kernel exactly as the paper's
