@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/process.h"
+#include "src/obs/metrics.h"
 #include "src/rt/runtime.h"
 
 namespace {
@@ -116,7 +117,8 @@ Task<void> CircusEchoClient(Runtime* runtime, RpcProcess* process,
   *done = true;
 }
 
-LatencyStats RunCircusEchoReal(int degree, int calls, int payload_bytes) {
+LatencyStats RunCircusEchoReal(int degree, int calls, int payload_bytes,
+                               circus::obs::MetricsRegistry::Snapshot* snap) {
   Runtime runtime;
 
   Troupe troupe;
@@ -149,6 +151,9 @@ LatencyStats RunCircusEchoReal(int degree, int calls, int payload_bytes) {
                                       &done));
   CIRCUS_CHECK(runtime.RunUntil([&done] { return done; },
                                 Duration::Seconds(120)));
+  if (snap != nullptr) {
+    *snap = runtime.metrics().Snap(runtime.now().nanos());
+  }
   return Summarize(samples);
 }
 
@@ -163,6 +168,35 @@ void PrintRow(circus::bench::BenchReport& report, const char* label,
       .Set("min_ms", s.min_ms)
       .Set("max_ms", s.max_ms)
       .Set("paper_real_ms", paper_real_ms);
+}
+
+// Protocol-health companion to each latency row: what the runtime's
+// MetricsRegistry saw during the run (retransmissions, probe rounds,
+// the collator wait distribution, loop wakeups). The same instruments a
+// live circus_node exposes through its `metrics` endpoint.
+void AddMetricsRow(circus::bench::BenchReport& report, const char* label,
+                   const circus::obs::MetricsRegistry::Snapshot& snap) {
+  auto counter = [&snap](const char* name) -> uint64_t {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+  };
+  circus::obs::HistogramStats wait;
+  if (auto it = snap.histograms.find("rpc.collator_wait_ms");
+      it != snap.histograms.end()) {
+    wait = it->second;
+  }
+  report.AddRow("realnet_metrics")
+      .Set("degree", label)
+      .Set("retransmits", counter("msg.retransmits"))
+      .Set("probe_rounds", counter("msg.probe_rounds"))
+      .Set("duplicates_suppressed", counter("msg.duplicates_suppressed"))
+      .Set("loop_wakeups", counter("rt.loop.wakeups"))
+      .Set("socket_backpressure", counter("rt.socket.backpressure"))
+      .Set("collator_wait_count", wait.count)
+      .Set("collator_wait_mean_ms", wait.mean)
+      .Set("collator_wait_p50_ms", wait.p50)
+      .Set("collator_wait_p90_ms", wait.p90)
+      .Set("collator_wait_p99_ms", wait.p99);
 }
 
 }  // namespace
@@ -187,8 +221,10 @@ int main(int argc, char** argv) {
   for (int n = 1; n <= 3; ++n) {
     char label[8];
     std::snprintf(label, sizeof(label), "%d", n);
-    PrintRow(report, label, RunCircusEchoReal(n, kCalls, kPayload),
+    circus::obs::MetricsRegistry::Snapshot snap;
+    PrintRow(report, label, RunCircusEchoReal(n, kCalls, kPayload, &snap),
              kPaperReal[n - 1]);
+    AddMetricsRow(report, label, snap);
   }
   return 0;
 }

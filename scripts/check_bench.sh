@@ -87,6 +87,30 @@ for path in files:
                         f'table "{tname}" row {i} has non-scalar '
                         f'column(s): {bad}')
                     break
+    # bench_realnet must embed the runtime's metrics snapshot alongside
+    # each latency row: one realnet_metrics row per Circus degree with
+    # the protocol counters and the collator wait histogram.
+    if name == "BENCH_realnet.json" and isinstance(tables, dict):
+        rows = tables.get("realnet_metrics")
+        if not isinstance(rows, list) or not rows:
+            errs.append('"realnet_metrics" table missing or empty')
+        else:
+            required = [
+                "degree", "retransmits", "probe_rounds",
+                "duplicates_suppressed", "loop_wakeups",
+                "socket_backpressure", "collator_wait_count",
+                "collator_wait_mean_ms", "collator_wait_p50_ms",
+                "collator_wait_p90_ms", "collator_wait_p99_ms",
+            ]
+            for i, row in enumerate(rows):
+                missing = [k for k in required if k not in row]
+                if missing:
+                    errs.append(
+                        f'realnet_metrics row {i} missing: {missing}')
+                elif row["collator_wait_count"] <= 0:
+                    errs.append(
+                        f'realnet_metrics row {i}: collator_wait_count '
+                        f'is 0 (the histogram was not recorded)')
     if errs:
         ok = False
         for e in errs:

@@ -34,3 +34,210 @@ if [ "$failures" -ne 0 ]; then
   exit 1
 fi
 echo "check_realnet: rt suite stable over $runs runs"
+
+# --- live observability round ------------------------------------------
+# The acceptance scenario for live node observability, as a real
+# multi-process run: a 4-process loopback testbed (ringmaster, two
+# members, client), every node serving a stats endpoint (stats_port=)
+# and streaming a trace shard (trace_dir=). While the testbed runs,
+# every node must answer `metrics` and `health` datagrams with
+# well-formed replies; after a SIGTERM-driven graceful shutdown, the
+# four shards must merge (circus_trace_merge) into one clock-aligned
+# Chrome trace in which a replicated call is one root-thread span tree
+# spanning both members.
+
+node_bin="$build_dir/src/rt/circus_node"
+merge_bin="$build_dir/src/rt/circus_trace_merge"
+for bin in "$node_bin" "$merge_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_realnet: missing $bin (build first)" >&2
+    exit 1
+  fi
+done
+
+obs_dir=$(mktemp -d)
+obs_pids=""
+cleanup() {
+  # shellcheck disable=SC2086
+  [ -n "$obs_pids" ] && kill $obs_pids 2>/dev/null
+  rm -rf "$obs_dir"
+}
+trap cleanup EXIT
+
+cat >"$obs_dir/ringmaster.conf" <<EOF
+role = ringmaster
+listen = 127.0.0.1:38301
+stats_port = 38311
+trace_dir = $obs_dir
+EOF
+for m in 2 3; do
+  cat >"$obs_dir/member$m.conf" <<EOF
+role = member
+listen = 127.0.0.1:3830$m
+ringmaster = 127.0.0.1:38301
+troupe = echo
+interface = echo
+stats_port = 3831$m
+trace_dir = $obs_dir
+EOF
+done
+cat >"$obs_dir/client.conf" <<EOF
+role = client
+listen = 127.0.0.1:38304
+ringmaster = 127.0.0.1:38301
+troupe = echo
+calls = 1000000
+payload = 64
+stats_port = 38314
+trace_dir = $obs_dir
+EOF
+
+# Members join sequentially (the first AddTroupeMember bootstraps the
+# registration); the client then hammers the troupe until stopped.
+"$node_bin" "$obs_dir/ringmaster.conf" >"$obs_dir/ringmaster.log" 2>&1 &
+obs_pids="$!"
+sleep 0.3
+"$node_bin" "$obs_dir/member2.conf" >"$obs_dir/member2.log" 2>&1 &
+obs_pids="$obs_pids $!"
+sleep 0.3
+"$node_bin" "$obs_dir/member3.conf" >"$obs_dir/member3.log" 2>&1 &
+obs_pids="$obs_pids $!"
+sleep 0.5
+"$node_bin" "$obs_dir/client.conf" >"$obs_dir/client.log" 2>&1 &
+obs_pids="$obs_pids $!"
+sleep 0.5
+
+obs_failures=0
+python3 - <<'EOF' || obs_failures=$((obs_failures + 1))
+import socket, sys, time
+
+def ask(port, query, tries=20):
+    s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    s.settimeout(0.5)
+    for _ in range(tries):
+        try:
+            s.sendto(query.encode(), ("127.0.0.1", port))
+            data, _ = s.recvfrom(65536)
+            return data.decode("utf-8")
+        except socket.timeout:
+            time.sleep(0.1)
+    print(f"FAIL: no reply from 127.0.0.1:{port} to {query!r}")
+    sys.exit(1)
+
+ok = True
+for port, role in [(38311, "ringmaster"), (38312, "member"),
+                   (38313, "member"), (38314, "client")]:
+    metrics = ask(port, "metrics")
+    if len(metrics.encode()) > 1500:
+        print(f"FAIL: {port} metrics reply exceeds one datagram")
+        ok = False
+    saw_type = False
+    for line in metrics.splitlines():
+        if line.startswith("# TYPE circus_"):
+            saw_type = True
+        elif line.startswith("#") or not line or line == "...":
+            continue  # "..." marks a truncated reply, itself legal
+        else:
+            parts = line.split()
+            if len(parts) != 2 or not parts[0].startswith("circus_"):
+                print(f"FAIL: {port} malformed metrics line: {line!r}")
+                ok = False
+    if not saw_type:
+        print(f"FAIL: {port} metrics reply has no circus_ TYPE line")
+        ok = False
+    health = ask(port, "health")
+    lines = health.splitlines()
+    if not lines or not lines[0].startswith("ok "):
+        print(f"FAIL: {port} health does not lead with ok: {health!r}")
+        ok = False
+    for needle in (f"role {role}", "incarnation ", "addr 127.0.0.1:"):
+        if needle not in health:
+            print(f"FAIL: {port} health missing {needle!r}: {health!r}")
+            ok = False
+sys.exit(0 if ok else 1)
+EOF
+
+# Graceful shutdown: every node (including the mid-run client) must
+# exit 0 after flushing its final metrics snapshot and trace shard.
+# shellcheck disable=SC2086
+kill -TERM $obs_pids 2>/dev/null
+for pid in $obs_pids; do
+  rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "FAIL: testbed node (pid $pid) exited $rc on SIGTERM"
+    obs_failures=$((obs_failures + 1))
+  fi
+done
+obs_pids=""
+
+for node in ringmaster-38301 member-38302 member-38303 client-38304; do
+  for suffix in trace.jsonl metrics.prom; do
+    if [ ! -s "$obs_dir/$node.$suffix" ]; then
+      echo "FAIL: $node did not flush $node.$suffix"
+      obs_failures=$((obs_failures + 1))
+    fi
+  done
+done
+
+merge_rc=0
+"$merge_bin" -o "$obs_dir/merged.trace.json" \
+  "$obs_dir/client-38304.trace.jsonl" \
+  "$obs_dir/ringmaster-38301.trace.jsonl" \
+  "$obs_dir/member-38302.trace.jsonl" \
+  "$obs_dir/member-38303.trace.jsonl" \
+  >"$obs_dir/merge.log" 2>&1 || merge_rc=$?
+if [ "$merge_rc" -ne 0 ]; then
+  echo "FAIL: circus_trace_merge exited $merge_rc"
+  sed 's/^/  /' "$obs_dir/merge.log"
+  obs_failures=$((obs_failures + 1))
+else
+  python3 - "$obs_dir/merged.trace.json" <<'EOF' || obs_failures=$((obs_failures + 1))
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+events = doc.get("traceEvents")
+if not isinstance(events, list) or not events:
+    print("FAIL: merged trace has no traceEvents")
+    sys.exit(1)
+
+# pid -> node name from the process_name metadata the merge wrote.
+names = {e["pid"]: e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+def pids_for(prefix):
+    return {pid for pid, name in names.items() if name.startswith(prefix)}
+client_pids = pids_for("client-")
+member_pids = pids_for("member-")
+if len(client_pids) != 1 or len(member_pids) != 2:
+    print(f"FAIL: unexpected process lanes: {sorted(names.values())}")
+    sys.exit(1)
+
+# The acceptance property: some replicated call forms one tree — a
+# call span on the client lane whose logical thread also ran execute
+# spans on BOTH member lanes.
+call_threads = {e["args"]["thread"] for e in events
+                if e.get("ph") == "X" and e["name"].startswith("call ")
+                and e["pid"] in client_pids}
+spanning = [t for t in call_threads
+            if all(any(e.get("ph") == "X"
+                       and e["name"].startswith("exec ")
+                       and e["pid"] == m and e["args"]["thread"] == t
+                       for e in events) for m in member_pids)]
+if not spanning:
+    print("FAIL: no client call span spans both troupe members")
+    sys.exit(1)
+print(f"PASS: merged trace ({len(events)} records, "
+      f"{len(spanning)} thread(s) spanning every member)")
+EOF
+fi
+
+if [ "$obs_failures" -ne 0 ]; then
+  echo "check_realnet: observability round: $obs_failures failure(s)" >&2
+  for log in "$obs_dir"/*.log; do
+    echo "--- $log"
+    tail -5 "$log"
+  done
+  exit 1
+fi
+echo "check_realnet: observability round ok (metrics/health on 4 nodes, shards merged)"

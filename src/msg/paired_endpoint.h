@@ -148,6 +148,15 @@ class PairedEndpoint {
   };
   const Counters& counters() const { return counters_; }
 
+  // Last time any segment arrived from each peer (the probe machinery's
+  // own liveness bookkeeping). A peer silent for longer than
+  // probe_interval * max_silent_probes is the one the endpoint would
+  // declare crashed; the node health endpoint renders exactly that
+  // judgement.
+  const std::map<net::NetAddress, sim::TimePoint>& PeerActivity() const {
+    return last_activity_;
+  }
+
  private:
   struct ExchangeKey {
     net::NetAddress peer;

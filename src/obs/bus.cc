@@ -24,6 +24,9 @@ void EventBus::Publish(Event event) {
   if (event.time_ns < 0 && clock_) {
     event.time_ns = clock_();
   }
+  if (event.incarnation == 0) {
+    event.incarnation = incarnation_;
+  }
   ++published_;
   // Index loop: a subscriber may subscribe/unsubscribe during delivery.
   for (size_t i = 0; i < subscribers_.size(); ++i) {

@@ -31,12 +31,19 @@ class EventBus {
   // construction on this so tracing costs nothing when disabled.
   bool active() const { return !subscribers_.empty(); }
 
-  // The clock used to stamp events whose time_ns is unset. The World
-  // installs its executor's simulated clock here; without one, events
-  // keep whatever timestamp the publisher set.
+  // The clock used to stamp events whose time_ns is unset — the seam
+  // that makes the bus runtime-agnostic. The World installs its
+  // executor's simulated clock here; rt::Runtime installs its
+  // CLOCK_REALTIME-seeded wall clock. Without one, events keep whatever
+  // timestamp the publisher set.
   void SetClock(std::function<int64_t()> now_ns) {
     clock_ = std::move(now_ns);
   }
+
+  // Stamps every published event with this process incarnation (0, the
+  // default, leaves events unstamped — the simulated World's mode).
+  void SetIncarnation(uint64_t incarnation) { incarnation_ = incarnation; }
+  uint64_t incarnation() const { return incarnation_; }
 
   SubscriberId Subscribe(Subscriber fn);
   void Unsubscribe(SubscriberId id);
@@ -51,6 +58,7 @@ class EventBus {
  private:
   std::vector<std::pair<SubscriberId, Subscriber>> subscribers_;
   std::function<int64_t()> clock_;
+  uint64_t incarnation_ = 0;
   SubscriberId next_id_ = 1;
   uint64_t published_ = 0;
 };

@@ -56,8 +56,24 @@ const char* EventKindName(EventKind kind) {
       return "troupe_member_removed";
     case EventKind::kReconfigSweep:
       return "reconfig_sweep";
+    case EventKind::kLoopWakeup:
+      return "loop_wakeup";
+    case EventKind::kSocketStall:
+      return "socket_stall";
   }
   return "unknown";
+}
+
+bool EventKindFromName(std::string_view name, EventKind* out) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kSocketStall);
+       ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (name == EventKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string ThreadRef::ToString() const {

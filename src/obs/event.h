@@ -19,6 +19,7 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/common/bytes.h"
 
@@ -70,10 +71,20 @@ enum class EventKind : uint8_t {
   kTroupeMemberAdded,     // member added to a registration (detail = addr)
   kTroupeMemberRemoved,   // member removed (detail = addr)
   kReconfigSweep,         // maintenance sweep done (a = launched, b = retired)
+
+  // --- rt: real-runtime diagnostics (only published by src/rt) ---
+  kLoopWakeup,            // epoll wakeup (a = ready fds, b = 1 if the
+                          // timer fired, c = timer slack vs. deadline, ns)
+  kSocketStall,           // sendto hit EAGAIN/ENOBUFS backpressure
+                          // (a = packed destination, c = errno)
 };
 
 // Stable lower_snake name for exports ("segment_send", "call_issue", ...).
 const char* EventKindName(EventKind kind);
+
+// Inverse of EventKindName; false when `name` names no kind (e.g. a
+// foreign or future shard line — callers skip those tolerantly).
+bool EventKindFromName(std::string_view name, EventKind* out);
 
 // Mirrors core::ThreadId (machine, port, local) without depending on
 // src/core. A value-initialised ThreadRef means "no thread": events below
@@ -109,6 +120,11 @@ struct Event {
   int64_t time_ns = -1;  // simulated time; stamped by the bus if < 0
   EventKind kind = EventKind::kPacketSend;
   uint32_t host = 0;     // sim host id of the publisher (0 = none)
+  // Per-process incarnation stamped by the bus (0 inside the simulated
+  // World). Real-runtime nodes derive a fresh value per OS process so a
+  // merged multi-process trace can tell a rebooted node from its
+  // predecessor even though both carry the same address.
+  uint64_t incarnation = 0;
   uint64_t origin = 0;   // packed address of the publishing endpoint/process
   ThreadRef thread;      // logical thread (zero below the stub layer)
   uint32_t thread_seq = 0;  // per-thread call sequence number

@@ -15,11 +15,23 @@ using ThreadKey = std::tuple<uint32_t, uint16_t, uint16_t>;
 
 ThreadKey KeyOf(const ThreadRef& t) { return {t.machine, t.port, t.local}; }
 
+bool IsSpanBegin(EventKind k) {
+  return k == EventKind::kCallIssue || k == EventKind::kExecuteBegin;
+}
+bool IsSpanEnd(EventKind k) {
+  return k == EventKind::kCallCollate || k == EventKind::kExecuteEnd;
+}
+
+}  // namespace
+
 json::Value EventToJson(const Event& e) {
   json::Value obj = json::Value::Object();
   obj.Set("t_ns", e.time_ns);
   obj.Set("kind", EventKindName(e.kind));
   obj.Set("host", static_cast<uint64_t>(e.host));
+  if (e.incarnation != 0) {
+    obj.Set("inc", e.incarnation);
+  }
   if (e.origin != 0) {
     obj.Set("origin", PackedAddressToString(e.origin));
   }
@@ -38,15 +50,6 @@ json::Value EventToJson(const Event& e) {
   }
   return obj;
 }
-
-bool IsSpanBegin(EventKind k) {
-  return k == EventKind::kCallIssue || k == EventKind::kExecuteBegin;
-}
-bool IsSpanEnd(EventKind k) {
-  return k == EventKind::kCallCollate || k == EventKind::kExecuteEnd;
-}
-
-}  // namespace
 
 std::string ToJsonLines(const std::vector<Event>& events) {
   std::string out;

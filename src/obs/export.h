@@ -19,8 +19,13 @@
 
 #include "src/common/status.h"
 #include "src/obs/event.h"
+#include "src/obs/json.h"
 
 namespace circus::obs {
+
+// The canonical JSONL rendering of one event (shared by ToJsonLines and
+// the trace-shard writer); EventFromJson in src/obs/shard.h inverts it.
+json::Value EventToJson(const Event& e);
 
 std::string ToJsonLines(const std::vector<Event>& events);
 

@@ -1,39 +1,124 @@
 #include "src/obs/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace circus::obs::json {
+
+namespace {
+
+// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when
+// the bytes there are not a valid sequence (RFC 3629 ranges: no
+// overlongs, no surrogates, nothing above U+10FFFF).
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  const auto byte = [&](size_t k) -> unsigned {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned b0 = byte(i);
+  if (b0 < 0x80) {
+    return 1;
+  }
+  const auto cont = [&](size_t k) {
+    return k < s.size() && (byte(k) & 0xC0) == 0x80;
+  };
+  if (b0 >= 0xC2 && b0 <= 0xDF) {
+    return cont(i + 1) ? 2 : 0;
+  }
+  if (b0 == 0xE0) {
+    return (i + 1 < s.size() && byte(i + 1) >= 0xA0 && byte(i + 1) <= 0xBF &&
+            cont(i + 2))
+               ? 3
+               : 0;
+  }
+  if (b0 == 0xED) {  // exclude the surrogate range U+D800..U+DFFF
+    return (i + 1 < s.size() && byte(i + 1) >= 0x80 && byte(i + 1) <= 0x9F &&
+            cont(i + 2))
+               ? 3
+               : 0;
+  }
+  if (b0 >= 0xE1 && b0 <= 0xEF) {
+    return (cont(i + 1) && cont(i + 2)) ? 3 : 0;
+  }
+  if (b0 == 0xF0) {
+    return (i + 1 < s.size() && byte(i + 1) >= 0x90 && byte(i + 1) <= 0xBF &&
+            cont(i + 2) && cont(i + 3))
+               ? 4
+               : 0;
+  }
+  if (b0 >= 0xF1 && b0 <= 0xF3) {
+    return (cont(i + 1) && cont(i + 2) && cont(i + 3)) ? 4 : 0;
+  }
+  if (b0 == 0xF4) {
+    return (i + 1 < s.size() && byte(i + 1) >= 0x80 && byte(i + 1) <= 0x8F &&
+            cont(i + 2) && cont(i + 3))
+               ? 4
+               : 0;
+  }
+  return 0;
+}
+
+}  // namespace
 
 std::string Escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (const char ch : s) {
+  for (size_t i = 0; i < s.size();) {
+    const char ch = s[i];
     const auto byte = static_cast<unsigned char>(ch);
     switch (ch) {
       case '"':
         out += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         out += "\\\\";
-        break;
+        ++i;
+        continue;
+      case '\b':
+        out += "\\b";
+        ++i;
+        continue;
+      case '\f':
+        out += "\\f";
+        ++i;
+        continue;
       case '\n':
         out += "\\n";
-        break;
+        ++i;
+        continue;
       case '\r':
         out += "\\r";
-        break;
+        ++i;
+        continue;
       case '\t':
         out += "\\t";
-        break;
+        ++i;
+        continue;
       default:
-        if (byte < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
-          out += buf;
-        } else {
-          out += ch;
-        }
+        break;
+    }
+    if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (byte < 0x80) {
+      out += ch;
+      ++i;
+      continue;
+    }
+    // Non-ASCII: pass well-formed UTF-8 through, replace anything else
+    // with U+FFFD so the output is always a valid RFC 8259 string.
+    if (const size_t len = Utf8SequenceLength(s, i); len != 0) {
+      out.append(s.substr(i, len));
+      i += len;
+    } else {
+      out += "\\ufffd";
+      ++i;
     }
   }
   return out;
@@ -72,6 +157,28 @@ double Value::as_double() const {
       return static_cast<double>(uint_);
     default:
       return double_;
+  }
+}
+
+int64_t Value::AsI64() const {
+  switch (type_) {
+    case Type::kUint:
+      return static_cast<int64_t>(uint_);
+    case Type::kDouble:
+      return static_cast<int64_t>(double_);
+    default:
+      return int_;
+  }
+}
+
+uint64_t Value::AsU64() const {
+  switch (type_) {
+    case Type::kInt:
+      return static_cast<uint64_t>(int_);
+    case Type::kDouble:
+      return static_cast<uint64_t>(double_);
+    default:
+      return uint_;
   }
 }
 
@@ -139,6 +246,325 @@ void Value::DumpTo(std::string& out) const {
       break;
     }
   }
+}
+
+// ------------------------------------------------------------- parsing --
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  circus::StatusOr<Value> Run() {
+    SkipWhitespace();
+    circus::StatusOr<Value> v = ParseValue(0);
+    if (!v.ok()) {
+      return v;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  circus::Status Error(const std::string& what) const {
+    return circus::Status(circus::ErrorCode::kInvalidArgument,
+                          "json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  circus::StatusOr<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        return ConsumeWord("null") ? circus::StatusOr<Value>(Value())
+                                   : Error("bad literal");
+      case 't':
+        return ConsumeWord("true") ? circus::StatusOr<Value>(Value(true))
+                                   : Error("bad literal");
+      case 'f':
+        return ConsumeWord("false") ? circus::StatusOr<Value>(Value(false))
+                                    : Error("bad literal");
+      case '"': {
+        circus::StatusOr<std::string> s = ParseString();
+        if (!s.ok()) {
+          return s.status();
+        }
+        return Value(std::move(*s));
+      }
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  circus::StatusOr<Value> ParseArray(int depth) {
+    ++pos_;  // '['
+    Value out = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      return out;
+    }
+    for (;;) {
+      circus::StatusOr<Value> v = ParseValue(depth + 1);
+      if (!v.ok()) {
+        return v;
+      }
+      out.Append(std::move(*v));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return out;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ']'");
+      }
+    }
+  }
+
+  circus::StatusOr<Value> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Value out = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      return out;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      circus::StatusOr<std::string> key = ParseString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      circus::StatusOr<Value> v = ParseValue(depth + 1);
+      if (!v.ok()) {
+        return v;
+      }
+      out.Set(std::move(*key), std::move(*v));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return out;
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or '}'");
+      }
+    }
+  }
+
+  // Appends code point `cp` to `out` as UTF-8.
+  static void AppendCodePoint(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  circus::StatusOr<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Error("truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  circus::StatusOr<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        return Error("unterminated string");
+      }
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) {
+        return Error("truncated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          circus::StatusOr<uint32_t> cp = ParseHex4();
+          if (!cp.ok()) {
+            return cp.status();
+          }
+          uint32_t code = *cp;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!ConsumeWord("\\u")) {
+              return Error("unpaired high surrogate");
+            }
+            circus::StatusOr<uint32_t> low = ParseHex4();
+            if (!low.ok()) {
+              return low.status();
+            }
+            if (*low < 0xDC00 || *low > 0xDFFF) {
+              return Error("bad low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (*low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendCodePoint(out, code);
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  circus::StatusOr<Value> ParseNumber() {
+    const size_t start = pos_;
+    bool is_double = false;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") {
+      return Error("bad number");
+    }
+    char* end = nullptr;
+    if (is_double) {
+      const double d = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) {
+        return Error("bad number");
+      }
+      return Value(d);
+    }
+    errno = 0;
+    if (token[0] == '-') {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size() || errno == ERANGE) {
+        return Error("bad number");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || errno == ERANGE) {
+      return Error("bad number");
+    }
+    if (v <= static_cast<unsigned long long>(INT64_MAX)) {
+      return Value(static_cast<int64_t>(v));
+    }
+    return Value(static_cast<uint64_t>(v));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+circus::StatusOr<Value> Parse(std::string_view text) {
+  return Parser(text).Run();
 }
 
 }  // namespace circus::obs::json

@@ -1,7 +1,8 @@
-// A minimal JSON value + writer, sufficient for the repository's export
-// formats (Chrome trace_event files, JSONL streams, BENCH_*.json). No
-// parsing, no external dependency; output is deterministic — object keys
-// keep insertion order and doubles always render the same way.
+// A minimal JSON value, writer, and parser, sufficient for the
+// repository's export formats (Chrome trace_event files, JSONL streams,
+// BENCH_*.json, trace shards). No external dependency; output is
+// deterministic — object keys keep insertion order and doubles always
+// render the same way.
 #ifndef SRC_OBS_JSON_H_
 #define SRC_OBS_JSON_H_
 
@@ -11,11 +12,16 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace circus::obs::json {
 
-// JSON string escaping (no surrounding quotes). Escapes the two
-// mandatory characters, control bytes, and nothing else; non-ASCII
-// bytes pass through (the repo only emits ASCII).
+// JSON string escaping (no surrounding quotes), RFC 8259-complete:
+// every control character U+0000..U+001F is escaped (the short forms
+// \b \f \n \r \t where they exist, \u00xx otherwise), as are '"' and
+// '\\'. Well-formed UTF-8 sequences pass through unchanged; bytes that
+// are not part of a valid UTF-8 sequence are replaced with U+FFFD
+// (escaped as �) so the output is always a valid RFC 8259 string.
 std::string Escape(std::string_view s);
 
 class Value {
@@ -62,6 +68,11 @@ class Value {
   double as_double() const;
   const std::string& as_string() const { return str_; }
 
+  // Numeric accessors that convert across kInt/kUint/kDouble (parsed
+  // documents store whichever representation the text implied).
+  int64_t AsI64() const;
+  uint64_t AsU64() const;
+
   // Compact single-line rendering.
   std::string Dump() const;
 
@@ -77,6 +88,12 @@ class Value {
   std::vector<Value> items_;                          // array elements
   std::vector<std::pair<std::string, Value>> members_;  // object members
 };
+
+// Parses one JSON document (the full inverse of Dump/Escape, including
+// \uXXXX escapes and surrogate pairs). Trailing non-whitespace after the
+// document, malformed text, and nesting deeper than an internal limit
+// fail with kInvalidArgument.
+circus::StatusOr<Value> Parse(std::string_view text);
 
 }  // namespace circus::obs::json
 

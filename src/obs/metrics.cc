@@ -111,4 +111,39 @@ std::string MetricsRegistry::Snapshot::ToString() const {
   return out;
 }
 
+std::string MetricsRegistry::Snapshot::ToPrometheus() const {
+  auto sanitize = [](const std::string& name) {
+    std::string out = "circus_";
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out += ok ? c : '_';
+    }
+    return out;
+  };
+  // Grown with string appends, never a fixed buffer: one truncated line
+  // would corrupt every line after it in the exposition.
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string metric = sanitize(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " summary\n";
+    const struct {
+      const char* quantile;
+      double value;
+    } kQuantiles[] = {{"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}};
+    for (const auto& q : kQuantiles) {
+      out += metric + "{quantile=\"" + q.quantile + "\"} " +
+             std::to_string(q.value) + "\n";
+    }
+    out += metric + "_sum " + std::to_string(h.sum) + "\n";
+    out += metric + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
 }  // namespace circus::obs

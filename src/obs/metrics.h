@@ -81,6 +81,11 @@ class MetricsRegistry {
 
     // Deterministic human-readable rendering, one instrument per line.
     std::string ToString() const;
+    // Prometheus text exposition format (version 0.0.4): counters as
+    // `circus_<name>_total`, histograms as summaries with p50/p90/p99
+    // quantiles plus _sum/_count. Dots in instrument names become
+    // underscores. Served by the circus_node `metrics` endpoint.
+    std::string ToPrometheus() const;
   };
   Snapshot Snap(int64_t time_ns) const;
 

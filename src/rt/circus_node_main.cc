@@ -8,8 +8,19 @@
 //   client      imports the troupe by name and issues replicated calls,
 //               reporting wall-clock latency (the Table 4.1 shape).
 //
+// Every node is observable while it runs (DESIGN.md Section 6): with
+// stats_port= it answers metrics/health/spans datagrams, with trace_dir=
+// it streams its event shard to disk for circus_trace_merge. SIGINT and
+// SIGTERM shut the node down gracefully — final metrics snapshot and
+// trace shard flushed before exit.
+//
 // A loopback testbed is a handful of circus_node processes sharing
 // 127.0.0.1; a LAN deployment is the same configs with real addresses.
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -18,8 +29,11 @@
 
 #include "src/binding/client.h"
 #include "src/binding/ringmaster.h"
+#include "src/common/check.h"
+#include "src/common/log.h"
 #include "src/core/process.h"
 #include "src/marshal/marshal.h"
+#include "src/rt/introspect.h"
 #include "src/rt/node_config.h"
 #include "src/rt/runtime.h"
 
@@ -43,22 +57,110 @@ sim::Duration ServeBudget(const NodeConfig& config) {
                                 : sim::Duration::Seconds(1 << 30);
 }
 
+// ------------------------------------------------------------ shutdown --
+// SIGINT/SIGTERM request a graceful stop. The handler only sets a flag
+// and pokes a self-pipe the IoLoop watches, so a signal arriving while
+// the loop is blocked in epoll_wait wakes it immediately (no SA_RESTART,
+// and no race between the predicate check and the epoll sleep).
+
+volatile std::sig_atomic_t g_shutdown = 0;
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  g_shutdown = 1;
+  if (g_signal_pipe[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = write(g_signal_pipe[1], &byte, 1);
+  }
+}
+
+bool ShutdownRequested() { return g_shutdown != 0; }
+
+void InstallShutdownHandling(Runtime& runtime) {
+  CIRCUS_CHECK(pipe2(g_signal_pipe, O_NONBLOCK | O_CLOEXEC) == 0);
+  runtime.loop().WatchFd(g_signal_pipe[0], [] {
+    char buf[16];
+    while (read(g_signal_pipe[0], buf, sizeof(buf)) > 0) {
+    }
+  });
+  struct sigaction sa {};
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: epoll_wait must EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+// ------------------------------------------------------------- logging --
+// rt-aware sink: wall-clock timestamps (the executor clock IS wall time
+// here, seeded from CLOCK_REALTIME) and a role/host:port prefix so
+// interleaved stderr from a testbed's nodes stays attributable.
+
+int64_t WallRealtimeNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+void InstallLogSink(const NodeConfig& config) {
+  const std::string prefix =
+      std::string(config.RoleName()) + "/" + config.listen.ToString();
+  SetLogSink([prefix](LogLevel level, int64_t time_ns,
+                      const std::string& message) {
+    if (time_ns < 0) {
+      time_ns = WallRealtimeNanos();  // logged outside the loop
+    }
+    const time_t seconds = static_cast<time_t>(time_ns / 1000000000);
+    tm utc{};
+    gmtime_r(&seconds, &utc);
+    char clock[16];
+    strftime(clock, sizeof(clock), "%H:%M:%S", &utc);
+    static const char* kLetters = "TDIWE";
+    std::fprintf(stderr, "[%c %s.%06ld %s] %s\n",
+                 kLetters[static_cast<int>(level)], clock,
+                 static_cast<long>((time_ns % 1000000000) / 1000),
+                 prefix.c_str(), message.c_str());
+  });
+}
+
+#define NODE_LOG(runtime) \
+  CIRCUS_LOG_AT(LogLevel::kInfo, (runtime).now().nanos())
+
+// Common epilogue: final metrics snapshot + trace shard, then report.
+int FinishNode(Runtime& runtime, NodeObservability& node_obs, int rc) {
+  node_obs.FinalFlush();
+  if (!node_obs.status().ok()) {
+    CIRCUS_LOG_AT(LogLevel::kWarning, runtime.now().nanos())
+        << "observability degraded: " << node_obs.status().ToString();
+  }
+  NODE_LOG(runtime) << (ShutdownRequested() ? "shutdown (signal)"
+                                            : "shutdown (budget)");
+  return rc;
+}
+
+// --------------------------------------------------------------- roles --
+
 int RunRingmaster(const NodeConfig& config) {
   Runtime runtime;
+  InstallShutdownHandling(runtime);
   sim::Host* host = runtime.AddHost("ringmaster", config.listen.host);
+  NodeObservability node_obs(&runtime, host, config);
   core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  node_obs.SetProcess(&process);
   binding::RingmasterServer server(&process);
   server.BootstrapSelf(BootstrapRingmasterTroupe(config.listen));
-  std::fprintf(stderr, "circus_node: ringmaster on %s\n",
-               config.listen.ToString().c_str());
-  runtime.RunFor(ServeBudget(config));
-  return 0;
+  NODE_LOG(runtime) << "ringmaster on " << config.listen.ToString();
+  runtime.RunUntil(ShutdownRequested, ServeBudget(config));
+  return FinishNode(runtime, node_obs, 0);
 }
 
 int RunMember(const NodeConfig& config) {
   Runtime runtime;
+  InstallShutdownHandling(runtime);
   sim::Host* host = runtime.AddHost("member", config.listen.host);
+  NodeObservability node_obs(&runtime, host, config);
   core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  node_obs.SetProcess(&process);
   binding::BindingClient binding(
       &process, BootstrapRingmasterTroupe(config.ringmaster));
   binding::BindingCache cache(&binding);
@@ -105,28 +207,33 @@ int RunMember(const NodeConfig& config) {
     circus::Status status =
         co_await binding::JoinTroupe(p, m, b, name, accept_state);
     if (!status.ok()) {
-      std::fprintf(stderr, "circus_node: join failed: %s\n",
-                   status.ToString().c_str());
+      CIRCUS_LOG(LogLevel::kWarning)
+          << "join failed: " << status.ToString();
     }
     *done = status.ok();
   }(&process, module, &binding, config.troupe, counter, &joined));
 
-  if (!runtime.RunUntil([&joined] { return joined; },
-                        sim::Duration::Seconds(30))) {
-    std::fprintf(stderr, "circus_node: could not join troupe '%s'\n",
-                 config.troupe.c_str());
-    return 1;
+  if (!runtime.RunUntil(
+          [&joined] { return joined || ShutdownRequested(); },
+          sim::Duration::Seconds(30)) ||
+      !joined) {
+    CIRCUS_LOG_AT(LogLevel::kError, runtime.now().nanos())
+        << "could not join troupe '" << config.troupe << "'";
+    return FinishNode(runtime, node_obs, 1);
   }
-  std::fprintf(stderr, "circus_node: member of '%s' on %s\n",
-               config.troupe.c_str(), config.listen.ToString().c_str());
-  runtime.RunFor(ServeBudget(config));
-  return 0;
+  NODE_LOG(runtime) << "member of '" << config.troupe << "' on "
+                    << config.listen.ToString();
+  runtime.RunUntil(ShutdownRequested, ServeBudget(config));
+  return FinishNode(runtime, node_obs, 0);
 }
 
 int RunClient(const NodeConfig& config) {
   Runtime runtime;
+  InstallShutdownHandling(runtime);
   sim::Host* host = runtime.AddHost("client", config.listen.host);
+  NodeObservability node_obs(&runtime, host, config);
   core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  node_obs.SetProcess(&process);
   binding::BindingClient binding(
       &process, BootstrapRingmasterTroupe(config.ringmaster));
   binding::BindingCache cache(&binding);
@@ -143,13 +250,14 @@ int RunClient(const NodeConfig& config) {
                  std::shared_ptr<Progress> out) -> sim::Task<void> {
     const core::ThreadId thread = p->NewRootThread();
     const circus::Bytes args(static_cast<size_t>(cfg.payload), 0x5A);
-    for (int i = 0; i < cfg.calls; ++i) {
+    for (int i = 0; i < cfg.calls && g_shutdown == 0; ++i) {
       const sim::TimePoint start = rt->loop().WallNow();
       circus::StatusOr<circus::Bytes> result = co_await c->CallByName(
           p, thread, cfg.troupe, /*procedure=*/0, args);
       if (!result.ok()) {
-        std::fprintf(stderr, "circus_node: call %d failed: %s\n", i,
-                     result.status().ToString().c_str());
+        CIRCUS_LOG(LogLevel::kError)
+            << "call " << i << " failed: "
+            << result.status().ToString();
         out->ok = false;
         break;
       }
@@ -159,12 +267,21 @@ int RunClient(const NodeConfig& config) {
     out->finished = true;
   }(&runtime, &process, &cache, config, progress));
 
-  runtime.RunUntil([progress] { return progress->finished; },
-                   sim::Duration::Seconds(60 + config.calls));
-  if (!progress->finished || !progress->ok ||
-      progress->latencies_ms.empty()) {
-    std::fprintf(stderr, "circus_node: client run failed\n");
-    return 1;
+  runtime.RunUntil(
+      [progress] { return progress->finished || ShutdownRequested(); },
+      sim::Duration::Seconds(60 + config.calls));
+  // An operator stop (SIGINT/SIGTERM) mid-run is a graceful exit, not a
+  // failure: report whatever completed and flush as usual.
+  const bool stopped_early = !progress->finished && ShutdownRequested();
+  if (!stopped_early &&
+      (!progress->finished || !progress->ok ||
+       progress->latencies_ms.empty())) {
+    CIRCUS_LOG_AT(LogLevel::kError, runtime.now().nanos())
+        << "client run failed";
+    return FinishNode(runtime, node_obs, 1);
+  }
+  if (progress->latencies_ms.empty()) {
+    return FinishNode(runtime, node_obs, 0);
   }
   double total = 0;
   double min = progress->latencies_ms.front();
@@ -177,7 +294,7 @@ int RunClient(const NodeConfig& config) {
   std::printf("calls=%zu mean_ms=%.3f min_ms=%.3f max_ms=%.3f\n",
               progress->latencies_ms.size(),
               total / progress->latencies_ms.size(), min, max);
-  return 0;
+  return FinishNode(runtime, node_obs, 0);
 }
 
 int Main(int argc, char** argv) {
@@ -190,6 +307,10 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "circus_node: %s\n",
                  config.status().ToString().c_str());
     return 2;
+  }
+  InstallLogSink(*config);
+  if (GetLogLevel() > LogLevel::kInfo) {
+    SetLogLevel(LogLevel::kInfo);  // a daemon should say what it is doing
   }
   switch (config->role) {
     case NodeConfig::Role::kRingmaster:

@@ -1,0 +1,206 @@
+#include "src/rt/introspect.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
+
+namespace circus::rt {
+
+namespace {
+
+// Replies must fit one datagram so `nc -u` conversations always work.
+constexpr size_t kMaxReplyBytes = net::Fabric::kMaxDatagramBytes;
+
+std::string Truncated(std::string text) {
+  if (text.size() <= kMaxReplyBytes) {
+    return text;
+  }
+  constexpr std::string_view kMark = "...\n";
+  text.resize(kMaxReplyBytes - kMark.size());
+  text += kMark;
+  return text;
+}
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+sim::Task<void> ServeStats(NodeObservability* node,
+                           net::DatagramSocket* socket) {
+  for (;;) {
+    net::Datagram request = co_await socket->Receive();
+    std::string query(request.payload.begin(), request.payload.end());
+    std::string reply = node->HandleQuery(query);
+    circus::Bytes bytes(reply.begin(), reply.end());
+    co_await socket->Send(request.source, std::move(bytes));
+  }
+}
+
+sim::Task<void> PeriodicFlush(NodeObservability* node, sim::Host* host) {
+  for (;;) {
+    co_await host->SleepFor(sim::Duration::Millis(250));
+    node->FlushShard();  // no-op when nothing is pending
+  }
+}
+
+// Deeper than the ShardWriter default: a node under replicated-call
+// load emits tens of thousands of events per second, and dropping the
+// oldest unflushed lines must stay a genuine overload signal, not a
+// steady-state one (losing the startup binding exchange would cost the
+// merge its clock-alignment samples against the ringmaster).
+constexpr size_t kNodeShardCapacity = 65536;
+
+}  // namespace
+
+std::string ShardPathFor(const NodeConfig& config) {
+  if (config.trace_dir.empty()) {
+    return "";
+  }
+  return config.trace_dir + "/" + config.DisplayName() + ".trace.jsonl";
+}
+
+std::string MetricsPathFor(const NodeConfig& config) {
+  if (config.trace_dir.empty()) {
+    return "";
+  }
+  return config.trace_dir + "/" + config.DisplayName() + ".metrics.prom";
+}
+
+NodeObservability::NodeObservability(Runtime* runtime, sim::Host* host,
+                                     const NodeConfig& config)
+    : runtime_(runtime), config_(config) {
+  obs::ShardInfo info;
+  info.node = config.DisplayName();
+  info.role = config.RoleName();
+  info.address = config.listen.ToString();
+  info.incarnation = runtime->incarnation();
+  info.clock = "realtime";
+  shard_ = std::make_unique<obs::ShardWriter>(
+      ShardPathFor(config), std::move(info), kNodeShardCapacity);
+  if (!shard_->ok()) {
+    status_ = circus::Status(circus::ErrorCode::kUnavailable,
+                             "cannot write trace shard " + shard_->path());
+  }
+  shard_->Attach(&runtime->bus());
+  if (!shard_->path().empty()) {
+    host->Spawn(PeriodicFlush(this, host));
+  }
+
+  if (config.stats_port != 0) {
+    circus::StatusOr<std::unique_ptr<net::DatagramSocket>> socket =
+        net::DatagramSocket::Open(&runtime->fabric(), host,
+                                  config.stats_port);
+    if (!socket.ok()) {
+      if (status_.ok()) {
+        status_ = socket.status();
+      }
+    } else {
+      stats_socket_ = std::move(*socket);
+      host->Spawn(ServeStats(this, stats_socket_.get()));
+    }
+  }
+}
+
+NodeObservability::~NodeObservability() { FlushShard(); }
+
+void NodeObservability::FlushShard() {
+  // Errors are sticky in status() but must not kill a serving node.
+  circus::Status flushed = shard_->Flush();
+  if (!flushed.ok() && status_.ok()) {
+    status_ = flushed;
+  }
+}
+
+void NodeObservability::FinalFlush() {
+  FlushShard();
+  const std::string metrics = MetricsText();
+  const std::string path = MetricsPathFor(config_);
+  if (path.empty()) {
+    std::fprintf(stderr, "--- final metrics (%s) ---\n%s",
+                 config_.DisplayName().c_str(), metrics.c_str());
+    return;
+  }
+  circus::Status written = obs::WriteStringToFile(path, metrics);
+  if (!written.ok() && status_.ok()) {
+    status_ = written;
+  }
+}
+
+std::string NodeObservability::HandleQuery(std::string_view query) {
+  const std::string_view q = TrimView(query);
+  if (q == "metrics") {
+    return Truncated(MetricsText());
+  }
+  if (q == "health") {
+    return Truncated(HealthText());
+  }
+  if (q == "spans") {
+    return Truncated(SpansText());
+  }
+  std::string reply = "err unknown query '";
+  reply.append(q.substr(0, 32));
+  reply += "' (try: metrics | health | spans)\n";
+  return Truncated(std::move(reply));
+}
+
+std::string NodeObservability::MetricsText() const {
+  return runtime_->metrics().Snap(runtime_->now().nanos()).ToPrometheus();
+}
+
+std::string NodeObservability::HealthText() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "ok %s\nrole %s\naddr %s\n",
+                config_.DisplayName().c_str(), config_.RoleName(),
+                config_.listen.ToString().c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "incarnation %" PRIu64 "\n",
+                runtime_->incarnation());
+  out += line;
+  if (process_ == nullptr) {
+    out += "troupe unbound\npeers 0\n";
+    return out;
+  }
+  std::snprintf(line, sizeof(line), "troupe %" PRIu64 "\n",
+                process_->troupe_id().value);
+  out += line;
+  const msg::PairedEndpoint& endpoint = process_->endpoint();
+  // The same silence budget the probe machinery uses to declare a peer
+  // crashed (max_silent_probes probes, probe_interval apart).
+  const sim::Duration budget =
+      endpoint.options().probe_interval * endpoint.options().max_silent_probes;
+  const sim::TimePoint now = runtime_->now();
+  std::snprintf(line, sizeof(line), "peers %zu\n",
+                endpoint.PeerActivity().size());
+  out += line;
+  for (const auto& [peer, last_seen] : endpoint.PeerActivity()) {
+    const sim::Duration age = now - last_seen;
+    std::snprintf(line, sizeof(line), "peer %s age_ms=%.0f %s\n",
+                  peer.ToString().c_str(), age.ToMillisF(),
+                  age <= budget ? "live" : "silent");
+    out += line;
+  }
+  return out;
+}
+
+std::string NodeObservability::SpansText() const {
+  const std::vector<obs::Event> recent = shard_->Recent();
+  const std::vector<obs::Span> roots = obs::AssembleSpans(recent);
+  if (roots.empty()) {
+    return "no spans\n";
+  }
+  return obs::Render(roots);
+}
+
+}  // namespace circus::rt

@@ -1,0 +1,93 @@
+// Live node observability: the trace shard and the one-datagram text
+// introspection endpoint of a circus_node (ISSUE: "observing a live
+// node", DESIGN.md Section 6).
+//
+// NodeObservability bundles what every rt node needs to be observable:
+//
+//  * a ShardWriter subscribed to the runtime's bus — a bounded ring of
+//    recent events always, plus a JSONL trace shard on disk when the
+//    config sets trace_dir= (flushed periodically and at shutdown);
+//  * a UDP stats socket (stats_port=) answering single-datagram text
+//    queries with single-datagram text replies:
+//        metrics  -> Prometheus exposition of the MetricsRegistry
+//        health   -> role, troupe ID, and per-peer liveness judged by
+//                    the paired-endpoint probe budget
+//        spans    -> recent root-thread span trees from the ring
+//    Replies are truncated to one datagram (net::Fabric MTU) so the
+//    endpoint can be driven with nothing more than netcat.
+//
+// The serve loop runs as a coroutine on the node's host, so a host
+// crash reaps it exactly like any protocol task.
+#ifndef SRC_RT_INTROSPECT_H_
+#define SRC_RT_INTROSPECT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/core/process.h"
+#include "src/net/socket.h"
+#include "src/obs/shard.h"
+#include "src/rt/node_config.h"
+#include "src/rt/runtime.h"
+
+namespace circus::rt {
+
+// The shard path a node derives from its config; empty when tracing is
+// off. Exposed so tools (and check scripts) agree on the layout:
+// <trace_dir>/<display name>.trace.jsonl
+std::string ShardPathFor(const NodeConfig& config);
+// Companion path for the final metrics snapshot:
+// <trace_dir>/<display name>.metrics.prom
+std::string MetricsPathFor(const NodeConfig& config);
+
+class NodeObservability {
+ public:
+  // Starts observing `runtime`'s bus and, when config.stats_port is
+  // set, serving the introspection endpoint from `host`. Construction
+  // never fails hard: a shard that cannot be opened or a stats port
+  // that cannot be bound degrade to a warning via status().
+  NodeObservability(Runtime* runtime, sim::Host* host,
+                    const NodeConfig& config);
+  NodeObservability(const NodeObservability&) = delete;
+  NodeObservability& operator=(const NodeObservability&) = delete;
+  ~NodeObservability();
+
+  // kOk, or the first degradation hit during construction.
+  const circus::Status& status() const { return status_; }
+
+  // Wires the process whose troupe/peer state the health query reports.
+  void SetProcess(core::RpcProcess* process) { process_ = process; }
+
+  obs::ShardWriter& shard() { return *shard_; }
+
+  // Appends buffered trace lines to disk. The node calls this
+  // periodically (cheap when nothing is pending) and from FinalFlush.
+  void FlushShard();
+
+  // Shutdown path: flushes the shard and writes a final Prometheus
+  // snapshot to MetricsPathFor(config) (stderr when trace_dir is
+  // unset, so the snapshot is never silently lost).
+  void FinalFlush();
+
+  // Query dispatch, exposed for tests: exactly what a datagram
+  // containing `query` gets back (already truncated to one datagram).
+  std::string HandleQuery(std::string_view query);
+
+ private:
+  std::string MetricsText() const;
+  std::string HealthText() const;
+  std::string SpansText() const;
+
+  Runtime* runtime_;
+  NodeConfig config_;
+  core::RpcProcess* process_ = nullptr;
+  std::unique_ptr<obs::ShardWriter> shard_;
+  std::unique_ptr<net::DatagramSocket> stats_socket_;
+  circus::Status status_;
+};
+
+}  // namespace circus::rt
+
+#endif  // SRC_RT_INTROSPECT_H_

@@ -79,7 +79,22 @@ void IoLoop::UnwatchFd(int fd) {
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
 }
 
+void IoLoop::SetObservability(obs::EventBus* bus,
+                              obs::MetricsRegistry* metrics) {
+  bus_ = bus;
+  if (metrics != nullptr) {
+    wakeups_ = metrics->GetCounter("rt.loop.wakeups");
+    fd_events_ = metrics->GetCounter("rt.loop.fd_events");
+    timer_slack_us_ = metrics->GetHistogram("rt.loop.timer_slack_us");
+  } else {
+    wakeups_ = nullptr;
+    fd_events_ = nullptr;
+    timer_slack_us_ = nullptr;
+  }
+}
+
 void IoLoop::ArmTimer(sim::TimePoint wake) {
+  armed_wake_ = wake;
   int64_t delta_ns = (wake - WallNow()).nanos();
   if (delta_ns < 1) {
     delta_ns = 1;  // 0 would disarm the timer
@@ -116,6 +131,37 @@ bool IoLoop::RunUntil(const std::function<bool()>& done,
     if (n < 0) {
       CIRCUS_CHECK_MSG(errno == EINTR, "epoll_wait failed");
       continue;
+    }
+    bool timer_fired = false;
+    int ready_fds = 0;
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == timer_fd_) {
+        timer_fired = true;
+      } else {
+        ++ready_fds;
+      }
+    }
+    int64_t slack_ns = 0;
+    if (timer_fired) {
+      slack_ns = (WallNow() - armed_wake_).nanos();
+      if (slack_ns < 0) {
+        slack_ns = 0;
+      }
+    }
+    if (wakeups_ != nullptr) {
+      wakeups_->Increment();
+      fd_events_->Add(static_cast<uint64_t>(ready_fds));
+      if (timer_fired) {
+        timer_slack_us_->Observe(static_cast<double>(slack_ns) / 1000.0);
+      }
+    }
+    if (bus_ != nullptr && bus_->active()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kLoopWakeup;
+      e.a = static_cast<uint64_t>(ready_fds);
+      e.b = timer_fired ? 1 : 0;
+      e.c = static_cast<uint64_t>(slack_ns);
+      bus_->Publish(std::move(e));
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;

@@ -22,6 +22,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/obs/bus.h"
+#include "src/obs/metrics.h"
 #include "src/sim/executor.h"
 #include "src/sim/time.h"
 
@@ -58,6 +60,13 @@ class IoLoop {
   // is single-threaded and there is no cross-thread wakeup.
   void Stop() { stop_ = true; }
 
+  // Wires the loop to the runtime's observability hub. Each epoll
+  // wakeup bumps rt.loop.wakeups / rt.loop.fd_events and, when the
+  // timerfd fired, records the timer's slack (how late the loop woke
+  // relative to the armed deadline) in rt.loop.timer_slack_us; with an
+  // active bus each wakeup also publishes a kLoopWakeup event.
+  void SetObservability(obs::EventBus* bus, obs::MetricsRegistry* metrics);
+
  private:
   void ArmTimer(sim::TimePoint wake);
   static int64_t MonotonicNanos();
@@ -70,6 +79,11 @@ class IoLoop {
   int64_t mono_origin_ns_ = 0;
   std::unordered_map<int, std::function<void()>> fd_callbacks_;
   bool stop_ = false;
+  obs::EventBus* bus_ = nullptr;
+  obs::Counter* wakeups_ = nullptr;
+  obs::Counter* fd_events_ = nullptr;
+  obs::Histogram* timer_slack_us_ = nullptr;
+  sim::TimePoint armed_wake_;  // deadline behind the armed timerfd
 };
 
 }  // namespace circus::rt

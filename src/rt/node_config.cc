@@ -121,6 +121,19 @@ circus::StatusOr<NodeConfig> ParseNodeConfig(const std::string& text) {
       config.troupe = value;
     } else if (key == "interface") {
       config.interface_name = value;
+    } else if (key == "node_name") {
+      config.node_name = value;
+    } else if (key == "trace_dir") {
+      config.trace_dir = value;
+    } else if (key == "stats_port") {
+      circus::StatusOr<int> v = ParseInt(key, value);
+      if (!v.ok()) {
+        return v.status();
+      }
+      if (*v < 0 || *v > 65535) {
+        return ParseError("stats_port out of range");
+      }
+      config.stats_port = static_cast<net::Port>(*v);
     } else if (key == "calls" || key == "payload" || key == "run_seconds") {
       circus::StatusOr<int> v = ParseInt(key, value);
       if (!v.ok()) {
@@ -144,6 +157,25 @@ circus::StatusOr<NodeConfig> ParseNodeConfig(const std::string& text) {
     return ParseError("role needs a 'ringmaster' bootstrap address");
   }
   return config;
+}
+
+std::string NodeConfig::DisplayName() const {
+  if (!node_name.empty()) {
+    return node_name;
+  }
+  return std::string(RoleName()) + "-" + std::to_string(listen.port);
+}
+
+const char* NodeConfig::RoleName() const {
+  switch (role) {
+    case Role::kRingmaster:
+      return "ringmaster";
+    case Role::kMember:
+      return "member";
+    case Role::kClient:
+      return "client";
+  }
+  return "unknown";
 }
 
 circus::StatusOr<NodeConfig> LoadNodeConfig(const std::string& path) {

@@ -12,6 +12,10 @@
 //   calls = 100                    # client: calls to issue
 //   payload = 64                   # client: argument bytes per call
 //   run_seconds = 0                # serve duration; 0 = forever
+//   node_name =                    # display name; default "<role>-<port>"
+//   stats_port = 0                 # UDP introspection port; 0 = disabled
+//   trace_dir =                    # write <node_name>.trace.jsonl here;
+//                                  # empty = no trace shard
 #ifndef SRC_RT_NODE_CONFIG_H_
 #define SRC_RT_NODE_CONFIG_H_
 
@@ -34,6 +38,14 @@ struct NodeConfig {
   int calls = 100;
   int payload = 64;
   int run_seconds = 0;
+  std::string node_name;        // empty: derived as "<role>-<listen port>"
+  net::Port stats_port = 0;     // 0: no introspection endpoint
+  std::string trace_dir;        // empty: no trace shard
+
+  // The configured node_name, or the "<role>-<port>" default.
+  std::string DisplayName() const;
+  // "ringmaster" | "member" | "client".
+  const char* RoleName() const;
 };
 
 // "10.1.2.3:9000" -> NetAddress (host byte order).

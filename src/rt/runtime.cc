@@ -1,9 +1,24 @@
 #include "src/rt/runtime.h"
 
+#include <unistd.h>
+
 namespace circus::rt {
 
 Runtime::Runtime() : loop_(&executor_), fabric_(&loop_) {
+  // The IoLoop already seeded the executor clock from CLOCK_REALTIME,
+  // so "executor now" IS wall time here — the same clock seam the
+  // simulated World fills with virtual time.
   bus_.SetClock([this] { return executor_.now().nanos(); });
+  // Wall-clock nanoseconds alone could collide across two processes
+  // started within one scheduler tick; folding in the pid makes the
+  // incarnation unique per OS process on one machine.
+  incarnation_ = static_cast<uint64_t>(executor_.now().nanos()) ^
+                 (static_cast<uint64_t>(getpid()) << 48);
+  if (incarnation_ == 0) {
+    incarnation_ = 1;
+  }
+  bus_.SetIncarnation(incarnation_);
+  loop_.SetObservability(&bus_, &metrics_);
   fabric_.set_event_bus(&bus_);
   fabric_.set_metrics(&metrics_);
 }

@@ -40,6 +40,12 @@ class Runtime {
   obs::EventBus& bus() { return bus_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+  // This OS process's incarnation: a fresh nonzero value per Runtime,
+  // derived from the wall clock and pid. The bus stamps it into every
+  // event, so merged multi-process traces (and their consumers) can
+  // tell a restarted node from its predecessor at the same address.
+  uint64_t incarnation() const { return incarnation_; }
+
   // Creates a host bound to a real local interface (loopback by
   // default). Hosts use SyscallCostModel::WallClock(): real syscalls
   // cost real time, so no simulated CPU charges on top.
@@ -67,6 +73,7 @@ class Runtime {
   UdpFabric fabric_;
   std::vector<std::unique_ptr<sim::Host>> hosts_;
   uint32_t next_host_index_ = 0;
+  uint64_t incarnation_ = 0;
 };
 
 }  // namespace circus::rt

@@ -165,8 +165,27 @@ void UdpFabric::Transmit(sim::Host* sender, net::Datagram datagram) {
                reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
     if (n < 0) {
       // Datagram semantics: send failures (full buffers, unreachable)
-      // are silent drops to the protocol layers.
+      // are silent drops to the protocol layers — but backpressure is
+      // the one drop cause an operator can act on, so it is counted and
+      // published separately.
+      const int err = errno;
       ++stats_.send_errors;
+      if (err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS) {
+        ++stats_.backpressure;
+        if (metrics() != nullptr) {
+          metrics()->GetCounter("rt.socket.backpressure")->Increment();
+        }
+        if (event_bus() != nullptr && event_bus()->active()) {
+          obs::Event e;
+          e.kind = obs::EventKind::kSocketStall;
+          e.host = sender->id();
+          e.origin = obs::PackAddress(datagram.source.host,
+                                      datagram.source.port);
+          e.a = obs::PackAddress(dest.host, dest.port);
+          e.c = static_cast<uint64_t>(err);
+          event_bus()->Publish(std::move(e));
+        }
+      }
     }
   };
   if (datagram.destination.is_multicast()) {

@@ -28,6 +28,7 @@ struct UdpFabricStats {
   uint64_t packets_sent = 0;       // send operations (multicast counts 1)
   uint64_t packets_delivered = 0;  // datagrams read off real sockets
   uint64_t send_errors = 0;        // sendto failures (dropped, like UDP)
+  uint64_t backpressure = 0;       // of those: EAGAIN/ENOBUFS (full bufs)
   uint64_t truncated = 0;          // inbound datagrams over the MTU
 };
 

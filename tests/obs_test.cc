@@ -20,7 +20,9 @@
 #include "src/obs/event.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
+#include "src/obs/merge.h"
 #include "src/obs/metrics.h"
+#include "src/obs/shard.h"
 #include "src/obs/trace.h"
 #include "src/txn/commit.h"
 
@@ -463,6 +465,235 @@ TEST(ExportTest, JsonLinesOnePerEventAndChromeTraceEnvelope) {
   EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
   EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);  // spans
   EXPECT_NE(chrome.find("backend0"), std::string::npos);  // host names
+}
+
+// ------------------------------------------------- json round-trip ----
+
+TEST(JsonTest, EscapeParseRoundTripsEveryControlAndMultibyteChar) {
+  // Every control character (the writer side of RFC 8259), the two
+  // mandatory escapes, and multibyte UTF-8 must survive
+  // Escape -> Parse unchanged: the shard writer and every exporter
+  // share this path.
+  std::string nasty;
+  for (int c = 0; c < 0x20; ++c) {
+    nasty.push_back(static_cast<char>(c));
+  }
+  nasty += "\"\\ plain /text √ε\xF0\x9D\x84\x9E";  // U+1D11E at the end
+  StatusOr<json::Value> parsed =
+      json::Parse("\"" + json::Escape(nasty) + "\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->as_string(), nasty);
+
+  // The parser side: \uXXXX escapes including a surrogate pair decode
+  // to the same UTF-8 the escaper would have passed through.
+  StatusOr<json::Value> surrogate =
+      json::Parse("\"\\u0041\\u00e9\\ud834\\udd1e\"");
+  ASSERT_TRUE(surrogate.ok()) << surrogate.status().ToString();
+  EXPECT_EQ(surrogate->as_string(), "A\xC3\xA9\xF0\x9D\x84\x9E");
+
+  // Bytes that are not valid UTF-8 cannot round-trip as themselves;
+  // they come back as U+FFFD so the escaped output is still a valid
+  // RFC 8259 string (instead of propagating mojibake into the shard).
+  StatusOr<json::Value> repaired =
+      json::Parse("\"" + json::Escape("a\xFF\xC0z") + "\"");
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  const std::string& out = repaired->as_string();
+  EXPECT_EQ(out.front(), 'a');
+  EXPECT_EQ(out.back(), 'z');
+  EXPECT_NE(out.find("\xEF\xBF\xBD"), std::string::npos);
+}
+
+// ----------------------------------------------------- trace shards ----
+
+ShardInfo TestShardInfo(const std::string& node) {
+  ShardInfo info;
+  info.node = node;
+  info.role = "test";
+  return info;
+}
+
+Event PairedEvent(int64_t t_ns, EventKind kind, uint32_t host,
+                  uint64_t origin, uint64_t peer, uint64_t call) {
+  Event e;
+  e.time_ns = t_ns;
+  e.kind = kind;
+  e.host = host;
+  e.origin = origin;
+  e.a = peer;
+  e.b = call;
+  return e;
+}
+
+TEST(ShardTest, WriterRoundTripsThroughReadShardFile) {
+  const std::string path = testing::TempDir() + "/round.trace.jsonl";
+  ShardInfo info;
+  info.node = "alpha";
+  info.role = "member";
+  info.address = "127.0.0.1:9001";
+  info.incarnation = 42;
+  ShardWriter writer(path, info);
+  ASSERT_TRUE(writer.ok());
+
+  Event e;
+  e.time_ns = 12345;
+  e.kind = EventKind::kCallIssue;
+  e.host = 3;
+  e.incarnation = 42;
+  e.origin = PackAddress((127u << 24) | 1, 9001);
+  e.thread = ThreadRef{0x7f000001, 9001, 7};
+  e.thread_seq = 9;
+  e.a = 1;
+  e.b = 2;
+  e.c = 3;
+  e.detail = "quote\" backslash\\ newline\n tab\t done";
+  writer.Observe(e);
+  ASSERT_TRUE(writer.Flush().ok());
+
+  StatusOr<ShardFile> shard = ReadShardFile(path);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  EXPECT_EQ(shard->info.node, "alpha");
+  EXPECT_EQ(shard->info.role, "member");
+  EXPECT_EQ(shard->info.address, "127.0.0.1:9001");
+  EXPECT_EQ(shard->info.incarnation, 42u);
+  EXPECT_EQ(shard->skipped_lines, 0u);
+  EXPECT_FALSE(shard->truncated_tail);
+  ASSERT_EQ(shard->events.size(), 1u);
+  const Event& back = shard->events[0];
+  EXPECT_EQ(back.time_ns, e.time_ns);
+  EXPECT_EQ(back.kind, e.kind);
+  EXPECT_EQ(back.host, e.host);
+  EXPECT_EQ(back.incarnation, e.incarnation);
+  EXPECT_EQ(back.origin, e.origin);
+  EXPECT_EQ(back.thread, e.thread);
+  EXPECT_EQ(back.thread_seq, e.thread_seq);
+  EXPECT_EQ(back.a, e.a);
+  EXPECT_EQ(back.b, e.b);
+  EXPECT_EQ(back.c, e.c);
+  EXPECT_EQ(back.detail, e.detail);
+}
+
+TEST(ShardTest, ToleratesPartialFinalLineFromCrashMidFlush) {
+  const std::string path = testing::TempDir() + "/crash.trace.jsonl";
+  {
+    ShardWriter writer(path, TestShardInfo("crashy"));
+    for (int i = 0; i < 3; ++i) {
+      writer.Observe(PairedEvent(1000 + i, EventKind::kSegmentSend, 1,
+                                 PackAddress(1, 10), PackAddress(2, 20),
+                                 static_cast<uint64_t>(i)));
+    }
+  }  // dtor flushes all three lines
+
+  // Simulate a crash mid-flush: the final line stops partway through.
+  std::string content;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n = std::fread(buf, 1, sizeof(buf), f);
+    std::fclose(f);
+    content.assign(buf, n);
+  }
+  ASSERT_GT(content.size(), 12u);
+  content.resize(content.size() - 12);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), f),
+              content.size());
+    std::fclose(f);
+  }
+
+  StatusOr<ShardFile> shard = ReadShardFile(path);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  EXPECT_TRUE(shard->truncated_tail);
+  EXPECT_EQ(shard->skipped_lines, 0u);  // only the tail was damaged
+  ASSERT_EQ(shard->events.size(), 2u);  // the complete lines survive
+  EXPECT_EQ(shard->events[0].b, 0u);
+  EXPECT_EQ(shard->events[1].b, 1u);
+}
+
+TEST(ShardTest, OverflowDropsOldestAndWritesDropMarker) {
+  const std::string path = testing::TempDir() + "/overflow.trace.jsonl";
+  ShardWriter writer(path, TestShardInfo("tiny"), /*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    writer.Observe(PairedEvent(1000 + i, EventKind::kSegmentSend, 1,
+                               PackAddress(1, 10), PackAddress(2, 20),
+                               static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(writer.observed(), 6u);
+  EXPECT_EQ(writer.dropped(), 2u);
+  EXPECT_EQ(writer.Recent().size(), 4u);
+  ASSERT_TRUE(writer.Flush().ok());
+
+  StatusOr<ShardFile> shard = ReadShardFile(path);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  // The four newest events survive; the drop marker is metadata, not a
+  // skipped line.
+  ASSERT_EQ(shard->events.size(), 4u);
+  EXPECT_EQ(shard->events.front().b, 2u);
+  EXPECT_EQ(shard->events.back().b, 5u);
+  EXPECT_EQ(shard->skipped_lines, 0u);
+}
+
+// ------------------------------------------------------ shard merge ----
+
+TEST(MergeTest, AlignsClocksFromPairedExchangesAndFlagsOrphans) {
+  constexpr uint64_t kAddrA = PackAddress(1, 10);
+  constexpr uint64_t kAddrB = PackAddress(2, 20);
+  constexpr int64_t kSkew = 5'000'000;  // B's clock runs 5 ms ahead of A
+
+  // One complete exchange for call 7, true one-way delay 100 ns each
+  // leg: A sends at 1000, B receives/returns, A sees the return at 1300.
+  ShardFile a;
+  a.info.node = "alpha";
+  a.events.push_back(PairedEvent(1000, EventKind::kSegmentSend, 9, kAddrA,
+                                 kAddrB, 7));
+  a.events.push_back(PairedEvent(1300, EventKind::kMessageDelivered, 9,
+                                 kAddrA, kAddrB, 7));
+  ShardFile b;
+  b.info.node = "beta";
+  b.events.push_back(PairedEvent(1100 + kSkew, EventKind::kMessageDelivered,
+                                 9, kAddrB, kAddrA, 7));
+  b.events.push_back(PairedEvent(1200 + kSkew, EventKind::kSegmentSend, 9,
+                                 kAddrB, kAddrA, 7));
+  // A third shard with traffic to nobody: it cannot be clock-aligned.
+  ShardFile orphan;
+  orphan.info.node = "orphan";
+  Event lone;
+  lone.time_ns = 500;
+  lone.kind = EventKind::kLoopWakeup;
+  lone.host = 9;
+  orphan.events.push_back(lone);
+
+  StatusOr<MergeResult> merged = MergeShards({a, b, orphan});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  ASSERT_EQ(merged->pairs.size(), 1u);
+  EXPECT_EQ(merged->pairs[0].samples, 1u);
+  EXPECT_EQ(merged->pairs[0].offset_ns, kSkew);
+  EXPECT_EQ(merged->pairs[0].residual_ns, 0);
+  ASSERT_EQ(merged->shift_ns.size(), 3u);
+  EXPECT_EQ(merged->shift_ns[0], 0);        // reference
+  EXPECT_EQ(merged->shift_ns[1], -kSkew);   // pulled back onto A's clock
+  EXPECT_TRUE(merged->aligned[0]);
+  EXPECT_TRUE(merged->aligned[1]);
+  EXPECT_FALSE(merged->aligned[2]);
+
+  // Aligned and sorted: the exchange reads in causal order on one
+  // timeline, and each event's host is its shard's process lane.
+  ASSERT_EQ(merged->events.size(), 5u);
+  EXPECT_EQ(merged->events[0].time_ns, 500);   // orphan, unshifted
+  EXPECT_EQ(merged->events[1].time_ns, 1000);
+  EXPECT_EQ(merged->events[2].time_ns, 1100);
+  EXPECT_EQ(merged->events[3].time_ns, 1200);
+  EXPECT_EQ(merged->events[4].time_ns, 1300);
+  EXPECT_EQ(merged->events[1].host, 1u);
+  EXPECT_EQ(merged->events[2].host, 2u);
+  EXPECT_EQ(merged->host_names.at(1).rfind("alpha", 0), 0u);
+
+  const std::string report = MergeReport({a, b, orphan}, *merged);
+  EXPECT_NE(report.find("reference"), std::string::npos);
+  EXPECT_NE(report.find("UNALIGNED"), std::string::npos);
 }
 
 }  // namespace

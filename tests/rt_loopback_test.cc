@@ -4,8 +4,12 @@
 // over real 127.0.0.1 UDP sockets, with zero changes to any protocol
 // layer. The topology mirrors the binding/txn simulator tests; only the
 // Runtime (and thus the clock and the wire) is different.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,6 +19,11 @@
 #include "src/binding/ringmaster.h"
 #include "src/core/process.h"
 #include "src/marshal/marshal.h"
+#include "src/obs/merge.h"
+#include "src/obs/shard.h"
+#include "src/obs/trace.h"
+#include "src/rt/introspect.h"
+#include "src/rt/node_config.h"
 #include "src/rt/runtime.h"
 #include "src/txn/commit.h"
 #include "src/txn/store.h"
@@ -385,6 +394,195 @@ TEST(RtLoopbackTest, TroupeCommitOverRealUdp) {
     EXPECT_EQ(r.ReadI64(), 125);
     EXPECT_EQ(server->store().active_transactions(), 0u);
   }
+}
+
+// --------------------------------------------------- live observing ----
+
+// A minimal direct-troupe node (no ringmaster): an echo member, or a
+// client that calls it. Shared by the tracing and introspection tests.
+std::unique_ptr<RpcProcess> MakeEchoProcess(Runtime* runtime,
+                                            sim::Host* host,
+                                            ModuleNumber* module) {
+  auto process = std::make_unique<RpcProcess>(&runtime->fabric(), host, 0);
+  *module = process->ExportModule("echo");
+  process->ExportProcedure(
+      *module, 0,
+      [](ServerCallContext&, const Bytes& args) -> Task<StatusOr<Bytes>> {
+        co_return Bytes(args);
+      });
+  return process;
+}
+
+Task<void> CallEchoOnce(RpcProcess* client, Troupe troupe,
+                        ModuleNumber module, bool* done) {
+  const ThreadId thread = client->NewRootThread();
+  const Bytes args(16, 0x5A);
+  StatusOr<Bytes> r =
+      co_await client->Call(thread, troupe, module, 0, args);
+  CIRCUS_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  *done = true;
+}
+
+// The acceptance scenario of the live-observability work: four nodes
+// (client + three troupe members) each record their own trace shard —
+// per-host filter and a distinct incarnation, exactly as four separate
+// circus_node processes would — one replicated call runs over real
+// loopback UDP, and circus_trace_merge's library joins the shards into
+// a single timeline where the call is one root span whose execute
+// children span every member.
+TEST(RtLoopbackTest, TracedReplicatedCallMergesIntoOneSpanTree) {
+  Runtime runtime;
+  const std::string dir = testing::TempDir();
+
+  Troupe troupe;
+  troupe.id = TroupeId{7001};
+  ModuleNumber module = 0;
+  std::vector<std::unique_ptr<RpcProcess>> members;
+  std::vector<sim::Host*> hosts;
+
+  sim::Host* client_host = runtime.AddHost("client");
+  hosts.push_back(client_host);
+  RpcProcess client(&runtime.fabric(), client_host, 0);
+  for (int i = 0; i < 3; ++i) {
+    sim::Host* host = runtime.AddHost("member" + std::to_string(i));
+    hosts.push_back(host);
+    members.push_back(MakeEchoProcess(&runtime, host, &module));
+    members.back()->SetTroupeId(troupe.id);
+    troupe.members.push_back(
+        members.back()->module_address(module));
+  }
+
+  // One shard writer per node, as if each were its own process. Shard 0
+  // (the client) is the merge's reference clock.
+  const char* names[] = {"client", "member0", "member1", "member2"};
+  std::vector<std::string> paths;
+  std::vector<std::unique_ptr<obs::ShardWriter>> writers;
+  for (size_t k = 0; k < 4; ++k) {
+    obs::ShardInfo info;
+    info.node = names[k];
+    info.role = k == 0 ? "client" : "member";
+    info.address = (k == 0 ? client.process_address()
+                           : members[k - 1]->process_address())
+                       .ToString();
+    info.incarnation = 1000 + k;  // distinct, as across real processes
+    paths.push_back(dir + "/" + names[k] + ".trace.jsonl");
+    writers.push_back(std::make_unique<obs::ShardWriter>(
+        paths.back(), std::move(info)));
+    ASSERT_TRUE(writers.back()->ok());
+    writers.back()->Attach(&runtime.bus(), hosts[k]->id());
+  }
+
+  bool done = false;
+  client_host->Spawn(CallEchoOnce(&client, troupe, module, &done));
+  ASSERT_TRUE(
+      runtime.RunUntil([&done] { return done; }, Duration::Seconds(30)));
+  for (auto& writer : writers) {
+    ASSERT_TRUE(writer->Flush().ok());
+  }
+
+  std::vector<obs::ShardFile> shards;
+  for (const std::string& path : paths) {
+    StatusOr<obs::ShardFile> shard = obs::ReadShardFile(path);
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    EXPECT_FALSE(shard->events.empty()) << path;
+    shards.push_back(*std::move(shard));
+  }
+
+  StatusOr<obs::MergeResult> merged = obs::MergeShards(shards);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_TRUE(merged->aligned[k]) << "shard " << k << " unaligned";
+    // All four nodes share one physical clock here, so the paired
+    // exchange estimate must come out near zero — its error is bounded
+    // by loopback scheduling jitter, far below a second.
+    EXPECT_LT(std::llabs(merged->shift_ns[k]), 1'000'000'000ll);
+  }
+
+  // The replicated call reconstructs as ONE tree: a root call span on
+  // the client's lane whose children are execute spans on three
+  // *distinct* member lanes.
+  const std::vector<obs::Span> roots = obs::AssembleSpans(merged->events);
+  ASSERT_EQ(roots.size(), 1u) << obs::Render(roots);
+  const obs::Span& call = roots[0];
+  EXPECT_EQ(call.kind, obs::Span::Kind::kCall);
+  EXPECT_EQ(call.host, 1u);  // shard 0 lane
+  EXPECT_TRUE(call.ok);
+  ASSERT_EQ(call.children.size(), 3u) << obs::Render(roots);
+  std::set<uint32_t> member_lanes;
+  for (const obs::Span& child : call.children) {
+    EXPECT_EQ(child.kind, obs::Span::Kind::kExecute);
+    EXPECT_GE(child.begin_ns, call.begin_ns);
+    member_lanes.insert(child.host);
+  }
+  EXPECT_EQ(member_lanes, (std::set<uint32_t>{2, 3, 4}));
+}
+
+// NodeObservability without the datagram socket: HandleQuery is the
+// exact reply a stats datagram gets (the socket path itself is driven
+// end-to-end by scripts/check_realnet.sh against live circus_nodes).
+TEST(RtLoopbackTest, IntrospectionQueriesReportMetricsHealthAndSpans) {
+  Runtime runtime;
+  sim::Host* member_host = runtime.AddHost("member");
+  NodeConfig cfg;
+  cfg.role = NodeConfig::Role::kMember;
+  cfg.listen = net::NetAddress{kLoopbackAddress, 39001};
+  cfg.node_name = "observe-me";
+  cfg.trace_dir = testing::TempDir();
+  NodeObservability node_obs(&runtime, member_host, cfg);
+  ASSERT_TRUE(node_obs.status().ok()) << node_obs.status().ToString();
+
+  ModuleNumber module = 0;
+  std::unique_ptr<RpcProcess> member =
+      MakeEchoProcess(&runtime, member_host, &module);
+  member->SetTroupeId(TroupeId{99});
+  node_obs.SetProcess(member.get());
+
+  Troupe troupe;
+  troupe.id = TroupeId{99};
+  troupe.members.push_back(member->module_address(module));
+  sim::Host* client_host = runtime.AddHost("client");
+  RpcProcess client(&runtime.fabric(), client_host, 0);
+  bool done = false;
+  client_host->Spawn(CallEchoOnce(&client, troupe, module, &done));
+  ASSERT_TRUE(
+      runtime.RunUntil([&done] { return done; }, Duration::Seconds(30)));
+
+  const std::string metrics = node_obs.HandleQuery("metrics");
+  EXPECT_NE(metrics.find("circus_rt_loop_wakeups_total"),
+            std::string::npos)
+      << metrics;
+  EXPECT_LE(metrics.size(), net::Fabric::kMaxDatagramBytes);
+
+  const std::string health = node_obs.HandleQuery(" health\n");
+  EXPECT_EQ(health.rfind("ok observe-me\n", 0), 0u) << health;
+  EXPECT_NE(health.find("role member\n"), std::string::npos);
+  EXPECT_NE(health.find("troupe 99\n"), std::string::npos);
+  EXPECT_NE(health.find(" live"), std::string::npos);  // the client peer
+
+  // The shard records every host in this single-process runtime, so the
+  // member's spans view shows the whole call tree.
+  const std::string spans = node_obs.HandleQuery("spans");
+  EXPECT_NE(spans.find("call("), std::string::npos) << spans;
+  EXPECT_NE(spans.find("exec("), std::string::npos) << spans;
+
+  const std::string err = node_obs.HandleQuery("bogus");
+  EXPECT_EQ(err.rfind("err unknown query", 0), 0u) << err;
+
+  // FinalFlush leaves both on-disk artifacts a dead node is judged by:
+  // the trace shard and the last metrics snapshot.
+  node_obs.FinalFlush();
+  ASSERT_TRUE(node_obs.status().ok()) << node_obs.status().ToString();
+  StatusOr<obs::ShardFile> shard =
+      obs::ReadShardFile(ShardPathFor(cfg));
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  EXPECT_EQ(shard->info.node, "observe-me");
+  EXPECT_EQ(shard->info.incarnation, runtime.incarnation());
+  EXPECT_FALSE(shard->events.empty());
+  std::ifstream prom(MetricsPathFor(cfg));
+  ASSERT_TRUE(prom.good());
+  std::string first_line;
+  std::getline(prom, first_line);
+  EXPECT_EQ(first_line.rfind("# TYPE circus_", 0), 0u) << first_line;
 }
 
 }  // namespace
