@@ -21,8 +21,17 @@ for t in build-asan/tests/*_test; do
   fi
 done
 
+# The wire-labeled slice (packet tap + Section 4.2 auditor) again via
+# ctest, case by case: a capture decode that trips ASan only in one
+# parameterized case is pinpointed here instead of vanishing into a
+# whole-binary FAIL above.
+if ! ctest --test-dir build-asan -L wire --output-on-failure >/dev/null; then
+  echo "FAIL: ctest -L wire under ASan"
+  failures=$((failures + 1))
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "check_asan: $failures test binary(ies) failed" >&2
   exit 1
 fi
-echo "check_asan: all test binaries clean under ASan"
+echo "check_asan: all test binaries clean under ASan (incl. ctest -L wire)"

@@ -1,0 +1,119 @@
+#!/bin/sh
+# Guards the latency tables against regressions: re-runs every bench in
+# --quick --json mode and compares each latency-like column (*_ms, *_us,
+# *latency*) row-by-row against the committed bench/baselines/ snapshot,
+# failing when a value regressed by more than 25%. Only simulated-time
+# benches are compared — bench_realnet and bench_micro measure wall
+# clock on whatever machine runs this, so their numbers are noise here
+# (they are still run, so a crash is caught).
+#
+# When a protocol change legitimately moves a number, regenerate the
+# baseline: run the bench with --quick --json and copy the BENCH_*.json
+# into bench/baselines/.
+#
+# Usage: scripts/check_bench_trend.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench_dir="$build_dir/bench"
+baseline_dir="$repo_root/bench/baselines"
+
+if [ ! -d "$bench_dir" ]; then
+  echo "check_bench_trend: no bench dir at $bench_dir (build first)" >&2
+  exit 1
+fi
+if [ ! -d "$baseline_dir" ]; then
+  echo "check_bench_trend: no baselines at $baseline_dir" >&2
+  exit 1
+fi
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+cd "$out_dir"
+
+failures=0
+for b in "$bench_dir"/*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  if ! "$b" --quick --json >"$name.out" 2>&1; then
+    echo "FAIL: $name exited nonzero"
+    sed 's/^/  /' "$name.out"
+    failures=$((failures + 1))
+  fi
+done
+
+python3 - "$baseline_dir" "$out_dir" <<'EOF' || failures=$((failures + 1))
+import glob, json, os, sys
+
+THRESHOLD = 1.25      # fail when fresh > baseline * THRESHOLD
+ABS_FLOOR_MS = 0.5    # ignore sub-floor baselines: all jitter, no signal
+WALL_CLOCK = {"BENCH_realnet.json", "BENCH_micro.json"}
+
+def latency_key(key):
+    k = key.lower()
+    return k.endswith("_ms") or k.endswith("_us") or "latency" in k
+
+baseline_dir, fresh_dir = sys.argv[1], sys.argv[2]
+ok = True
+compared = 0
+for base_path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
+    name = os.path.basename(base_path)
+    if name in WALL_CLOCK:
+        continue
+    fresh_path = os.path.join(fresh_dir, name)
+    if not os.path.exists(fresh_path):
+        print(f"FAIL: {name}: baseline exists but the bench produced no file")
+        ok = False
+        continue
+    with open(base_path) as fh:
+        base = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+    file_failures = []
+    checked = 0
+    for tname, base_rows in base.get("tables", {}).items():
+        fresh_rows = fresh.get("tables", {}).get(tname)
+        if not isinstance(fresh_rows, list):
+            file_failures.append(f'table "{tname}" disappeared')
+            continue
+        if len(fresh_rows) != len(base_rows):
+            file_failures.append(
+                f'table "{tname}" changed shape: '
+                f'{len(base_rows)} -> {len(fresh_rows)} row(s)')
+            continue
+        for i, (brow, frow) in enumerate(zip(base_rows, fresh_rows)):
+            for key, bval in brow.items():
+                if not latency_key(key):
+                    continue
+                if not isinstance(bval, (int, float)) or isinstance(bval, bool):
+                    continue
+                fval = frow.get(key)
+                if not isinstance(fval, (int, float)) or isinstance(fval, bool):
+                    file_failures.append(
+                        f'{tname}[{i}].{key}: no longer numeric')
+                    continue
+                floor = ABS_FLOOR_MS if key.lower().endswith("_ms") else 0.0
+                checked += 1
+                if bval > floor and fval > bval * THRESHOLD:
+                    file_failures.append(
+                        f'{tname}[{i}].{key}: {bval:g} -> {fval:g} '
+                        f'(+{(fval / bval - 1) * 100:.0f}%, limit +25%)')
+    if file_failures:
+        ok = False
+        for f in file_failures:
+            print(f"FAIL: {name}: {f}")
+    else:
+        print(f"PASS: {name} ({checked} latency value(s) within trend)")
+        compared += 1
+if compared == 0 and ok:
+    print("no baselines compared")
+    ok = False
+sys.exit(0 if ok else 1)
+EOF
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_bench_trend: $failures failure(s)" >&2
+  exit 1
+fi
+echo "check_bench_trend: no latency regressions against bench/baselines"

@@ -48,7 +48,8 @@ echo "check_realnet: rt suite stable over $runs runs"
 
 node_bin="$build_dir/src/rt/circus_node"
 merge_bin="$build_dir/src/rt/circus_trace_merge"
-for bin in "$node_bin" "$merge_bin"; do
+wire_bin="$build_dir/src/rt/circus_wire"
+for bin in "$node_bin" "$merge_bin" "$wire_bin"; do
   if [ ! -x "$bin" ]; then
     echo "check_realnet: missing $bin (build first)" >&2
     exit 1
@@ -69,6 +70,7 @@ role = ringmaster
 listen = 127.0.0.1:38301
 stats_port = 38311
 trace_dir = $obs_dir
+tap_dir = $obs_dir
 EOF
 for m in 2 3; do
   cat >"$obs_dir/member$m.conf" <<EOF
@@ -79,6 +81,7 @@ troupe = echo
 interface = echo
 stats_port = 3831$m
 trace_dir = $obs_dir
+tap_dir = $obs_dir
 EOF
 done
 cat >"$obs_dir/client.conf" <<EOF
@@ -90,6 +93,7 @@ calls = 1000000
 payload = 64
 stats_port = 38314
 trace_dir = $obs_dir
+tap_dir = $obs_dir
 EOF
 
 # Members join sequentially (the first AddTroupeMember bootstraps the
@@ -232,6 +236,32 @@ print(f"PASS: merged trace ({len(events)} records, "
 EOF
 fi
 
+# --- wire audit round --------------------------------------------------
+# Every node also mirrored its datagrams into a tap capture (tap_dir=).
+# Decoding and auditing all four captures together must report zero
+# Section 4.2 violations — the live runtime's wire behaviour is held to
+# the same oracle the chaos sweep uses. (No --member flags here: members
+# legitimately exchange get_state during sequential joins.) The audit
+# also annotates the merged timeline with per-span wire cost.
+wire_rc=0
+"$wire_bin" --annotate "$obs_dir/merged.trace.json" \
+  -o "$obs_dir/wire.trace.json" --no-conversations \
+  "$obs_dir"/*.tap.jsonl >"$obs_dir/wire.log" 2>&1 || wire_rc=$?
+if [ "$wire_rc" -ne 0 ]; then
+  echo "FAIL: circus_wire exited $wire_rc (violations or bad captures)"
+  sed 's/^/  /' "$obs_dir/wire.log"
+  obs_failures=$((obs_failures + 1))
+elif ! grep -q "wire audit: 0 violation" "$obs_dir/wire.log"; then
+  echo "FAIL: circus_wire did not report a clean audit"
+  sed 's/^/  /' "$obs_dir/wire.log"
+  obs_failures=$((obs_failures + 1))
+elif [ ! -s "$obs_dir/wire.trace.json" ]; then
+  echo "FAIL: circus_wire produced no annotated timeline"
+  obs_failures=$((obs_failures + 1))
+else
+  echo "PASS: wire audit clean over $(ls "$obs_dir"/*.tap.jsonl | wc -l) captures"
+fi
+
 if [ "$obs_failures" -ne 0 ]; then
   echo "check_realnet: observability round: $obs_failures failure(s)" >&2
   for log in "$obs_dir"/*.log; do
@@ -240,4 +270,4 @@ if [ "$obs_failures" -ne 0 ]; then
   done
   exit 1
 fi
-echo "check_realnet: observability round ok (metrics/health on 4 nodes, shards merged)"
+echo "check_realnet: observability round ok (metrics/health on 4 nodes, shards merged, wire audit clean)"

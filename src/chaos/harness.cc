@@ -20,6 +20,7 @@
 #include "src/net/world.h"
 #include "src/obs/bus.h"
 #include "src/obs/export.h"
+#include "src/obs/wire.h"
 #include "src/txn/commit.h"
 
 namespace circus::chaos {
@@ -279,9 +280,17 @@ StatusOr<Reconfigurer::LaunchedMember> LaunchMember(Harness* h,
   // Ports are per-serial: a failed join (e.g. get_state hit divergent
   // donors) leaves the abandoned process's socket bound, and a later
   // sweep may legitimately pick the same machine again.
+  core::RpcOptions member_rpc;
+  if (h->opts.duplicate_delivery_bug) {
+    // The planted duplicate-delivery bug needs both layers broken: the
+    // endpoint must redeliver duplicates (no completed-exchange
+    // history) and the core must re-answer them with a mangled return.
+    member_rpc.endpoint.completed_history_per_peer = 0;
+    member_rpc.redeliver_duplicates_bug = true;
+  }
   m->process = std::make_unique<RpcProcess>(
       &h->world.network(), host,
-      static_cast<net::Port>(9000 + m->serial));
+      static_cast<net::Port>(9000 + m->serial), member_rpc);
   // Recorded via the bus tap, not SetTraceRecorder: the determinism
   // check consumes the same event stream every other observer sees.
   const net::NetAddress address = m->process->process_address();
@@ -337,6 +346,11 @@ Harness::Harness(const HarnessOptions& options)
     : world(options.seed, sim::SyscallCostModel::Free()),
       opts(options),
       tap(&world.bus()) {
+  if (opts.audit_wire) {
+    // Ring-only capture (no path): every datagram of the run, audited
+    // against the Section 4.2 wire rules at the end of RunChaos.
+    world.CapturePackets();
+  }
   ring = binding::DeployRingmaster(world, world.AddHosts("ring", 1));
 
   const int pool = opts.troupe_size + opts.spare_machines;
@@ -772,6 +786,26 @@ ChaosReport RunChaos(const Schedule& schedule, const HarnessOptions& options) {
   h.world.RunFor(Duration::Seconds(120));
   if (!h.final_checks_done) {
     h.monitor.AddViolation("final convergence checks did not complete");
+  }
+
+  // Wire-level oracle: replay the run's packet capture through the
+  // Section 4.2 auditor before the monitor closes out.
+  if (h.world.packet_capture() != nullptr) {
+    const net::WireTapWriter* capture = h.world.packet_capture();
+    const obs::wire::AuditReport wire = obs::wire::AuditRecords(
+        capture->Recent(), obs::wire::AuditOptionsFor(msg::EndpointOptions{}),
+        /*complete=*/capture->dropped() == 0);
+    constexpr size_t kMaxWireViolations = 10;
+    for (size_t i = 0;
+         i < wire.violations.size() && i < kMaxWireViolations; ++i) {
+      h.monitor.AddViolation("wire: " + wire.violations[i]);
+    }
+    if (wire.violations.size() > kMaxWireViolations) {
+      h.monitor.AddViolation(
+          "wire: +" +
+          std::to_string(wire.violations.size() - kMaxWireViolations) +
+          " more wire violation(s)");
+    }
   }
 
   ChaosReport report;

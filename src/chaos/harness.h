@@ -57,10 +57,22 @@ struct HarnessOptions {
   // keep the stricter quorum client).
   bool first_come_calls = false;
 
+  // Wire-level oracle: mirror every datagram into an in-memory capture
+  // (World::CapturePackets) and replay it through the Section 4.2 wire
+  // auditor (src/obs/wire.h) at the end of the run; auditor findings
+  // join the monitor's violations prefixed "wire: ".
+  bool audit_wire = true;
+
   // Negative-test knobs: each plants one specific bug the monitor must
   // catch (used by chaos_test and the shrinker's self-check).
   bool broken_collator = false;         // accepts a mangled reply value
   bool nondeterministic_member = false;  // member serial 1 computes wrong
+  // Members stop suppressing duplicates: the msg layer forgets
+  // completed exchanges and the core layer re-answers a redelivered
+  // call with a mangled return that reuses the call number — the wire
+  // auditor (audit_wire) must flag the reuse when a schedule injects
+  // duplicate faults.
+  bool duplicate_delivery_bug = false;
 
   // Observability. The harness always routes its monitor and recorders
   // through the World's event bus; these knobs additionally capture the

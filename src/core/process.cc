@@ -381,6 +381,12 @@ Task<void> RpcProcess::DispatchLoop() {
                          nullptr, 0);
         host_->Spawn(
             SendReturnTo(m.peer, m.call_number, *call->return_payload));
+      } else if (options_.redeliver_duplicates_bug) {
+        // Planted bug: answer the duplicate again, with the buffered
+        // return mangled — call-number reuse the wire auditor must flag.
+        circus::Bytes mangled = *call->return_payload;
+        mangled.push_back(0x5A);
+        host_->Spawn(SendReturnTo(m.peer, m.call_number, std::move(mangled)));
       }
       continue;
     }

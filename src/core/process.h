@@ -138,6 +138,12 @@ struct RpcOptions {
   // How long a finished many-to-one call is retained so that late client
   // members still receive the buffered result.
   sim::Duration inbound_retention = sim::Duration::Seconds(60);
+  // Planted bug for the wire auditor's negative self-test (chaos
+  // duplicate_delivery_bug): when a duplicate call message reaches a
+  // peer we already replied to, re-send the buffered return mangled —
+  // reusing the message's call number with different payload bytes,
+  // which a correct Section 4.2 implementation never does.
+  bool redeliver_duplicates_bug = false;
 };
 
 class RpcProcess {

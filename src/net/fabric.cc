@@ -6,11 +6,19 @@
 
 namespace circus::net {
 
-void Fabric::DeliverToSocket(DatagramSocket* socket, Datagram d) {
+void Fabric::Deliver(DatagramSocket* socket, Datagram d) {
+  if (tap_ != nullptr) {
+    Datagram seen = d;
+    seen.destination = socket->local_address();
+    tap_->Record(/*send=*/false, socket->host(), seen);
+  }
   socket->EnqueueIncoming(std::move(d));
 }
 
 void Fabric::ObserveSend(sim::Host* sender, const Datagram& datagram) {
+  if (tap_ != nullptr) {
+    tap_->Record(/*send=*/true, sender, datagram);
+  }
   if (observer_) {
     observer_(datagram);
   }

@@ -27,6 +27,23 @@ struct Datagram {
 
 class DatagramSocket;
 
+// Mirrors every datagram a fabric carries, in both directions. Unlike
+// the send-only PacketObserver below, a tap also sees deliveries, so a
+// capture records what each party actually put on — and took off — the
+// wire. net::WireTapWriter (src/net/tap.h) is the JSONL implementation.
+class PacketTap {
+ public:
+  virtual ~PacketTap() = default;
+
+  // `send` is true when the datagram enters the wire (before any fault
+  // injection) and false when it is delivered to a socket on `local`.
+  // Delivery records carry the receiving socket's bound address as
+  // `datagram.destination`, even for multicast, so both fabrics name
+  // the local party identically.
+  virtual void Record(bool send, sim::Host* local,
+                      const Datagram& datagram) = 0;
+};
+
 class Fabric {
  public:
   // The largest datagram the fabric will carry (the MTU constraint of
@@ -60,6 +77,12 @@ class Fabric {
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  // Installs a bidirectional packet tap (null detaches). The tap must
+  // outlive the fabric or be detached first; it sees every Transmit and
+  // every delivery into a socket's receive queue.
+  void set_packet_tap(PacketTap* tap) { tap_ = tap; }
+  PacketTap* packet_tap() const { return tap_; }
+
   // Restricts the range Bind draws port-0 allocations from (inclusive).
   // The default mirrors the IANA dynamic range.
   void set_ephemeral_port_range(Port lo, Port hi) {
@@ -85,9 +108,11 @@ class Fabric {
 
   // Bridge into the socket's (private) receive queue, so concrete
   // fabrics do not need to be friends of DatagramSocket themselves.
-  static void DeliverToSocket(DatagramSocket* socket, Datagram d);
+  // Mirrors the datagram to the packet tap (with the receiving socket's
+  // bound address as destination) before enqueueing it.
+  void Deliver(DatagramSocket* socket, Datagram d);
 
-  // Shared send-side observation: packet observer + kPacketSend event.
+  // Shared send-side observation: tap + packet observer + kPacketSend.
   void ObserveSend(sim::Host* sender, const Datagram& datagram);
 
   Port ephemeral_lo_ = 49152;
@@ -95,6 +120,7 @@ class Fabric {
 
  private:
   PacketObserver observer_;
+  PacketTap* tap_ = nullptr;
   obs::EventBus* event_bus_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -191,7 +191,7 @@ void Network::DeliverTo(DatagramSocket* socket, const Datagram& datagram,
             return;
           }
           ++stats_.packets_delivered;
-          DeliverToSocket(target, std::move(d));
+          Deliver(target, std::move(d));
         });
   }
 }

@@ -1,0 +1,290 @@
+#include "src/net/tap.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/json.h"
+
+namespace circus::net {
+
+namespace {
+
+constexpr int kTapVersion = 1;
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string HexEncode(const circus::Bytes& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool HexDecode(const std::string& text, circus::Bytes* out) {
+  if (text.size() % 2 != 0) {
+    return false;
+  }
+  out->clear();
+  out->reserve(text.size() / 2);
+  for (size_t i = 0; i < text.size(); i += 2) {
+    const int hi = HexNibble(text[i]);
+    const int lo = HexNibble(text[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out->push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return true;
+}
+
+// "10.0.0.3:9000" -> NetAddress; false when malformed.
+bool ParseAddress(const std::string& text, NetAddress* out) {
+  unsigned a = 0, b = 0, c = 0, d = 0, port = 0;
+  char tail = 0;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u:%u%c", &a, &b, &c, &d, &port,
+                  &tail) != 5 ||
+      a > 255 || b > 255 || c > 255 || d > 255 || port > 65535) {
+    return false;
+  }
+  out->host = (a << 24) | (b << 16) | (c << 8) | d;
+  out->port = static_cast<Port>(port);
+  return true;
+}
+
+obs::json::Value TapHeader(const WireTapInfo& info) {
+  obs::json::Value obj = obs::json::Value::Object();
+  obj.Set("tap", "circus-wire");
+  obj.Set("version", kTapVersion);
+  obj.Set("node", info.node);
+  obj.Set("clock", info.clock);
+  return obj;
+}
+
+obs::json::Value DropMarker(uint64_t count) {
+  obs::json::Value obj = obs::json::Value::Object();
+  obj.Set("tap_drop", count);
+  return obj;
+}
+
+bool WirePacketFromJson(const obs::json::Value& value, WirePacket* out) {
+  if (value.type() != obs::json::Value::Type::kObject) {
+    return false;
+  }
+  const obs::json::Value* t = value.Find("t");
+  const obs::json::Value* d = value.Find("d");
+  const obs::json::Value* src = value.Find("src");
+  const obs::json::Value* dst = value.Find("dst");
+  const obs::json::Value* data = value.Find("data");
+  if (t == nullptr || d == nullptr || src == nullptr || dst == nullptr ||
+      data == nullptr ||
+      d->type() != obs::json::Value::Type::kString ||
+      src->type() != obs::json::Value::Type::kString ||
+      dst->type() != obs::json::Value::Type::kString ||
+      data->type() != obs::json::Value::Type::kString) {
+    return false;
+  }
+  WirePacket p;
+  p.time_ns = t->AsI64();
+  if (d->as_string() == "send") {
+    p.send = true;
+  } else if (d->as_string() == "recv") {
+    p.send = false;
+  } else {
+    return false;
+  }
+  if (const obs::json::Value* host = value.Find("host")) {
+    p.host = static_cast<uint32_t>(host->AsU64());
+  }
+  if (!ParseAddress(src->as_string(), &p.source) ||
+      !ParseAddress(dst->as_string(), &p.destination) ||
+      !HexDecode(data->as_string(), &p.payload)) {
+    return false;
+  }
+  *out = std::move(p);
+  return true;
+}
+
+}  // namespace
+
+std::string WirePacketToJsonLine(const WirePacket& packet) {
+  obs::json::Value obj = obs::json::Value::Object();
+  obj.Set("t", packet.time_ns);
+  obj.Set("d", packet.send ? "send" : "recv");
+  obj.Set("host", static_cast<uint64_t>(packet.host));
+  obj.Set("src", packet.source.ToString());
+  obj.Set("dst", packet.destination.ToString());
+  obj.Set("data", HexEncode(packet.payload));
+  return obj.Dump();
+}
+
+WireTapWriter::WireTapWriter(std::string path, WireTapInfo info,
+                             std::function<int64_t()> clock, size_t capacity)
+    : path_(std::move(path)),
+      info_(std::move(info)),
+      clock_(std::move(clock)),
+      capacity_(capacity) {
+  if (path_.empty()) {
+    return;
+  }
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    header_write_failed_ = true;
+    return;
+  }
+  const std::string header = TapHeader(info_).Dump() + "\n";
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    header_write_failed_ = true;
+  }
+  std::fflush(file_);
+}
+
+WireTapWriter::~WireTapWriter() {
+  Flush();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void WireTapWriter::Record(bool send, sim::Host* local,
+                           const Datagram& datagram) {
+  WirePacket p;
+  p.time_ns = clock_ ? clock_() : 0;
+  p.send = send;
+  p.host = static_cast<uint32_t>(local->id());
+  p.source = datagram.source;
+  p.destination = datagram.destination;
+  p.payload = datagram.payload;
+  ++recorded_;
+  if (file_ != nullptr) {
+    pending_lines_.push_back(WirePacketToJsonLine(p));
+    while (pending_lines_.size() > capacity_) {
+      pending_lines_.pop_front();
+      ++dropped_;
+      ++dropped_unreported_;
+    }
+  }
+  recent_.push_back(std::move(p));
+  while (recent_.size() > capacity_) {
+    recent_.pop_front();
+    if (file_ == nullptr) {
+      // Ring-only captures count overflow too, so the in-memory audit
+      // path knows when its view of the run is incomplete.
+      ++dropped_;
+    }
+  }
+}
+
+circus::Status WireTapWriter::Flush() {
+  if (file_ == nullptr) {
+    return path_.empty()
+               ? circus::Status::Ok()
+               : circus::Status(circus::ErrorCode::kUnavailable,
+                                "tap file not open: " + path_);
+  }
+  if (dropped_unreported_ != 0) {
+    pending_lines_.push_front(DropMarker(dropped_unreported_).Dump());
+    dropped_unreported_ = 0;
+  }
+  while (!pending_lines_.empty()) {
+    const std::string& line = pending_lines_.front();
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fputc('\n', file_) == EOF) {
+      return circus::Status(circus::ErrorCode::kUnavailable,
+                            "short write to tap " + path_);
+    }
+    pending_lines_.pop_front();
+  }
+  if (std::fflush(file_) != 0) {
+    return circus::Status(circus::ErrorCode::kUnavailable,
+                          "fflush failed for tap " + path_);
+  }
+  return circus::Status::Ok();
+}
+
+std::vector<WirePacket> WireTapWriter::Recent() const {
+  return std::vector<WirePacket>(recent_.begin(), recent_.end());
+}
+
+circus::StatusOr<WireCaptureFile> ReadWireCaptureFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return circus::Status(circus::ErrorCode::kNotFound,
+                          "cannot open capture: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  WireCaptureFile capture;
+  bool have_header = false;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    const size_t nl = content.find('\n', pos);
+    const bool has_newline = nl != std::string::npos;
+    const std::string line =
+        content.substr(pos, has_newline ? nl - pos : std::string::npos);
+    pos = has_newline ? nl + 1 : content.size();
+    if (line.empty()) {
+      continue;
+    }
+    circus::StatusOr<obs::json::Value> parsed = obs::json::Parse(line);
+    if (!parsed.ok()) {
+      if (!has_newline) {
+        // Partial final line: the writer crashed mid-flush. Tolerated.
+        capture.truncated_tail = true;
+      } else {
+        ++capture.skipped_lines;
+      }
+      continue;
+    }
+    if (!have_header) {
+      const obs::json::Value* magic = parsed->Find("tap");
+      if (magic == nullptr ||
+          magic->type() != obs::json::Value::Type::kString ||
+          magic->as_string() != "circus-wire") {
+        return circus::Status(circus::ErrorCode::kInvalidArgument,
+                              path + ": not a circus wire capture");
+      }
+      if (const obs::json::Value* v = parsed->Find("node");
+          v != nullptr && v->type() == obs::json::Value::Type::kString) {
+        capture.info.node = v->as_string();
+      }
+      if (const obs::json::Value* v = parsed->Find("clock");
+          v != nullptr && v->type() == obs::json::Value::Type::kString) {
+        capture.info.clock = v->as_string();
+      }
+      have_header = true;
+      continue;
+    }
+    if (const obs::json::Value* drop = parsed->Find("tap_drop")) {
+      capture.dropped += drop->AsU64();
+      continue;
+    }
+    WirePacket p;
+    if (WirePacketFromJson(*parsed, &p)) {
+      capture.records.push_back(std::move(p));
+    } else {
+      ++capture.skipped_lines;
+    }
+  }
+  if (!have_header) {
+    return circus::Status(circus::ErrorCode::kInvalidArgument,
+                          path + ": missing capture header line");
+  }
+  return capture;
+}
+
+}  // namespace circus::net

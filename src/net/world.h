@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/net/network.h"
+#include "src/net/tap.h"
 #include "src/obs/bus.h"
 #include "src/obs/metrics.h"
 #include "src/sim/executor.h"
@@ -55,6 +56,16 @@ class World {
     return network_.AddressOfHost(host->id());
   }
 
+  // Starts mirroring every datagram the network carries (both
+  // directions, simulated-clock timestamps) into a wire capture. An
+  // empty `path` keeps the capture in memory only — the chaos harness
+  // audits Recent() without touching disk. Returns the writer for
+  // Flush()/Recent(); it lives until the World is destroyed. Calling
+  // again replaces the capture.
+  WireTapWriter& CapturePackets(const std::string& path = "",
+                                size_t capacity = 1 << 16);
+  WireTapWriter* packet_capture() { return tap_.get(); }
+
   // Convenience wrappers over the executor.
   void RunUntilIdle() { executor_.RunUntilIdle(); }
   void RunFor(sim::Duration d) { executor_.RunFor(d); }
@@ -69,6 +80,7 @@ class World {
   sim::Executor executor_;
   Network network_;
   sim::SyscallCostModel cost_model_;
+  std::unique_ptr<WireTapWriter> tap_;
   std::vector<std::unique_ptr<sim::Host>> hosts_;
   uint32_t next_host_index_ = 0;
 };

@@ -24,6 +24,51 @@ std::string Truncated(std::string text) {
   return text;
 }
 
+// Paged reply framing: "chunk <offset> <next>\n" (next = "end" on the
+// last chunk) followed by the bytes of `text` starting at `offset`,
+// bounded to one datagram. Clients re-query with <next> and
+// concatenate the bodies to reassemble the full text.
+std::string Paged(const std::string& text, size_t offset) {
+  if (offset > text.size()) {
+    offset = text.size();
+  }
+  char header[64];
+  size_t body = text.size() - offset;
+  int header_len = 0;
+  for (;;) {
+    const size_t next = offset + body;
+    header_len =
+        next == text.size()
+            ? std::snprintf(header, sizeof(header), "chunk %zu end\n", offset)
+            : std::snprintf(header, sizeof(header), "chunk %zu %zu\n", offset,
+                            next);
+    if (static_cast<size_t>(header_len) + body <= kMaxReplyBytes) {
+      break;
+    }
+    // Shrinking the body can only shrink the header, so this converges.
+    body = kMaxReplyBytes - static_cast<size_t>(header_len);
+  }
+  std::string reply(header, static_cast<size_t>(header_len));
+  reply.append(text, offset, body);
+  return reply;
+}
+
+// Strictly parses the decimal offset of a paged query form.
+bool ParseOffset(std::string_view s, size_t* out) {
+  if (s.empty() || s.size() > 12) {
+    return false;
+  }
+  size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 std::string_view TrimView(std::string_view s) {
   while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
                         s.front() == '\r' || s.front() == '\n')) {
@@ -77,6 +122,13 @@ std::string MetricsPathFor(const NodeConfig& config) {
   return config.trace_dir + "/" + config.DisplayName() + ".metrics.prom";
 }
 
+std::string TapPathFor(const NodeConfig& config) {
+  if (config.tap_dir.empty()) {
+    return "";
+  }
+  return config.tap_dir + "/" + config.DisplayName() + ".tap.jsonl";
+}
+
 NodeObservability::NodeObservability(Runtime* runtime, sim::Host* host,
                                      const NodeConfig& config)
     : runtime_(runtime), config_(config) {
@@ -93,7 +145,23 @@ NodeObservability::NodeObservability(Runtime* runtime, sim::Host* host,
                              "cannot write trace shard " + shard_->path());
   }
   shard_->Attach(&runtime->bus());
-  if (!shard_->path().empty()) {
+
+  const std::string tap_path = TapPathFor(config);
+  if (!tap_path.empty()) {
+    net::WireTapInfo tap_info;
+    tap_info.node = config.DisplayName();
+    tap_info.clock = "realtime";
+    tap_ = std::make_unique<net::WireTapWriter>(
+        tap_path, std::move(tap_info),
+        [runtime] { return runtime->now().nanos(); }, kNodeShardCapacity);
+    if (!tap_->ok() && status_.ok()) {
+      status_ = circus::Status(circus::ErrorCode::kUnavailable,
+                               "cannot write packet capture " + tap_->path());
+    }
+    runtime->fabric().set_packet_tap(tap_.get());
+  }
+
+  if (!shard_->path().empty() || tap_ != nullptr) {
     host->Spawn(PeriodicFlush(this, host));
   }
 
@@ -112,13 +180,24 @@ NodeObservability::NodeObservability(Runtime* runtime, sim::Host* host,
   }
 }
 
-NodeObservability::~NodeObservability() { FlushShard(); }
+NodeObservability::~NodeObservability() {
+  if (tap_ != nullptr) {
+    runtime_->fabric().set_packet_tap(nullptr);
+  }
+  FlushShard();
+}
 
 void NodeObservability::FlushShard() {
   // Errors are sticky in status() but must not kill a serving node.
   circus::Status flushed = shard_->Flush();
   if (!flushed.ok() && status_.ok()) {
     status_ = flushed;
+  }
+  if (tap_ != nullptr) {
+    circus::Status tapped = tap_->Flush();
+    if (!tapped.ok() && status_.ok()) {
+      status_ = tapped;
+    }
   }
 }
 
@@ -147,6 +226,16 @@ std::string NodeObservability::HandleQuery(std::string_view query) {
   }
   if (q == "spans") {
     return Truncated(SpansText());
+  }
+  const bool paged_metrics = q.starts_with("metrics ");
+  const bool paged_spans = q.starts_with("spans ");
+  if (paged_metrics || paged_spans) {
+    const size_t skip = paged_metrics ? 8 : 6;  // "metrics " / "spans "
+    size_t offset = 0;
+    if (!ParseOffset(TrimView(q.substr(skip)), &offset)) {
+      return "err bad offset (try: metrics <offset> | spans <offset>)\n";
+    }
+    return Paged(paged_metrics ? MetricsText() : SpansText(), offset);
   }
   std::string reply = "err unknown query '";
   reply.append(q.substr(0, 32));

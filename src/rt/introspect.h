@@ -14,7 +14,15 @@
 //                    the paired-endpoint probe budget
 //        spans    -> recent root-thread span trees from the ring
 //    Replies are truncated to one datagram (net::Fabric MTU) so the
-//    endpoint can be driven with nothing more than netcat.
+//    endpoint can be driven with nothing more than netcat. Replies too
+//    large for one datagram are readable in full through the paged
+//    forms `metrics <offset>` / `spans <offset>`: the reply's first
+//    line is `chunk <offset> <next>` (next = "end" on the last chunk)
+//    and the rest is the bytes of the full text starting at <offset> —
+//    re-query with <next> until "end" and concatenate;
+//  * a net::Fabric packet tap mirroring every datagram this process
+//    sends or receives into <tap_dir>/<node_name>.tap.jsonl when the
+//    config sets tap_dir= (decoded and audited by circus_wire).
 //
 // The serve loop runs as a coroutine on the node's host, so a host
 // crash reaps it exactly like any protocol task.
@@ -28,6 +36,7 @@
 #include "src/common/status.h"
 #include "src/core/process.h"
 #include "src/net/socket.h"
+#include "src/net/tap.h"
 #include "src/obs/shard.h"
 #include "src/rt/node_config.h"
 #include "src/rt/runtime.h"
@@ -41,6 +50,9 @@ std::string ShardPathFor(const NodeConfig& config);
 // Companion path for the final metrics snapshot:
 // <trace_dir>/<display name>.metrics.prom
 std::string MetricsPathFor(const NodeConfig& config);
+// Packet-capture path derived from tap_dir; empty when capture is off:
+// <tap_dir>/<display name>.tap.jsonl
+std::string TapPathFor(const NodeConfig& config);
 
 class NodeObservability {
  public:
@@ -61,6 +73,8 @@ class NodeObservability {
   void SetProcess(core::RpcProcess* process) { process_ = process; }
 
   obs::ShardWriter& shard() { return *shard_; }
+  // The packet capture, or nullptr when tap_dir is unset.
+  net::WireTapWriter* tap() { return tap_.get(); }
 
   // Appends buffered trace lines to disk. The node calls this
   // periodically (cheap when nothing is pending) and from FinalFlush.
@@ -84,6 +98,7 @@ class NodeObservability {
   NodeConfig config_;
   core::RpcProcess* process_ = nullptr;
   std::unique_ptr<obs::ShardWriter> shard_;
+  std::unique_ptr<net::WireTapWriter> tap_;
   std::unique_ptr<net::DatagramSocket> stats_socket_;
   circus::Status status_;
 };

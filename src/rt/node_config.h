@@ -16,6 +16,8 @@
 //   stats_port = 0                 # UDP introspection port; 0 = disabled
 //   trace_dir =                    # write <node_name>.trace.jsonl here;
 //                                  # empty = no trace shard
+//   tap_dir =                      # write <node_name>.tap.jsonl packet
+//                                  # capture here; empty = no tap
 #ifndef SRC_RT_NODE_CONFIG_H_
 #define SRC_RT_NODE_CONFIG_H_
 
@@ -41,6 +43,7 @@ struct NodeConfig {
   std::string node_name;        // empty: derived as "<role>-<listen port>"
   net::Port stats_port = 0;     // 0: no introspection endpoint
   std::string trace_dir;        // empty: no trace shard
+  std::string tap_dir;          // empty: no packet capture
 
   // The configured node_name, or the "<role>-<port>" default.
   std::string DisplayName() const;

@@ -232,7 +232,7 @@ void UdpFabric::DrainFd(net::DatagramSocket* socket) {
     d.source = FromSockaddr(sa);
     d.destination = local;
     d.payload.assign(buf, buf + n);
-    DeliverToSocket(socket, std::move(d));
+    Deliver(socket, std::move(d));
   }
 }
 

@@ -237,5 +237,45 @@ TEST(ChaosSweep, NondeterministicMemberIsCaught) {
   EXPECT_TRUE(mentions_divergence) << result.failures[0].report.Summary();
 }
 
+// Negative test for the wire oracle: members that forgot how to
+// suppress duplicates re-answer a redelivered call with a mangled
+// return — call-number reuse on the wire, which only the Section 4.2
+// auditor can see (state digests stay clean because the client's own
+// duplicate suppression eats the mangled copy).
+TEST(ChaosSweep, WireAuditorFlagsDuplicateDeliveryBug) {
+  // Hand-built schedule: one long burst duplicating every datagram.
+  Schedule schedule;
+  FaultAction burst;
+  burst.at = Duration::Seconds(2);
+  burst.kind = FaultKind::kLossBurst;
+  burst.duration = Duration::Seconds(50);
+  burst.loss = 0.0;
+  burst.duplicate = 1.0;
+  schedule.actions.push_back(burst);
+
+  HarnessOptions buggy = CiHarness();
+  buggy.seed = 501;
+  buggy.duplicate_delivery_bug = true;
+  ChaosReport report = RunChaos(schedule, buggy);
+  bool mentions_reuse = false;
+  for (const std::string& v : report.violations) {
+    if (v.rfind("wire: ", 0) == 0 &&
+        v.find("identifier reuse") != std::string::npos) {
+      mentions_reuse = true;
+    }
+  }
+  EXPECT_TRUE(mentions_reuse) << report.Summary();
+
+  // The same duplicate storm against the correct stack audits clean:
+  // the violations come from the planted bug, not the fault.
+  HarnessOptions correct = CiHarness();
+  correct.seed = 501;
+  ChaosReport clean = RunChaos(schedule, correct);
+  for (const std::string& v : clean.violations) {
+    EXPECT_EQ(v.rfind("wire: ", 0), std::string::npos) << v;
+  }
+  EXPECT_TRUE(clean.ok()) << clean.Summary();
+}
+
 }  // namespace
 }  // namespace circus::chaos

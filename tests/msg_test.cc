@@ -605,5 +605,107 @@ TEST_F(MsgTest, RetransmitTimerJitterBoundedAndDistinctPerEndpoint) {
   EXPECT_NE(a_ns, b_ns);
 }
 
+// ------------------------------------- segmentation edge cases ----
+
+TEST(SegmentTest, PayloadExactlyOneDatagramUsesOneSegment) {
+  // A payload of exactly segment_data_bytes must not spill a zero-byte
+  // second segment.
+  Bytes payload(1024, 'x');
+  std::vector<Segment> segments =
+      Segmentize(MessageType::kCall, 5, payload, 1024);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].total_segments, 1);
+  EXPECT_EQ(segments[0].segment_number, 1);
+  EXPECT_EQ(segments[0].data.size(), 1024u);
+
+  // One byte more takes two, the second carrying exactly that byte.
+  payload.push_back('y');
+  segments = Segmentize(MessageType::kCall, 5, payload, 1024);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[1].data.size(), 1u);
+}
+
+TEST_F(MsgTest, MaximumSizeMessageExchanges) {
+  // The largest legal message: 255 segments, the 8-bit segment-number
+  // ceiling of the Figure 4.2 header. Small segments keep the sim fast.
+  EndpointOptions tiny;
+  tiny.segment_data_bytes = 16;
+  auto client = MakeClient(tiny);
+  auto server = MakeServer(tiny);
+  SpawnEchoServer(server.get());
+  const size_t max_bytes = 255 * tiny.segment_data_bytes;
+  size_t echoed = 0;
+  world_.executor().Spawn([](PairedEndpoint* ep, NetAddress to, size_t n,
+                             size_t* out) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        Bytes(n, 'm'));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+    *out = m->data.size();
+  }(client.get(), server->local_address(), max_bytes, &echoed));
+  world_.RunFor(Duration::Seconds(60));
+  EXPECT_EQ(echoed, max_bytes);
+  EXPECT_GE(client->counters().data_segments_sent, 255u);
+}
+
+TEST_F(MsgTest, DuplicateFinalSegmentDeliversOnce) {
+  // The final segment of a call is re-sent raw after the exchange
+  // completed — a delayed duplicate off the wire. The server must
+  // re-acknowledge it (the sender could be retransmitting into a lost
+  // ack) without delivering the message a second time.
+  auto client = MakeClient();
+  auto server = MakeServer();
+  SpawnEchoServer(server.get());
+  world_.executor().Spawn([](PairedEndpoint* ep, net::DatagramSocket* raw,
+                             NetAddress to) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, 1,
+                                        BytesFromString("once"));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, 1);
+    CIRCUS_CHECK(m.ok());
+    // Replay the call's only (hence final) segment verbatim.
+    std::vector<Segment> segments = Segmentize(
+        MessageType::kCall, 1, BytesFromString("once"), 1024);
+    CIRCUS_CHECK(segments.size() == 1);
+    segments[0].please_ack = true;
+    co_await raw->Send(to, segments[0].Encode());
+  }(client.get(), client_socket_.get(), server->local_address()));
+  world_.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(server->counters().messages_delivered, 1u);
+  EXPECT_GE(server->counters().duplicate_messages_suppressed, 1u);
+}
+
+TEST_F(MsgTest, InterleavedCallsOnOnePairBothComplete) {
+  // Two concurrent calls between the same pair of endpoints, both
+  // multi-segment, their segments interleaving on the wire: reassembly
+  // is keyed by call number, so each must come back intact.
+  EndpointOptions tiny;
+  tiny.segment_data_bytes = 8;
+  auto client = MakeClient(tiny);
+  auto server = MakeServer(tiny);
+  SpawnEchoServer(server.get(), /*count=*/2);
+  std::string first;
+  std::string second;
+  auto caller = [](PairedEndpoint* ep, NetAddress to, uint32_t call,
+                   std::string payload, std::string* out) -> Task<void> {
+    Status s = co_await ep->SendMessage(to, MessageType::kCall, call,
+                                        BytesFromString(payload));
+    CIRCUS_CHECK(s.ok());
+    auto m = co_await ep->AwaitReturn(to, call);
+    CIRCUS_CHECK(m.ok());
+    *out = StringFromBytes(m->data);
+  };
+  const std::string payload_one(100, 'a');
+  const std::string payload_two(100, 'b');
+  world_.executor().Spawn(
+      caller(client.get(), server->local_address(), 1, payload_one, &first));
+  world_.executor().Spawn(
+      caller(client.get(), server->local_address(), 2, payload_two, &second));
+  world_.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(first, payload_one);
+  EXPECT_EQ(second, payload_two);
+}
+
 }  // namespace
 }  // namespace circus::msg

@@ -10,7 +10,9 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -583,6 +585,89 @@ TEST(RtLoopbackTest, IntrospectionQueriesReportMetricsHealthAndSpans) {
   std::string first_line;
   std::getline(prom, first_line);
   EXPECT_EQ(first_line.rfind("# TYPE circus_", 0), 0u) << first_line;
+}
+
+// The paged query forms: a spans text too big for one datagram comes
+// back in "chunk <offset> <next>" pieces that reassemble byte-exactly,
+// while the bare forms stay as they were (truncated with a marker).
+TEST(RtLoopbackTest, PagedIntrospectionReassemblesOversizeSpansReply) {
+  Runtime runtime;
+  sim::Host* member_host = runtime.AddHost("member");
+  NodeConfig cfg;
+  cfg.role = NodeConfig::Role::kMember;
+  cfg.listen = net::NetAddress{kLoopbackAddress, 39002};
+  cfg.node_name = "pager";
+  NodeObservability node_obs(&runtime, member_host, cfg);
+  ASSERT_TRUE(node_obs.status().ok()) << node_obs.status().ToString();
+
+  ModuleNumber module = 0;
+  std::unique_ptr<RpcProcess> member =
+      MakeEchoProcess(&runtime, member_host, &module);
+  member->SetTroupeId(TroupeId{99});
+  node_obs.SetProcess(member.get());
+  Troupe troupe;
+  troupe.id = TroupeId{99};
+  troupe.members.push_back(member->module_address(module));
+  sim::Host* client_host = runtime.AddHost("client");
+  RpcProcess client(&runtime.fabric(), client_host, 0);
+  // Enough call trees that the rendered span forest needs several
+  // datagrams.
+  for (int i = 0; i < 40; ++i) {
+    bool done = false;
+    client_host->Spawn(CallEchoOnce(&client, troupe, module, &done));
+    ASSERT_TRUE(
+        runtime.RunUntil([&done] { return done; }, Duration::Seconds(30)));
+  }
+
+  // The bare form still fits one datagram, by truncation.
+  const std::string bare = node_obs.HandleQuery("spans");
+  ASSERT_LE(bare.size(), net::Fabric::kMaxDatagramBytes);
+  constexpr std::string_view kMark = "...\n";
+  ASSERT_TRUE(bare.ends_with(kMark)) << "spans text unexpectedly small";
+
+  // Page through the full text, reply by reply.
+  std::string assembled;
+  size_t offset = 0;
+  bool saw_end = false;
+  for (int guard = 0; guard < 100 && !saw_end; ++guard) {
+    const std::string reply =
+        node_obs.HandleQuery("spans " + std::to_string(offset));
+    ASSERT_LE(reply.size(), net::Fabric::kMaxDatagramBytes);
+    ASSERT_EQ(reply.rfind("chunk ", 0), 0u) << reply;
+    const size_t eol = reply.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    std::istringstream header(reply.substr(6, eol - 6));
+    size_t echoed_offset = 0;
+    std::string next;
+    header >> echoed_offset >> next;
+    ASSERT_EQ(echoed_offset, offset);
+    assembled += reply.substr(eol + 1);
+    if (next == "end") {
+      saw_end = true;
+    } else {
+      offset = std::stoul(next);
+      ASSERT_EQ(offset, assembled.size());
+    }
+  }
+  ASSERT_TRUE(saw_end);
+  // Genuinely multi-datagram, and the truncated bare reply is a byte
+  // prefix of the reassembled whole.
+  EXPECT_GT(assembled.size(), net::Fabric::kMaxDatagramBytes);
+  const std::string prefix = bare.substr(0, bare.size() - kMark.size());
+  ASSERT_EQ(assembled.compare(0, prefix.size(), prefix), 0);
+  EXPECT_NE(assembled.find("call("), std::string::npos);
+
+  // A reply that fits pages as a single terminal chunk whose body is
+  // byte-identical to the bare form.
+  const std::string metrics = node_obs.HandleQuery("metrics");
+  ASSERT_LE(metrics.size(), net::Fabric::kMaxDatagramBytes);
+  EXPECT_EQ(node_obs.HandleQuery("metrics 0"), "chunk 0 end\n" + metrics);
+
+  // Offsets past the end terminate; garbage offsets are an error.
+  const std::string past =
+      node_obs.HandleQuery("spans " + std::to_string(assembled.size() + 999));
+  EXPECT_EQ(past, "chunk " + std::to_string(assembled.size()) + " end\n");
+  EXPECT_EQ(node_obs.HandleQuery("spans x").rfind("err bad offset", 0), 0u);
 }
 
 }  // namespace
