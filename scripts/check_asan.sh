@@ -30,6 +30,15 @@ if ! ctest --test-dir build-asan -L wire --output-on-failure >/dev/null; then
   failures=$((failures + 1))
 fi
 
+# Likewise the chaos_rt slice: the FaultFabric's delayed-copy and
+# reorder-hold callbacks run through coroutine frames on both the
+# simulated and real executors — exactly the call-path shape the
+# CLAUDE.md coroutine rules exist for.
+if ! ctest --test-dir build-asan -L chaos_rt --output-on-failure >/dev/null; then
+  echo "FAIL: ctest -L chaos_rt under ASan"
+  failures=$((failures + 1))
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "check_asan: $failures test binary(ies) failed" >&2
   exit 1

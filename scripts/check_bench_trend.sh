@@ -48,7 +48,8 @@ import glob, json, os, sys
 
 THRESHOLD = 1.25      # fail when fresh > baseline * THRESHOLD
 ABS_FLOOR_MS = 0.5    # ignore sub-floor baselines: all jitter, no signal
-WALL_CLOCK = {"BENCH_realnet.json", "BENCH_micro.json"}
+WALL_CLOCK = {"BENCH_realnet.json", "BENCH_micro.json",
+              "BENCH_chaos_rt.json"}
 
 def latency_key(key):
     k = key.lower()

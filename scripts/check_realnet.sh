@@ -271,3 +271,52 @@ if [ "$obs_failures" -ne 0 ]; then
   exit 1
 fi
 echo "check_realnet: observability round ok (metrics/health on 4 nodes, shards merged, wire audit clean)"
+
+# --- bind-conflict round -----------------------------------------------
+# An auxiliary-port collision (stats_port / faults_port already taken)
+# must be a one-line fatal error with a nonzero exit, not a node that
+# limps along unobservable: operators point dashboards and the nemesis
+# at these ports, so a silently unbound endpoint would fail them late
+# and mysteriously.
+conflict_dir=$(mktemp -d)
+cat >"$conflict_dir/conflicted.conf" <<EOF
+role = ringmaster
+listen = 127.0.0.1:38390
+stats_port = 38391
+EOF
+# Hold the port from a helper that lives until we kill it.
+python3 -c '
+import socket, sys, time
+s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+s.bind(("127.0.0.1", 38391))
+time.sleep(30)
+' &
+squatter_pid=$!
+sleep 0.3
+conflict_rc=0
+"$node_bin" "$conflict_dir/conflicted.conf" \
+  >"$conflict_dir/node.log" 2>&1 || conflict_rc=$?
+kill "$squatter_pid" 2>/dev/null || true
+wait "$squatter_pid" 2>/dev/null || true
+if [ "$conflict_rc" -eq 0 ]; then
+  echo "FAIL: circus_node exited 0 despite a stats_port bind conflict"
+  rm -rf "$conflict_dir"
+  exit 1
+fi
+if [ "$(wc -l <"$conflict_dir/node.log")" -gt 2 ] \
+   || ! grep -qi "stats" "$conflict_dir/node.log"; then
+  echo "FAIL: bind conflict did not produce a one-line stats error:"
+  sed 's/^/  /' "$conflict_dir/node.log"
+  rm -rf "$conflict_dir"
+  exit 1
+fi
+echo "PASS: stats_port bind conflict fails fast ($(head -1 "$conflict_dir/node.log"))"
+rm -rf "$conflict_dir"
+
+# --- chaos round -------------------------------------------------------
+# Seeded fault schedules against the live testbed: SIGKILL/restart,
+# partitions, loss bursts, latency spikes — every run wire-audited and
+# checked for post-heal convergence. Produces BENCH_chaos_rt.json.
+"$repo_root/scripts/check_chaos_rt.sh" "$build_dir"
+
+echo "check_realnet: all rounds ok (stability, observability, bind conflicts, chaos)"

@@ -1,0 +1,41 @@
+// Bounded exponential backoff with full jitter for retry loops that may
+// run in lockstep across many processes. A fixed retry interval
+// synchronizes: every client that saw the same failure retries at the
+// same instant, and a recovering registry or healing partition is met by
+// a thundering herd that can re-trigger the very timeouts being retried.
+// Full jitter — a uniform draw in [0, min(cap, base * 2^attempt)] —
+// desynchronizes the herd while keeping the expected load decay
+// exponential.
+#ifndef SRC_BINDING_BACKOFF_H_
+#define SRC_BINDING_BACKOFF_H_
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace circus::binding {
+
+struct BackoffPolicy {
+  sim::Duration base = sim::Duration::Millis(50);
+  sim::Duration cap = sim::Duration::Seconds(2);
+};
+
+// The delay before retry number `attempt` (0-based). Deterministic given
+// the rng state, so simulated runs stay reproducible from their seed.
+inline sim::Duration BackoffDelay(const BackoffPolicy& policy, int attempt,
+                                  sim::Rng& rng) {
+  sim::Duration ceiling = policy.base;
+  for (int i = 0; i < attempt && ceiling < policy.cap; ++i) {
+    ceiling = ceiling * 2;
+  }
+  if (ceiling > policy.cap) {
+    ceiling = policy.cap;
+  }
+  if (ceiling <= sim::Duration::Zero()) {
+    return sim::Duration::Zero();
+  }
+  return sim::Duration::Nanos(rng.UniformInt(0, ceiling.nanos()));
+}
+
+}  // namespace circus::binding
+
+#endif  // SRC_BINDING_BACKOFF_H_

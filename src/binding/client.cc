@@ -176,11 +176,36 @@ Task<StatusOr<Troupe>> BindingCache::ResolveId(TroupeId id) {
   co_return t;
 }
 
+sim::Rng& BindingCache::BackoffRng(core::RpcProcess* process) {
+  if (!backoff_rng_.has_value()) {
+    // Clock + address seeding, the same idiom as the per-process call
+    // numbers: two clients that fail in lockstep still draw different
+    // jitter streams.
+    const net::NetAddress self = process->process_address();
+    const uint64_t seed =
+        (static_cast<uint64_t>(self.host) << 16) ^ self.port ^
+        static_cast<uint64_t>(
+            process->host()->executor().now().nanos());
+    backoff_rng_.emplace(seed);
+  }
+  return *backoff_rng_;
+}
+
 Task<StatusOr<circus::Bytes>> BindingCache::CallByName(
     core::RpcProcess* process, core::ThreadId thread,
     const std::string& name, core::ProcedureNumber procedure,
     circus::Bytes args, core::CallOptions opts, int max_rebinds) {
   for (int attempt = 0; attempt <= max_rebinds; ++attempt) {
+    if (attempt > 0) {
+      // Desynchronized retry (full jitter): a fixed retry interval
+      // would march every stale client back at the same instant.
+      const sim::Duration delay =
+          BackoffDelay(backoff_policy_, attempt - 1, BackoffRng(process));
+      if (retry_observer_) {
+        retry_observer_(attempt - 1, delay);
+      }
+      co_await process->host()->SleepFor(delay);
+    }
     StatusOr<Troupe> troupe = co_await Import(name);
     if (!troupe.ok()) {
       co_return troupe.status();

@@ -23,8 +23,10 @@
 #include <optional>
 #include <string>
 
+#include "src/binding/backoff.h"
 #include "src/core/process.h"
 #include "src/core/types.h"
+#include "src/sim/random.h"
 
 namespace circus::binding {
 
@@ -81,10 +83,29 @@ class BindingCache {
 
   size_t cached_names() const { return by_name_.size(); }
 
+  // Backoff between rebind retries (full jitter, capped). The jitter
+  // stream is seeded from the calling process's address and clock on
+  // first use, so concurrent clients that go stale together do not
+  // retry together.
+  void set_backoff_policy(const BackoffPolicy& policy) {
+    backoff_policy_ = policy;
+  }
+  // Test hook: observes every retry sleep (attempt number, chosen
+  // delay) before it happens.
+  using RetrySleepObserver = std::function<void(int, sim::Duration)>;
+  void set_retry_sleep_observer(RetrySleepObserver observer) {
+    retry_observer_ = std::move(observer);
+  }
+
  private:
+  sim::Rng& BackoffRng(core::RpcProcess* process);
+
   BindingClient* client_;
   std::map<std::string, core::Troupe> by_name_;
   std::map<core::TroupeId, core::Troupe> by_id_;
+  BackoffPolicy backoff_policy_;
+  std::optional<sim::Rng> backoff_rng_;
+  RetrySleepObserver retry_observer_;
 };
 
 // Brings `process`'s module `module` into the troupe named `name`:

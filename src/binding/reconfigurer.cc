@@ -31,6 +31,37 @@ void Reconfigurer::Manage(const std::string& troupe_name,
   launcher_ = std::move(launcher);
 }
 
+sim::Rng& Reconfigurer::BackoffRng() {
+  if (!backoff_rng_.has_value()) {
+    const net::NetAddress self = agent_->process_address();
+    const uint64_t seed =
+        (static_cast<uint64_t>(self.host) << 16) ^ self.port ^
+        static_cast<uint64_t>(agent_->host()->executor().now().nanos());
+    backoff_rng_.emplace(seed);
+  }
+  return *backoff_rng_;
+}
+
+Task<StatusOr<Troupe>> Reconfigurer::LookupWithRetry() {
+  constexpr int kMaxLookupAttempts = 3;
+  StatusOr<Troupe> current = Status(ErrorCode::kUnavailable, "unqueried");
+  for (int attempt = 0; attempt < kMaxLookupAttempts; ++attempt) {
+    if (attempt > 0) {
+      const sim::Duration delay =
+          BackoffDelay(backoff_policy_, attempt - 1, BackoffRng());
+      if (retry_observer_) {
+        retry_observer_(attempt - 1, delay);
+      }
+      co_await agent_->host()->SleepFor(delay);
+    }
+    current = co_await binding_->LookupByName(troupe_name_);
+    if (current.ok() || current.status().code() == ErrorCode::kNotFound) {
+      co_return current;
+    }
+  }
+  co_return current;
+}
+
 Task<bool> Reconfigurer::MemberAlive(const ModuleAddress& member) {
   core::CallOptions opts;
   opts.as_unreplicated_client = true;
@@ -48,7 +79,7 @@ Task<StatusOr<ReconfigReport>> Reconfigurer::SweepOnce() {
   // failure mistaken for an empty troupe would launch a whole fresh
   // configuration on top of live registered members.
   std::vector<ModuleAddress> members;
-  StatusOr<Troupe> current = co_await binding_->LookupByName(troupe_name_);
+  StatusOr<Troupe> current = co_await LookupWithRetry();
   if (current.ok()) {
     members = current->members;
   } else if (current.status().code() != ErrorCode::kNotFound) {

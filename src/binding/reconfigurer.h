@@ -22,12 +22,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "src/binding/backoff.h"
 #include "src/binding/client.h"
 #include "src/config/manager.h"
 #include "src/config/ast.h"
 #include "src/core/process.h"
+#include "src/sim/random.h"
 
 namespace circus::binding {
 
@@ -72,8 +75,24 @@ class Reconfigurer {
   // initial instantiation when the troupe does not exist yet.
   sim::Task<circus::StatusOr<ReconfigReport>> SweepOnce();
 
+  // Backoff between registry re-lookups (full jitter, capped): under a
+  // partition every reconfigurer's sweep fails at once, and a fixed
+  // retry interval would send them all back in lockstep when it heals.
+  void set_backoff_policy(const BackoffPolicy& policy) {
+    backoff_policy_ = policy;
+  }
+  // Test hook: observes every retry sleep (attempt, chosen delay).
+  using RetrySleepObserver = std::function<void(int, sim::Duration)>;
+  void set_retry_sleep_observer(RetrySleepObserver observer) {
+    retry_observer_ = std::move(observer);
+  }
+
  private:
   sim::Task<bool> MemberAlive(const core::ModuleAddress& member);
+  // LookupByName with backoff on transient failures; kNotFound is an
+  // answer (first instantiation), never retried.
+  sim::Task<circus::StatusOr<core::Troupe>> LookupWithRetry();
+  sim::Rng& BackoffRng();
 
   core::RpcProcess* agent_;
   BindingClient* binding_;
@@ -83,6 +102,9 @@ class Reconfigurer {
   config::TroupeSpec spec_;
   Launcher launcher_;
   std::map<net::NetAddress, config::MachineId> machine_of_;
+  BackoffPolicy backoff_policy_;
+  std::optional<sim::Rng> backoff_rng_;
+  RetrySleepObserver retry_observer_;
 };
 
 }  // namespace circus::binding

@@ -16,6 +16,10 @@ void Fabric::Deliver(DatagramSocket* socket, Datagram d) {
 }
 
 void Fabric::ObserveSend(sim::Host* sender, const Datagram& datagram) {
+  if (suppress_send_observation_) {
+    suppress_send_observation_ = false;
+    return;
+  }
   if (tap_ != nullptr) {
     tap_->Record(/*send=*/true, sender, datagram);
   }

@@ -92,6 +92,11 @@ class Fabric {
 
  protected:
   friend class DatagramSocket;
+  // FaultFabric is a decorator that forwards a socket's operations into a
+  // wrapped inner fabric; the friendship grants it access to the
+  // protected Bind/Transmit entry points and to the send-observation
+  // suppression flag below.
+  friend class FaultFabric;
 
   // Binds `socket` on its host; port 0 picks an ephemeral port from the
   // configured range. Fails with kAlreadyExists if the port is taken and
@@ -123,6 +128,13 @@ class Fabric {
   PacketTap* tap_ = nullptr;
   obs::EventBus* event_bus_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // One-shot: set by FaultFabric immediately before re-injecting a
+  // surviving/duplicated copy through Transmit, so the copy is not
+  // observed a second time (the decorator already observed the original
+  // send, pre-fault, per the PacketTap contract). Cleared by the next
+  // ObserveSend. Safe because every fabric runs single-threaded on its
+  // executor and Transmit observes synchronously.
+  bool suppress_send_observation_ = false;
 };
 
 }  // namespace circus::net

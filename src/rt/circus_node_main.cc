@@ -24,18 +24,23 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/binding/backoff.h"
 #include "src/binding/client.h"
 #include "src/binding/ringmaster.h"
 #include "src/common/check.h"
 #include "src/common/log.h"
 #include "src/core/process.h"
 #include "src/marshal/marshal.h"
+#include "src/net/fault_fabric.h"
+#include "src/rt/fault_control.h"
 #include "src/rt/introspect.h"
 #include "src/rt/node_config.h"
 #include "src/rt/runtime.h"
+#include "src/sim/random.h"
 
 namespace circus::rt {
 namespace {
@@ -138,6 +143,54 @@ int FinishNode(Runtime& runtime, NodeObservability& node_obs, int rc) {
   return rc;
 }
 
+// ------------------------------------------------------ fault wiring --
+// When faults_port= is configured, the node's protocol sockets are
+// built on a FaultFabric decorating the runtime's UDP fabric, and the
+// control endpoint steering it binds on the *inner* fabric (so a
+// nemesis can always heal the faults it injected). Bind conflicts on
+// the control ports are operator errors: one clear line, nonzero exit.
+
+struct FaultWiring {
+  std::unique_ptr<net::FaultFabric> fabric;
+  std::unique_ptr<FaultControl> control;
+  net::Fabric* protocol_fabric = nullptr;  // where RpcProcess sockets go
+};
+
+std::optional<FaultWiring> WireFaults(Runtime& runtime, sim::Host* host,
+                                      NodeObservability& node_obs,
+                                      const NodeConfig& config) {
+  FaultWiring wiring;
+  wiring.protocol_fabric = &runtime.fabric();
+  if (config.faults_port == 0) {
+    return wiring;
+  }
+  wiring.fabric = std::make_unique<net::FaultFabric>(
+      &runtime.fabric(), &runtime.executor(), config.fault_seed);
+  circus::StatusOr<std::unique_ptr<FaultControl>> control =
+      FaultControl::Open(&runtime, host, wiring.fabric.get(),
+                         config.faults_port);
+  if (!control.ok()) {
+    std::fprintf(stderr, "circus_node: cannot bind faults_port %u: %s\n",
+                 config.faults_port, control.status().ToString().c_str());
+    return std::nullopt;
+  }
+  wiring.control = std::move(*control);
+  node_obs.SetFaultFabric(wiring.fabric.get());
+  wiring.protocol_fabric = wiring.fabric.get();
+  return wiring;
+}
+
+bool StatsBindFailed(const NodeConfig& config,
+                     const NodeObservability& node_obs) {
+  if (node_obs.stats_status().ok()) {
+    return false;
+  }
+  std::fprintf(stderr, "circus_node: cannot bind stats_port %u: %s\n",
+               config.stats_port,
+               node_obs.stats_status().ToString().c_str());
+  return true;
+}
+
 // --------------------------------------------------------------- roles --
 
 int RunRingmaster(const NodeConfig& config) {
@@ -145,7 +198,16 @@ int RunRingmaster(const NodeConfig& config) {
   InstallShutdownHandling(runtime);
   sim::Host* host = runtime.AddHost("ringmaster", config.listen.host);
   NodeObservability node_obs(&runtime, host, config);
-  core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  if (StatsBindFailed(config, node_obs)) {
+    return 1;
+  }
+  std::optional<FaultWiring> faults =
+      WireFaults(runtime, host, node_obs, config);
+  if (!faults.has_value()) {
+    return 1;
+  }
+  core::RpcProcess process(faults->protocol_fabric, host,
+                           config.listen.port);
   node_obs.SetProcess(&process);
   binding::RingmasterServer server(&process);
   server.BootstrapSelf(BootstrapRingmasterTroupe(config.listen));
@@ -159,7 +221,16 @@ int RunMember(const NodeConfig& config) {
   InstallShutdownHandling(runtime);
   sim::Host* host = runtime.AddHost("member", config.listen.host);
   NodeObservability node_obs(&runtime, host, config);
-  core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  if (StatsBindFailed(config, node_obs)) {
+    return 1;
+  }
+  std::optional<FaultWiring> faults =
+      WireFaults(runtime, host, node_obs, config);
+  if (!faults.has_value()) {
+    return 1;
+  }
+  core::RpcProcess process(faults->protocol_fabric, host,
+                           config.listen.port);
   node_obs.SetProcess(&process);
   binding::BindingClient binding(
       &process, BootstrapRingmasterTroupe(config.ringmaster));
@@ -204,18 +275,36 @@ int RunMember(const NodeConfig& config) {
           marshal::Reader r(bytes);
           *state = r.ReadI32();
         };
-    circus::Status status =
-        co_await binding::JoinTroupe(p, m, b, name, accept_state);
-    if (!status.ok()) {
+    binding::BackoffPolicy policy;
+    sim::Rng rng(
+        (static_cast<uint64_t>(p->process_address().port) << 32) ^
+        static_cast<uint64_t>(p->host()->executor().now().nanos()));
+    for (int attempt = 0; g_shutdown == 0; ++attempt) {
+      // A restarted member may still be registered from its previous
+      // incarnation; that stale self would answer the replicated
+      // get_state as a reborn (empty) replica and fail the join with a
+      // divergence. Evict it first — kNotFound just means a clean
+      // start.
+      circus::StatusOr<core::TroupeId> evicted =
+          co_await b->RemoveTroupeMember(name, p->module_address(m));
+      (void)evicted;
+      circus::Status status =
+          co_await binding::JoinTroupe(p, m, b, name, accept_state);
+      if (status.ok()) {
+        *done = true;
+        co_return;
+      }
       CIRCUS_LOG(LogLevel::kWarning)
-          << "join failed: " << status.ToString();
+          << "join attempt " << attempt
+          << " failed: " << status.ToString();
+      co_await p->host()->SleepFor(
+          binding::BackoffDelay(policy, attempt, rng));
     }
-    *done = status.ok();
   }(&process, module, &binding, config.troupe, counter, &joined));
 
   if (!runtime.RunUntil(
           [&joined] { return joined || ShutdownRequested(); },
-          sim::Duration::Seconds(30)) ||
+          sim::Duration::Seconds(60)) ||
       !joined) {
     CIRCUS_LOG_AT(LogLevel::kError, runtime.now().nanos())
         << "could not join troupe '" << config.troupe << "'";
@@ -232,7 +321,16 @@ int RunClient(const NodeConfig& config) {
   InstallShutdownHandling(runtime);
   sim::Host* host = runtime.AddHost("client", config.listen.host);
   NodeObservability node_obs(&runtime, host, config);
-  core::RpcProcess process(&runtime.fabric(), host, config.listen.port);
+  if (StatsBindFailed(config, node_obs)) {
+    return 1;
+  }
+  std::optional<FaultWiring> faults =
+      WireFaults(runtime, host, node_obs, config);
+  if (!faults.has_value()) {
+    return 1;
+  }
+  core::RpcProcess process(faults->protocol_fabric, host,
+                           config.listen.port);
   node_obs.SetProcess(&process);
   binding::BindingClient binding(
       &process, BootstrapRingmasterTroupe(config.ringmaster));
@@ -241,6 +339,7 @@ int RunClient(const NodeConfig& config) {
 
   struct Progress {
     std::vector<double> latencies_ms;
+    size_t failed = 0;
     bool finished = false;
     bool ok = true;
   };
@@ -250,19 +349,42 @@ int RunClient(const NodeConfig& config) {
                  std::shared_ptr<Progress> out) -> sim::Task<void> {
     const core::ThreadId thread = p->NewRootThread();
     const circus::Bytes args(static_cast<size_t>(cfg.payload), 0x5A);
+    core::CallOptions opts;
+    if (cfg.collation == "first_come") {
+      opts.collation = core::Collation::kFirstCome;
+    } else if (cfg.collation == "majority") {
+      opts.collation = core::Collation::kMajority;
+    }
+    const auto procedure =
+        static_cast<core::ProcedureNumber>(cfg.procedure);
     for (int i = 0; i < cfg.calls && g_shutdown == 0; ++i) {
       const sim::TimePoint start = rt->loop().WallNow();
       circus::StatusOr<circus::Bytes> result = co_await c->CallByName(
-          p, thread, cfg.troupe, /*procedure=*/0, args);
-      if (!result.ok()) {
+          p, thread, cfg.troupe, procedure, args, opts);
+      if (result.ok()) {
+        out->latencies_ms.push_back(
+            (rt->loop().WallNow() - start).ToMillisF());
+      } else if (cfg.resilient) {
+        // Availability-probe mode: a failed call is a data point, not
+        // the end of the run. The cached binding may be stale in a way
+        // no member is left to flag, so drop it before the next probe.
+        ++out->failed;
+        c->Invalidate(cfg.troupe);
+        CIRCUS_LOG(LogLevel::kWarning)
+            << "call " << i << " failed: "
+            << result.status().ToString();
+      } else {
         CIRCUS_LOG(LogLevel::kError)
             << "call " << i << " failed: "
             << result.status().ToString();
         out->ok = false;
         break;
       }
-      out->latencies_ms.push_back(
-          (rt->loop().WallNow() - start).ToMillisF());
+      if (cfg.resilient) {
+        // Pace the probes so the run spans the chaos schedule instead
+        // of burning all calls before the first fault lands.
+        co_await p->host()->SleepFor(sim::Duration::Millis(50));
+      }
     }
     out->finished = true;
   }(&runtime, &process, &cache, config, progress));
@@ -273,27 +395,41 @@ int RunClient(const NodeConfig& config) {
   // An operator stop (SIGINT/SIGTERM) mid-run is a graceful exit, not a
   // failure: report whatever completed and flush as usual.
   const bool stopped_early = !progress->finished && ShutdownRequested();
-  if (!stopped_early &&
+  if (!stopped_early && !config.resilient &&
       (!progress->finished || !progress->ok ||
        progress->latencies_ms.empty())) {
     CIRCUS_LOG_AT(LogLevel::kError, runtime.now().nanos())
         << "client run failed";
     return FinishNode(runtime, node_obs, 1);
   }
-  if (progress->latencies_ms.empty()) {
+  if (progress->latencies_ms.empty() && !config.resilient) {
     return FinishNode(runtime, node_obs, 0);
   }
   double total = 0;
-  double min = progress->latencies_ms.front();
-  double max = min;
-  for (double ms : progress->latencies_ms) {
-    total += ms;
-    min = ms < min ? ms : min;
-    max = ms > max ? ms : max;
+  double min = 0;
+  double max = 0;
+  if (!progress->latencies_ms.empty()) {
+    min = progress->latencies_ms.front();
+    max = min;
+    for (double ms : progress->latencies_ms) {
+      total += ms;
+      min = ms < min ? ms : min;
+      max = ms > max ? ms : max;
+    }
   }
-  std::printf("calls=%zu mean_ms=%.3f min_ms=%.3f max_ms=%.3f\n",
-              progress->latencies_ms.size(),
-              total / progress->latencies_ms.size(), min, max);
+  const size_t ok_calls = progress->latencies_ms.size();
+  const double mean = ok_calls > 0 ? total / ok_calls : 0.0;
+  if (config.resilient) {
+    // The availability line the nemesis parses: attempted/ok/failed.
+    std::printf(
+        "calls=%zu ok=%zu failed=%zu mean_ms=%.3f min_ms=%.3f "
+        "max_ms=%.3f\n",
+        ok_calls + progress->failed, ok_calls, progress->failed, mean, min,
+        max);
+  } else {
+    std::printf("calls=%zu mean_ms=%.3f min_ms=%.3f max_ms=%.3f\n",
+                ok_calls, mean, min, max);
+  }
   return FinishNode(runtime, node_obs, 0);
 }
 

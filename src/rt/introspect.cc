@@ -170,6 +170,7 @@ NodeObservability::NodeObservability(Runtime* runtime, sim::Host* host,
         net::DatagramSocket::Open(&runtime->fabric(), host,
                                   config.stats_port);
     if (!socket.ok()) {
+      stats_status_ = socket.status();
       if (status_.ok()) {
         status_ = socket.status();
       }
@@ -265,19 +266,37 @@ std::string NodeObservability::HealthText() const {
                 process_->troupe_id().value);
   out += line;
   const msg::PairedEndpoint& endpoint = process_->endpoint();
-  // The same silence budget the probe machinery uses to declare a peer
-  // crashed (max_silent_probes probes, probe_interval apart).
+  // Graded per-peer states instead of bare liveness:
+  //   ok          heard from within two probe intervals;
+  //   degraded    silent, but still inside the probe machinery's crash
+  //               budget (max_silent_probes probes, probe_interval
+  //               apart) — retransmits may still get through;
+  //   partitioned the local fault fabric is blocking the path, so the
+  //               silence is explained (and expected to heal);
+  //   dead        silent past the crash budget with no partition to
+  //               blame.
+  const sim::Duration probe = endpoint.options().probe_interval;
   const sim::Duration budget =
-      endpoint.options().probe_interval * endpoint.options().max_silent_probes;
+      probe * endpoint.options().max_silent_probes;
   const sim::TimePoint now = runtime_->now();
   std::snprintf(line, sizeof(line), "peers %zu\n",
                 endpoint.PeerActivity().size());
   out += line;
   for (const auto& [peer, last_seen] : endpoint.PeerActivity()) {
     const sim::Duration age = now - last_seen;
+    const char* state = "ok";
+    if (fault_fabric_ != nullptr &&
+        fault_fabric_->PathBlocked(config_.listen, peer)) {
+      state = "partitioned";
+    } else if (age <= probe * 2) {
+      state = "ok";
+    } else if (age <= budget) {
+      state = "degraded";
+    } else {
+      state = "dead";
+    }
     std::snprintf(line, sizeof(line), "peer %s age_ms=%.0f %s\n",
-                  peer.ToString().c_str(), age.ToMillisF(),
-                  age <= budget ? "live" : "silent");
+                  peer.ToString().c_str(), age.ToMillisF(), state);
     out += line;
   }
   return out;

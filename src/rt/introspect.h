@@ -35,6 +35,7 @@
 
 #include "src/common/status.h"
 #include "src/core/process.h"
+#include "src/net/fault_fabric.h"
 #include "src/net/socket.h"
 #include "src/net/tap.h"
 #include "src/obs/shard.h"
@@ -69,8 +70,20 @@ class NodeObservability {
   // kOk, or the first degradation hit during construction.
   const circus::Status& status() const { return status_; }
 
+  // The stats-endpoint bind result, separately from status(): kOk when
+  // stats_port is 0 or the bind succeeded. circus_node fails fast on
+  // this (a conflicting stats_port is an operator error, not a
+  // degradation to limp through).
+  const circus::Status& stats_status() const { return stats_status_; }
+
   // Wires the process whose troupe/peer state the health query reports.
   void SetProcess(core::RpcProcess* process) { process_ = process; }
+
+  // Wires the node's fault fabric (may be null) so health can tell a
+  // partitioned peer from a dead one.
+  void SetFaultFabric(const net::FaultFabric* fabric) {
+    fault_fabric_ = fabric;
+  }
 
   obs::ShardWriter& shard() { return *shard_; }
   // The packet capture, or nullptr when tap_dir is unset.
@@ -97,10 +110,12 @@ class NodeObservability {
   Runtime* runtime_;
   NodeConfig config_;
   core::RpcProcess* process_ = nullptr;
+  const net::FaultFabric* fault_fabric_ = nullptr;
   std::unique_ptr<obs::ShardWriter> shard_;
   std::unique_ptr<net::WireTapWriter> tap_;
   std::unique_ptr<net::DatagramSocket> stats_socket_;
   circus::Status status_;
+  circus::Status stats_status_;
 };
 
 }  // namespace circus::rt

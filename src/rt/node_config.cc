@@ -127,15 +127,47 @@ circus::StatusOr<NodeConfig> ParseNodeConfig(const std::string& text) {
       config.trace_dir = value;
     } else if (key == "tap_dir") {
       config.tap_dir = value;
-    } else if (key == "stats_port") {
+    } else if (key == "stats_port" || key == "faults_port") {
       circus::StatusOr<int> v = ParseInt(key, value);
       if (!v.ok()) {
         return v.status();
       }
       if (*v < 0 || *v > 65535) {
-        return ParseError("stats_port out of range");
+        return ParseError(key + " out of range");
       }
-      config.stats_port = static_cast<net::Port>(*v);
+      (key == "stats_port" ? config.stats_port : config.faults_port) =
+          static_cast<net::Port>(*v);
+    } else if (key == "fault_seed") {
+      try {
+        size_t consumed = 0;
+        config.fault_seed = std::stoull(value, &consumed);
+        if (consumed != value.size()) {
+          return ParseError("fault_seed: trailing junk in '" + value + "'");
+        }
+      } catch (const std::exception&) {
+        return ParseError("fault_seed: not a number: '" + value + "'");
+      }
+    } else if (key == "resilient") {
+      circus::StatusOr<int> v = ParseInt(key, value);
+      if (!v.ok()) {
+        return v.status();
+      }
+      config.resilient = *v != 0;
+    } else if (key == "collation") {
+      if (value != "unanimous" && value != "first_come" &&
+          value != "majority") {
+        return ParseError("collation must be unanimous|first_come|majority");
+      }
+      config.collation = value;
+    } else if (key == "procedure") {
+      circus::StatusOr<int> v = ParseInt(key, value);
+      if (!v.ok()) {
+        return v.status();
+      }
+      if (*v < 0 || *v > 65535) {
+        return ParseError("procedure out of range");
+      }
+      config.procedure = *v;
     } else if (key == "calls" || key == "payload" || key == "run_seconds") {
       circus::StatusOr<int> v = ParseInt(key, value);
       if (!v.ok()) {

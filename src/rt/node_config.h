@@ -18,6 +18,13 @@
 //                                  # empty = no trace shard
 //   tap_dir =                      # write <node_name>.tap.jsonl packet
 //                                  # capture here; empty = no tap
+//   faults_port = 0                # UDP fault-injection control port;
+//                                  # 0 = no fault fabric
+//   fault_seed = 0                 # FaultFabric decision-stream seed
+//   resilient = 0                  # client: 1 = keep calling through
+//                                  # failures (availability probe mode)
+//   collation = unanimous          # client: unanimous|first_come|majority
+//   procedure = 0                  # client: procedure number to call
 #ifndef SRC_RT_NODE_CONFIG_H_
 #define SRC_RT_NODE_CONFIG_H_
 
@@ -44,6 +51,11 @@ struct NodeConfig {
   net::Port stats_port = 0;     // 0: no introspection endpoint
   std::string trace_dir;        // empty: no trace shard
   std::string tap_dir;          // empty: no packet capture
+  net::Port faults_port = 0;    // 0: no fault-injection control endpoint
+  uint64_t fault_seed = 0;      // decision-stream seed for the FaultFabric
+  bool resilient = false;       // client keeps calling through failures
+  std::string collation = "unanimous";  // client reply collation
+  int procedure = 0;            // client procedure number
 
   // The configured node_name, or the "<role>-<port>" default.
   std::string DisplayName() const;

@@ -563,5 +563,71 @@ TEST_F(BindingTest, ManyToOneUsesRingmasterResolution) {
   EXPECT_EQ(server->counter, 1);  // executed exactly once
 }
 
+// Full jitter on the rebind-retry loop: two clients whose binding keeps
+// going stale must not march back to the Ringmaster in lockstep. Each
+// cache draws its retry sleeps from an rng seeded by its own address and
+// clock (the call-number idiom), so the two observed delay sequences are
+// bounded by the exponential ceiling but not equal to each other.
+TEST_F(BindingTest, StaleBindingRetryBackoffDesynchronizesClients) {
+  DeployRing(1);
+  auto app = MakeAppServer("app");
+  Troupe t;
+  t.members.push_back(app->process->module_address(app->module));
+  StatusOr<TroupeId> id = Run(app->binding->RegisterTroupe("counter", t));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // Permanently stale: the member rejects every call with a troupe-ID
+  // mismatch, and rebinding fetches the same registration back, so each
+  // CallByName attempt ends in kStaleBinding and a backoff sleep.
+  app->process->SetTroupeId(TroupeId{id->value + 9999});
+
+  struct RetryingClient {
+    std::unique_ptr<RpcProcess> process;
+    std::unique_ptr<BindingClient> binding;
+    std::unique_ptr<BindingCache> cache;
+    std::vector<Duration> delays;
+    Status final = Status(ErrorCode::kUnavailable, "not run");
+    bool done = false;
+  };
+  constexpr int kRebinds = 5;
+  RetryingClient clients[2];
+  for (int i = 0; i < 2; ++i) {
+    RetryingClient& c = clients[i];
+    c.process = MakeClientProcess("stale-client" + std::to_string(i));
+    c.binding = std::make_unique<BindingClient>(c.process.get(),
+                                                ring_.troupe);
+    c.cache = std::make_unique<BindingCache>(c.binding.get());
+    c.process->SetClientTroupeResolver(c.cache->MakeResolver());
+    std::vector<Duration>* delays = &c.delays;
+    c.cache->set_retry_sleep_observer(
+        [delays](int, Duration delay) { delays->push_back(delay); });
+    world_.executor().Spawn(
+        [](RetryingClient* rc) -> Task<void> {
+          StatusOr<Bytes> r = co_await rc->cache->CallByName(
+              rc->process.get(), rc->process->NewRootThread(), "counter", 0,
+              {}, {}, kRebinds);
+          rc->final = r.status();
+          rc->done = true;
+        }(&c));
+  }
+  world_.RunFor(Duration::Seconds(60));
+
+  const BackoffPolicy policy;  // the cache default the sleeps came from
+  for (RetryingClient& c : clients) {
+    ASSERT_TRUE(c.done);
+    EXPECT_EQ(c.final.code(), ErrorCode::kStaleBinding) << c.final.ToString();
+    ASSERT_EQ(c.delays.size(), static_cast<size_t>(kRebinds));
+    int64_t ceiling = policy.base.nanos();
+    for (const Duration& delay : c.delays) {
+      EXPECT_GE(delay.nanos(), 0);
+      EXPECT_LE(delay.nanos(), std::min(ceiling, policy.cap.nanos()));
+      ceiling *= 2;
+    }
+  }
+  // The point of the jitter: distinct streams. Five independent uniform
+  // draws agreeing across both clients would mean the rng seeding
+  // collapsed to a shared constant.
+  EXPECT_NE(clients[0].delays, clients[1].delays);
+}
+
 }  // namespace
 }  // namespace circus::binding

@@ -21,9 +21,12 @@
 #include "src/binding/ringmaster.h"
 #include "src/core/process.h"
 #include "src/marshal/marshal.h"
+#include "src/net/fault_fabric.h"
+#include "src/net/socket.h"
 #include "src/obs/merge.h"
 #include "src/obs/shard.h"
 #include "src/obs/trace.h"
+#include "src/rt/fault_control.h"
 #include "src/rt/introspect.h"
 #include "src/rt/node_config.h"
 #include "src/rt/runtime.h"
@@ -87,11 +90,12 @@ struct Member {
 
 std::unique_ptr<Member> MakeMember(Runtime* runtime,
                                    const std::string& name,
-                                   const Troupe& ringmaster) {
+                                   const Troupe& ringmaster,
+                                   net::Port port = 0) {
   auto member = std::make_unique<Member>();
   sim::Host* host = runtime->AddHost(name);
   member->process =
-      std::make_unique<RpcProcess>(&runtime->fabric(), host, 0);
+      std::make_unique<RpcProcess>(&runtime->fabric(), host, port);
   member->binding =
       std::make_unique<BindingClient>(member->process.get(), ringmaster);
   member->cache = std::make_unique<BindingCache>(member->binding.get());
@@ -559,7 +563,8 @@ TEST(RtLoopbackTest, IntrospectionQueriesReportMetricsHealthAndSpans) {
   EXPECT_EQ(health.rfind("ok observe-me\n", 0), 0u) << health;
   EXPECT_NE(health.find("role member\n"), std::string::npos);
   EXPECT_NE(health.find("troupe 99\n"), std::string::npos);
-  EXPECT_NE(health.find(" live"), std::string::npos);  // the client peer
+  EXPECT_NE(health.find(" ok\n"), std::string::npos);  // the client peer,
+                                                       // heard from just now
 
   // The shard records every host in this single-process runtime, so the
   // member's spans view shows the whole call tree.
@@ -668,6 +673,172 @@ TEST(RtLoopbackTest, PagedIntrospectionReassemblesOversizeSpansReply) {
       node_obs.HandleQuery("spans " + std::to_string(assembled.size() + 999));
   EXPECT_EQ(past, "chunk " + std::to_string(assembled.size()) + " end\n");
   EXPECT_EQ(node_obs.HandleQuery("spans x").rfind("err bad offset", 0), 0u);
+}
+
+// -------------------------------------------------- crash and reboot ----
+
+// The circus_node crash-recovery path, in-process: a member is killed
+// without a goodbye (host crash + socket teardown, which is all SIGKILL
+// leaves behind) and a new process reboots on the SAME port. Its peers
+// — ringmaster and the surviving member — still hold duplicate-
+// suppression state keyed by that address, so the reboot only works
+// because call numbers are clock-seeded per process: the reborn
+// process's registry calls and get_state must not be swallowed as
+// retransmissions of its predecessor's.
+TEST(RtLoopbackTest, RebootedMemberRejoinsDespitePeerDuplicateSuppression) {
+  Runtime runtime;
+  RingmasterNode ring = MakeRingmaster(&runtime, 38021);
+
+  std::vector<std::unique_ptr<Member>> members;
+  Troupe troupe;
+  for (int i = 0; i < 2; ++i) {
+    members.push_back(
+        MakeMember(&runtime, "member" + std::to_string(i), ring.bootstrap));
+    troupe.members.push_back(
+        members[i]->process->module_address(members[i]->module));
+  }
+  bool registered = false;
+  std::vector<RpcProcess*> troupe_procs = {members[0]->process.get(),
+                                           members[1]->process.get()};
+  members[0]->process->host()->Spawn(
+      [](BindingClient* b, Troupe t, std::vector<RpcProcess*> procs,
+         bool* done) -> Task<void> {
+        StatusOr<TroupeId> id = co_await b->RegisterTroupe("counter", t);
+        CIRCUS_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+        for (RpcProcess* p : procs) {
+          p->SetTroupeId(*id);
+        }
+        *done = true;
+      }(members[0]->binding.get(), troupe, troupe_procs, &registered));
+  ASSERT_TRUE(runtime.RunUntil([&registered] { return registered; },
+                               Duration::Seconds(30)));
+
+  sim::Host* client_host = runtime.AddHost("client");
+  RpcProcess client(&runtime.fabric(), client_host, 0);
+  BindingClient client_binding(&client, ring.bootstrap);
+  BindingCache client_cache(&client_binding);
+  client.SetClientTroupeResolver(client_cache.MakeResolver());
+  const auto call_counter = [&](int32_t* out) {
+    bool done = false;
+    client_host->Spawn(
+        [](RpcProcess* p, BindingCache* cache, int32_t* value,
+           bool* flag) -> Task<void> {
+          StatusOr<Bytes> r = co_await cache->CallByName(
+              p, p->NewRootThread(), "counter", /*procedure=*/0, {});
+          CIRCUS_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+          marshal::Reader reader(*r);
+          *value = reader.ReadI32();
+          *flag = true;
+        }(&client, &client_cache, out, &done));
+    return runtime.RunUntil([&done] { return done; },
+                            Duration::Seconds(30));
+  };
+
+  int32_t value = 0;
+  ASSERT_TRUE(call_counter(&value));
+  EXPECT_EQ(value, 1);  // both members executed
+
+  // Mid-commit SIGKILL equivalent: crash member1's host so every
+  // protocol coroutine on it dies with HostCrashedError, drain the
+  // loop, then drop the process — its sockets close with no wire
+  // goodbye, exactly like a killed OS process.
+  const core::ModuleAddress stale_address =
+      members[1]->process->module_address(members[1]->module);
+  members[1]->process->host()->Crash();
+  runtime.RunUntil([] { return false; }, Duration::Millis(200));
+  members[1].reset();
+
+  // Reboot on the same port under a fresh host (a fresh incarnation).
+  members[1] = MakeMember(&runtime, "member1b", ring.bootstrap,
+                          stale_address.process.port);
+  Member* reborn = members[1].get();
+  bool rejoined = false;
+  reborn->process->host()->Spawn(
+      [](Member* m, core::ModuleAddress stale, bool* done) -> Task<void> {
+        // The circus_node member recipe: evict the dead predecessor's
+        // registration (same address, so peers would otherwise copy
+        // state from a registered-but-reborn-empty replica), then join.
+        StatusOr<TroupeId> evicted =
+            co_await m->binding->RemoveTroupeMember("counter", stale);
+        CIRCUS_CHECK_MSG(evicted.ok(), evicted.status().ToString().c_str());
+        Member* state_sink = m;
+        std::function<void(const Bytes&)> accept_state =
+            [state_sink](const Bytes& bytes) {
+              marshal::Reader r(bytes);
+              state_sink->counter = r.ReadI32();
+            };
+        Status s = co_await binding::JoinTroupe(
+            m->process.get(), m->module, m->binding.get(), "counter",
+            accept_state);
+        CIRCUS_CHECK_MSG(s.ok(), s.ToString().c_str());
+        *done = true;
+      }(reborn, stale_address, &rejoined));
+  ASSERT_TRUE(runtime.RunUntil([&rejoined] { return rejoined; },
+                               Duration::Seconds(30)));
+  EXPECT_EQ(reborn->counter, 1);  // state transferred from the survivor
+
+  // The next replicated call transparently rebinds (membership changed
+  // twice) and reaches BOTH members — the reborn one included, whose
+  // fresh clock-seeded call numbers nobody mistook for duplicates.
+  ASSERT_TRUE(call_counter(&value));
+  EXPECT_EQ(value, 2);
+  EXPECT_EQ(members[0]->counter, 2);
+  EXPECT_EQ(reborn->counter, 2);
+}
+
+// ------------------------------------------------------ bind conflicts --
+
+// A stats_port collision must surface as a sticky, inspectable error —
+// circus_node turns it into a one-line fatal (fail fast beats a silent
+// unobservable node).
+TEST(RtLoopbackTest, StatsPortBindConflictSurfacesFatalStatus) {
+  Runtime runtime;
+  sim::Host* host = runtime.AddHost("node");
+  net::DatagramSocket squatter(&runtime.fabric(), host, 0);
+  NodeConfig cfg;
+  cfg.role = NodeConfig::Role::kMember;
+  cfg.listen = net::NetAddress{kLoopbackAddress, 39010};
+  cfg.node_name = "conflict";
+  cfg.stats_port = squatter.local_address().port;
+  NodeObservability node_obs(&runtime, host, cfg);
+  EXPECT_FALSE(node_obs.stats_status().ok());
+  EXPECT_EQ(node_obs.stats_status().code(), ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(node_obs.status().ok());
+
+  // No conflict: stats_status is kOk even with the endpoint disabled.
+  NodeConfig quiet = cfg;
+  quiet.stats_port = 0;
+  quiet.node_name = "quiet";
+  NodeObservability quiet_obs(&runtime, host, quiet);
+  EXPECT_TRUE(quiet_obs.stats_status().ok());
+}
+
+TEST(RtLoopbackTest, FaultControlCommandsAndBindConflict) {
+  Runtime runtime;
+  sim::Host* host = runtime.AddHost("node");
+  net::FaultFabric fabric(&runtime.fabric(), &runtime.executor(), 7);
+
+  StatusOr<std::unique_ptr<FaultControl>> control =
+      FaultControl::Open(&runtime, host, &fabric, 0);
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  const net::Port control_port = (*control)->local_address().port;
+  EXPECT_NE(control_port, 0);
+
+  // Command dispatch is the exact reply a control datagram gets.
+  EXPECT_EQ((*control)->HandleCommand("loss 0.5"), "ok\n");
+  EXPECT_DOUBLE_EQ(fabric.plan().drop, 0.5);
+  const std::string status_line = (*control)->HandleCommand("status");
+  EXPECT_NE(status_line.find("loss"), std::string::npos) << status_line;
+  EXPECT_EQ(status_line.back(), '\n');
+  EXPECT_EQ((*control)->HandleCommand("bogus").rfind("err ", 0), 0u);
+  EXPECT_EQ((*control)->HandleCommand("loss 7").rfind("err ", 0), 0u);
+
+  // One control endpoint per port: the second Open is the faults_port
+  // bind conflict circus_node fails fast on.
+  StatusOr<std::unique_ptr<FaultControl>> conflict =
+      FaultControl::Open(&runtime, host, &fabric, control_port);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), ErrorCode::kAlreadyExists);
 }
 
 }  // namespace
