@@ -39,8 +39,17 @@ if ! ctest --test-dir build-asan -L chaos_rt --output-on-failure >/dev/null; the
   failures=$((failures + 1))
 fi
 
+# And the apps slice (replfs end-to-end tests + demo): the replfs
+# client/server are coroutine-heavy application code layered over
+# generated stubs, ordered broadcast, and the commit protocol — a prime
+# habitat for the GCC 12 coroutine hazards.
+if ! ctest --test-dir build-asan -L apps --output-on-failure >/dev/null; then
+  echo "FAIL: ctest -L apps under ASan"
+  failures=$((failures + 1))
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "check_asan: $failures test binary(ies) failed" >&2
   exit 1
 fi
-echo "check_asan: all test binaries clean under ASan (incl. ctest -L wire)"
+echo "check_asan: all test binaries clean under ASan (incl. ctest -L wire/chaos_rt/apps)"

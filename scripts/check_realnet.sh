@@ -319,4 +319,34 @@ rm -rf "$conflict_dir"
 # checked for post-heal convergence. Produces BENCH_chaos_rt.json.
 "$repo_root/scripts/check_chaos_rt.sh" "$build_dir"
 
-echo "check_realnet: all rounds ok (stability, observability, bind conflicts, chaos)"
+# --- replfs round ------------------------------------------------------
+# The same nemesis, but the troupe runs the replfs application (stub-
+# generated marshaling, ordered-broadcast write staging, troupe commit)
+# and the oracle is read-your-writes: after healing, a fresh client
+# commits a known block and reads it back with unanimous collation.
+# seed=1's schedule orders 1 SIGKILL/restart and 1 partition, so the
+# run covers a member rebuilt from state transfer mid-traffic. The run
+# is wire-audited like every other.
+replfs_dir=$(mktemp -d)
+replfs_rc=0
+"$build_dir/src/rt/circus_nemesis" seed=1 members=3 horizon_s=20 \
+  actions=5 base_port=39200 workload=replfs \
+  bin="$build_dir/src/rt/circus_node" dir="$replfs_dir" \
+  json="$replfs_dir/nem.json" >"$replfs_dir/nemesis.log" 2>&1 || replfs_rc=$?
+if [ "$replfs_rc" -ne 0 ]; then
+  echo "FAIL: replfs nemesis round (seed=1)"
+  tail -15 "$replfs_dir/nemesis.log" | sed 's/^/  /'
+  rm -rf "$replfs_dir"
+  exit 1
+fi
+if ! grep -q '"kills": [1-9]' "$replfs_dir/nem.json" \
+   || ! grep -q '"partitions": [1-9]' "$replfs_dir/nem.json"; then
+  echo "FAIL: replfs nemesis schedule lost its SIGKILL or partition"
+  sed 's/^/  /' "$replfs_dir/nem.json"
+  rm -rf "$replfs_dir"
+  exit 1
+fi
+grep '^nemesis: PASS' "$replfs_dir/nemesis.log" | sed 's/^nemesis:/PASS: replfs/'
+rm -rf "$replfs_dir"
+
+echo "check_realnet: all rounds ok (stability, observability, bind conflicts, chaos, replfs)"

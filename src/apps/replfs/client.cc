@@ -1,0 +1,162 @@
+#include "src/apps/replfs/client.h"
+
+#include <algorithm>
+
+#include "src/apps/replfs/server.h"
+#include "src/apps/replfs/wire.h"
+#include "src/txn/ordered_broadcast.h"
+
+namespace circus::apps::replfs {
+
+using circus::Status;
+using circus::StatusOr;
+using sim::Duration;
+using sim::Task;
+
+namespace fs = idl::ReplFs;
+
+namespace {
+
+// Broadcast message ids must be unique per message and identical
+// across replicated client members: derive them from the transaction
+// identity (itself deterministic across members) and the write's
+// per-transaction sequence number, mixed through a splitmix64 round.
+uint64_t WriteMsgId(const txn::TxnId& txn, uint32_t seq) {
+  uint64_t x = (static_cast<uint64_t>(txn.thread.machine) << 32) |
+               (static_cast<uint64_t>(txn.thread.port) << 16) |
+               txn.thread.local;
+  x ^= (static_cast<uint64_t>(txn.num) << 32) | seq;
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Task<StatusOr<uint16_t>> Session::Open(const std::string& name) {
+  const fs::Txn wire = ToWire(txn_);
+  StatusOr<fs::OpenFileResults> r =
+      co_await client_->stub_.OpenFile(thread_, wire, name);
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  co_return r->fd;
+}
+
+Task<Status> Session::Write(uint16_t fd, uint32_t block,
+                            fs::BlockData data) {
+  const uint32_t seq = ++writes_;
+  fs::WriteBlockArgs args;
+  args.txn = ToWire(txn_);
+  args.fd = fd;
+  args.seq = seq;
+  args.block = block;
+  args.data = std::move(data);
+  marshal::Writer w;
+  fs::Write_WriteBlockArgs(w, args);
+  const core::Troupe& writes_troupe = client_->writes_troupe_;
+  if (writes_troupe.members.empty()) {
+    co_return Status(ErrorCode::kFailedPrecondition, "client not bound");
+  }
+  co_return co_await txn::AtomicBroadcast(
+      client_->process_, thread_, writes_troupe,
+      writes_troupe.members.front().module, WriteMsgId(txn_, seq),
+      w.Take());
+}
+
+Task<Status> Session::Close(uint16_t fd) {
+  const fs::Txn wire = ToWire(txn_);
+  StatusOr<fs::CloseResults> r =
+      co_await client_->stub_.Close(thread_, wire, fd);
+  co_return r.status();
+}
+
+Client::Client(core::RpcProcess* process)
+    : process_(process), stub_(process), coordinator_(process) {}
+
+void Client::Bind(core::Troupe troupe) {
+  writes_troupe_ = troupe;
+  for (core::ModuleAddress& m : writes_troupe_.members) {
+    m.module = static_cast<core::ModuleNumber>(m.module +
+                                               kWritesModuleOffset);
+  }
+  troupe_ = std::move(troupe);
+  stub_.Bind(troupe_);
+}
+
+Task<Status> Client::Run(core::ThreadId thread, const Body& body,
+                         ClientOptions options) {
+  Status last(ErrorCode::kAborted, "transaction never attempted");
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    const txn::TxnId txn{thread, coordinator_.NextTxnNum(thread)};
+    coordinator_.Begin(txn, static_cast<int>(troupe_.members.size()),
+                       options.decision_timeout);
+    Session session(this, thread, txn);
+    Status body_status = co_await body(session);
+    if (!body_status.ok()) {
+      // Abort at the servers, then decide whether to retry.
+      const fs::Txn wire = ToWire(txn);
+      co_await stub_.Abort(thread, wire);
+      last = body_status;
+      if (body_status.code() != ErrorCode::kDeadlock &&
+          body_status.code() != ErrorCode::kAborted) {
+        co_return body_status;  // a real error; do not retry
+      }
+    } else {
+      core::Troupe coordinators;
+      if (options.coordinator_troupe.has_value()) {
+        coordinators = *options.coordinator_troupe;
+      } else {
+        coordinators.members.push_back(coordinator_.address());
+      }
+      const fs::Txn wire = ToWire(txn);
+      const fs::Coordinators coords = ToWire(coordinators);
+      StatusOr<fs::CommitResults> r =
+          co_await stub_.Commit(thread, wire, session.writes(), coords);
+      if (r.ok()) {
+        if (r->committed) {
+          co_return Status::Ok();
+        }
+        last = Status(ErrorCode::kAborted,
+                      "replfs commit aborted " + txn.ToString());
+      } else {
+        last = r.status();
+        if (last.code() != ErrorCode::kDeadlock &&
+            last.code() != ErrorCode::kAborted &&
+            last.code() != ErrorCode::kDisagreement) {
+          co_return last;
+        }
+      }
+    }
+    // Binary exponential back-off before retrying (Section 5.3.1).
+    Duration delay = options.backoff_base * (1LL << std::min(attempt, 10));
+    if (options.rng != nullptr) {
+      delay = Duration::Nanos(static_cast<int64_t>(
+          delay.nanos() * (0.5 + options.rng->UniformDouble())));
+    }
+    co_await process_->host()->SleepFor(delay);
+  }
+  co_return last;
+}
+
+Task<StatusOr<fs::BlockData>> Client::ReadBlock(core::ThreadId thread,
+                                                const std::string& name,
+                                                uint32_t block) {
+  StatusOr<fs::ReadBlockResults> r =
+      co_await stub_.ReadBlock(thread, name, block);
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  co_return std::move(r->data);
+}
+
+Task<StatusOr<fs::Manifest>> Client::GetManifest(core::ThreadId thread) {
+  StatusOr<fs::GetManifestResults> r = co_await stub_.GetManifest(thread);
+  if (!r.ok()) {
+    co_return r.status();
+  }
+  co_return std::move(r->manifest);
+}
+
+}  // namespace circus::apps::replfs

@@ -1,0 +1,57 @@
+// Conversions between runtime identities (txn::TxnId, core::Troupe)
+// and their stub-generated wire representations. All byte-level
+// marshaling lives in the generated header ("gen/apps/replfs.h");
+// these helpers only move fields between the two type families.
+#ifndef SRC_APPS_REPLFS_WIRE_H_
+#define SRC_APPS_REPLFS_WIRE_H_
+
+#include "gen/apps/replfs.h"
+#include "src/core/types.h"
+#include "src/txn/types.h"
+
+namespace circus::apps::replfs {
+
+inline idl::ReplFs::Txn ToWire(const txn::TxnId& id) {
+  return idl::ReplFs::Txn{id.thread.machine, id.thread.port,
+                          id.thread.local, id.num};
+}
+
+inline txn::TxnId FromWire(const idl::ReplFs::Txn& t) {
+  txn::TxnId id;
+  id.thread.machine = t.machine;
+  id.thread.port = t.port;
+  id.thread.local = t.local;
+  id.num = t.num;
+  return id;
+}
+
+// The coordinator troupe travels as a plain member list; its troupe id
+// is irrelevant for the direct ready_to_commit call-backs (the callee
+// set is explicit), matching RunTransaction's default coordinator
+// troupe.
+inline idl::ReplFs::Coordinators ToWire(const core::Troupe& troupe) {
+  idl::ReplFs::Coordinators out;
+  out.reserve(troupe.members.size());
+  for (const core::ModuleAddress& m : troupe.members) {
+    out.push_back(
+        idl::ReplFs::Coordinator{m.process.host, m.process.port, m.module});
+  }
+  return out;
+}
+
+inline core::Troupe CoordinatorTroupe(
+    const idl::ReplFs::Coordinators& coordinators) {
+  core::Troupe troupe;
+  for (const idl::ReplFs::Coordinator& c : coordinators) {
+    core::ModuleAddress m;
+    m.process.host = c.host;
+    m.process.port = c.port;
+    m.module = c.module;
+    troupe.members.push_back(m);
+  }
+  return troupe;
+}
+
+}  // namespace circus::apps::replfs
+
+#endif  // SRC_APPS_REPLFS_WIRE_H_

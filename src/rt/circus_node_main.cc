@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "src/apps/replfs/client.h"
+#include "src/apps/replfs/server.h"
 #include "src/binding/backoff.h"
 #include "src/binding/client.h"
 #include "src/binding/ringmaster.h"
@@ -237,44 +239,55 @@ int RunMember(const NodeConfig& config) {
   binding::BindingCache cache(&binding);
   process.SetClientTroupeResolver(cache.MakeResolver());
 
-  // The exported module: an echo procedure (0) plus a counter
-  // procedure (1) whose value is the module state — deterministic, so
-  // replicas stay aligned and get_state can seed a joiner.
-  auto counter = std::make_shared<int32_t>(0);
-  const core::ModuleNumber module =
-      process.ExportModule(config.interface_name);
-  process.ExportProcedure(
-      module, 0,
-      [](core::ServerCallContext&, const circus::Bytes& args)
-          -> sim::Task<circus::StatusOr<circus::Bytes>> {
-        co_return circus::Bytes(args);
-      });
-  process.ExportProcedure(
-      module, 1,
-      [counter](core::ServerCallContext&, const circus::Bytes&)
-          -> sim::Task<circus::StatusOr<circus::Bytes>> {
-        marshal::Writer w;
-        w.WriteI32(++*counter);
-        co_return w.Take();
-      });
-  process.SetStateProvider(module, [counter] {
-    marshal::Writer w;
-    w.WriteI32(*counter);
-    return w.Take();
-  });
+  // The exported module, by workload. echo: an echo procedure (0) plus
+  // a counter procedure (1) whose value is the module state —
+  // deterministic, so replicas stay aligned and get_state can seed a
+  // joiner. replfs: the stub-generated ReplFs module plus its ordered
+  // broadcast writes module; module state is the transactional store.
+  core::ModuleNumber module = 0;
+  std::function<void(const circus::Bytes&)> accept_state;
+  std::unique_ptr<apps::replfs::Server> replfs;
+  if (config.workload == "replfs") {
+    replfs = std::make_unique<apps::replfs::Server>(&process);
+    module = replfs->module_number();
+    apps::replfs::Server* server = replfs.get();
+    accept_state = [server](const circus::Bytes& bytes) {
+      server->store().InternalizeState(bytes);
+    };
+    host->Spawn(server->DeliverLoop());
+  } else {
+    auto counter = std::make_shared<int32_t>(0);
+    module = process.ExportModule(config.interface_name);
+    process.ExportProcedure(
+        module, 0,
+        [](core::ServerCallContext&, const circus::Bytes& args)
+            -> sim::Task<circus::StatusOr<circus::Bytes>> {
+          co_return circus::Bytes(args);
+        });
+    process.ExportProcedure(
+        module, 1,
+        [counter](core::ServerCallContext&, const circus::Bytes&)
+            -> sim::Task<circus::StatusOr<circus::Bytes>> {
+          marshal::Writer w;
+          w.WriteI32(++*counter);
+          co_return w.Take();
+        });
+    process.SetStateProvider(module, [counter] {
+      marshal::Writer w;
+      w.WriteI32(*counter);
+      return w.Take();
+    });
+    accept_state = [counter](const circus::Bytes& bytes) {
+      marshal::Reader r(bytes);
+      *counter = r.ReadI32();
+    };
+  }
 
   bool joined = false;
   host->Spawn([](core::RpcProcess* p, core::ModuleNumber m,
                  binding::BindingClient* b, std::string name,
-                 std::shared_ptr<int32_t> state,
+                 std::function<void(const circus::Bytes&)> accept,
                  bool* done) -> sim::Task<void> {
-    // Hoisted: a capturing lambda must not become a std::function inside
-    // the co_await statement (CLAUDE.md rule 1).
-    std::function<void(const circus::Bytes&)> accept_state =
-        [state](const circus::Bytes& bytes) {
-          marshal::Reader r(bytes);
-          *state = r.ReadI32();
-        };
     binding::BackoffPolicy policy;
     sim::Rng rng(
         (static_cast<uint64_t>(p->process_address().port) << 32) ^
@@ -289,7 +302,7 @@ int RunMember(const NodeConfig& config) {
           co_await b->RemoveTroupeMember(name, p->module_address(m));
       (void)evicted;
       circus::Status status =
-          co_await binding::JoinTroupe(p, m, b, name, accept_state);
+          co_await binding::JoinTroupe(p, m, b, name, accept);
       if (status.ok()) {
         *done = true;
         co_return;
@@ -300,7 +313,7 @@ int RunMember(const NodeConfig& config) {
       co_await p->host()->SleepFor(
           binding::BackoffDelay(policy, attempt, rng));
     }
-  }(&process, module, &binding, config.troupe, counter, &joined));
+  }(&process, module, &binding, config.troupe, accept_state, &joined));
 
   if (!runtime.RunUntil(
           [&joined] { return joined || ShutdownRequested(); },
@@ -313,6 +326,210 @@ int RunMember(const NodeConfig& config) {
   NODE_LOG(runtime) << "member of '" << config.troupe << "' on "
                     << config.listen.ToString();
   runtime.RunUntil(ShutdownRequested, ServeBudget(config));
+  return FinishNode(runtime, node_obs, 0);
+}
+
+// ------------------------------------------------------ replfs client --
+// The replfs workload speaks transactions, not raw calls: each probe is
+// open / write one block / close / commit through apps::replfs::Client.
+// Binding is explicit (Import + Bind) rather than through the process's
+// transparent troupe resolver: replfs derives its writes-broadcast
+// troupe from the bound ReplFs troupe by module-number offset, and a
+// transparent re-resolution by troupe id would rebind it to the ReplFs
+// modules. On failure the client re-imports and re-binds by hand.
+
+sim::Task<circus::Status> BindReplFs(binding::BindingCache* cache,
+                                     apps::replfs::Client* fs,
+                                     const std::string& name) {
+  circus::StatusOr<core::Troupe> troupe = co_await cache->Import(name);
+  if (!troupe.ok()) {
+    co_return troupe.status();
+  }
+  fs->Bind(*troupe);
+  co_return circus::Status::Ok();
+}
+
+// One probe transaction: write `words` words of `fill` into one block
+// of `file`. A free coroutine (not a lambda) per the CLAUDE.md rules.
+sim::Task<circus::Status> WriteBlockBody(std::string file, uint32_t block,
+                                         uint16_t fill, int words,
+                                         apps::replfs::Session* session) {
+  circus::StatusOr<uint16_t> fd = co_await session->Open(file);
+  if (!fd.ok()) {
+    co_return fd.status();
+  }
+  idl::ReplFs::BlockData data(static_cast<size_t>(words), fill);
+  circus::Status wrote = co_await session->Write(*fd, block, std::move(data));
+  if (!wrote.ok()) {
+    co_return wrote;
+  }
+  co_return co_await session->Close(*fd);
+}
+
+apps::replfs::Client::Body MakeWriteBlockBody(std::string file,
+                                              uint32_t block, uint16_t fill,
+                                              int words) {
+  return [file, block, fill, words](apps::replfs::Session& session) {
+    return WriteBlockBody(file, block, fill, words, &session);
+  };
+}
+
+struct ReplFsProgress {
+  std::vector<double> latencies_ms;
+  size_t failed = 0;
+  bool finished = false;
+  bool ok = true;
+  bool verified = false;
+};
+
+sim::Task<void> ReplFsClientLoop(Runtime* rt, core::RpcProcess* p,
+                                 binding::BindingCache* c,
+                                 apps::replfs::Client* fs, NodeConfig cfg,
+                                 std::shared_ptr<ReplFsProgress> out) {
+  const core::ThreadId thread = p->NewRootThread();
+  sim::Rng rng((static_cast<uint64_t>(p->process_address().port) << 32) ^
+               static_cast<uint64_t>(p->host()->executor().now().nanos()));
+  // Initial bind, retried: the testbed may still be assembling (or, for
+  // a post-chaos verify probe, still healing).
+  for (int attempt = 0;; ++attempt) {
+    circus::Status bound = co_await BindReplFs(c, fs, cfg.troupe);
+    if (bound.ok()) {
+      break;
+    }
+    if (attempt >= 40 || g_shutdown != 0) {
+      CIRCUS_LOG(LogLevel::kError)
+          << "cannot bind '" << cfg.troupe << "': " << bound.ToString();
+      out->ok = false;
+      out->finished = true;
+      co_return;
+    }
+    c->Invalidate(cfg.troupe);
+    co_await p->host()->SleepFor(sim::Duration::Millis(250));
+  }
+  apps::replfs::ClientOptions options;
+  options.rng = &rng;
+  const int words = cfg.payload > 0 ? cfg.payload : 1;
+
+  if (cfg.verify) {
+    // Read-your-writes convergence probe: commit one known block, then
+    // read it back unanimously. The read collates at every member —
+    // restarted incarnations included — so success means the committed
+    // write is identical troupe-wide.
+    options.max_attempts = 10;
+    apps::replfs::Client::Body body =
+        MakeWriteBlockBody("verify", 0, 0xC0DE, words);
+    circus::Status committed = co_await fs->Run(thread, body, options);
+    if (!committed.ok()) {
+      CIRCUS_LOG(LogLevel::kError)
+          << "verify commit failed: " << committed.ToString();
+      out->ok = false;
+      out->finished = true;
+      co_return;
+    }
+    circus::StatusOr<idl::ReplFs::BlockData> readback =
+        co_await fs->ReadBlock(thread, "verify", 0);
+    bool good = readback.ok() &&
+                readback->size() == static_cast<size_t>(words);
+    if (good) {
+      for (uint16_t word : *readback) {
+        good = good && word == 0xC0DE;
+      }
+    } else {
+      CIRCUS_LOG(LogLevel::kError)
+          << "verify readback failed: " << readback.status().ToString();
+    }
+    circus::StatusOr<idl::ReplFs::Manifest> manifest =
+        co_await fs->GetManifest(thread);
+    good = good && manifest.ok();
+    out->verified = good;
+    out->ok = good;
+    out->finished = true;
+    co_return;
+  }
+
+  // Load / availability-probe mode: one single-block transaction per
+  // probe, striped over a small block range so the manifest and block
+  // keys both get steady write traffic.
+  options.max_attempts = cfg.resilient ? 3 : 8;
+  for (int i = 0; i < cfg.calls && g_shutdown == 0; ++i) {
+    const sim::TimePoint start = rt->loop().WallNow();
+    apps::replfs::Client::Body body = MakeWriteBlockBody(
+        "load", static_cast<uint32_t>(i % 64), static_cast<uint16_t>(i),
+        words);
+    circus::Status status = co_await fs->Run(thread, body, options);
+    if (status.ok()) {
+      out->latencies_ms.push_back((rt->loop().WallNow() - start).ToMillisF());
+    } else if (cfg.resilient) {
+      ++out->failed;
+      CIRCUS_LOG(LogLevel::kWarning)
+          << "txn " << i << " failed: " << status.ToString();
+      // The binding may be stale in a way no member is left to flag
+      // (SIGKILL, partition): re-import and re-derive the writes troupe
+      // before the next probe. A failed rebind just means the next
+      // probe fails too and we try again.
+      c->Invalidate(cfg.troupe);
+      circus::Status rebound = co_await BindReplFs(c, fs, cfg.troupe);
+      (void)rebound;
+    } else {
+      CIRCUS_LOG(LogLevel::kError)
+          << "txn " << i << " failed: " << status.ToString();
+      out->ok = false;
+      break;
+    }
+    if (cfg.resilient) {
+      co_await p->host()->SleepFor(sim::Duration::Millis(50));
+    }
+  }
+  out->finished = true;
+}
+
+int RunReplFsClient(const NodeConfig& config, Runtime& runtime,
+                    NodeObservability& node_obs, core::RpcProcess* process,
+                    binding::BindingCache* cache) {
+  apps::replfs::Client fs(process);
+  auto progress = std::make_shared<ReplFsProgress>();
+  process->host()->Spawn(
+      ReplFsClientLoop(&runtime, process, cache, &fs, config, progress));
+  runtime.RunUntil(
+      [progress] { return progress->finished || ShutdownRequested(); },
+      sim::Duration::Seconds(60 + config.calls));
+  if (config.verify) {
+    std::printf("verify=%s\n", progress->verified ? "ok" : "failed");
+    return FinishNode(runtime, node_obs, progress->verified ? 0 : 1);
+  }
+  const bool stopped_early = !progress->finished && ShutdownRequested();
+  if (!stopped_early && !config.resilient &&
+      (!progress->finished || !progress->ok ||
+       progress->latencies_ms.empty())) {
+    CIRCUS_LOG_AT(LogLevel::kError, runtime.now().nanos())
+        << "replfs client run failed";
+    return FinishNode(runtime, node_obs, 1);
+  }
+  double total = 0;
+  double min = 0;
+  double max = 0;
+  if (!progress->latencies_ms.empty()) {
+    min = progress->latencies_ms.front();
+    max = min;
+    for (double ms : progress->latencies_ms) {
+      total += ms;
+      min = ms < min ? ms : min;
+      max = ms > max ? ms : max;
+    }
+  }
+  const size_t ok_calls = progress->latencies_ms.size();
+  const double mean = ok_calls > 0 ? total / ok_calls : 0.0;
+  if (config.resilient) {
+    // Same availability line the nemesis parses for the echo workload.
+    std::printf(
+        "calls=%zu ok=%zu failed=%zu mean_ms=%.3f min_ms=%.3f "
+        "max_ms=%.3f\n",
+        ok_calls + progress->failed, ok_calls, progress->failed, mean, min,
+        max);
+  } else {
+    std::printf("calls=%zu mean_ms=%.3f min_ms=%.3f max_ms=%.3f\n",
+                ok_calls, mean, min, max);
+  }
   return FinishNode(runtime, node_obs, 0);
 }
 
@@ -335,6 +552,11 @@ int RunClient(const NodeConfig& config) {
   binding::BindingClient binding(
       &process, BootstrapRingmasterTroupe(config.ringmaster));
   binding::BindingCache cache(&binding);
+  if (config.workload == "replfs") {
+    // Deliberately no transparent troupe resolver (see the note above
+    // RunReplFsClient: it would rebind the derived writes troupe wrong).
+    return RunReplFsClient(config, runtime, node_obs, &process, &cache);
+  }
   process.SetClientTroupeResolver(cache.MakeResolver());
 
   struct Progress {

@@ -139,6 +139,7 @@ struct Testbed {
   std::string dir;
   std::string bin;
   uint64_t seed = 0;
+  std::string workload = "echo";
   NodeProc ringmaster;
   std::vector<NodeProc> members;
   NodeProc client;
@@ -413,6 +414,7 @@ struct Options {
   int actions = 6;
   int base_port = 38400;
   std::string json;
+  std::string workload = "echo";
 };
 
 bool ParseArgs(int argc, char** argv, Options* out) {
@@ -442,6 +444,12 @@ bool ParseArgs(int argc, char** argv, Options* out) {
       out->base_port = std::atoi(value.c_str());
     } else if (key == "json") {
       out->json = value;
+    } else if (key == "workload") {
+      if (value != "echo" && value != "replfs") {
+        std::fprintf(stderr, "nemesis: workload must be echo|replfs\n");
+        return false;
+      }
+      out->workload = value;
     } else {
       std::fprintf(stderr, "nemesis: unknown key '%s'\n", key.c_str());
       return false;
@@ -488,11 +496,20 @@ bool RunConvergenceClient(Testbed& bed, int attempt) {
   std::snprintf(name, sizeof(name), "verify-%u", verify.port);
   verify.base_name = name;
   char extra[256];
-  std::snprintf(extra, sizeof(extra),
-                "ringmaster = 127.0.0.1:%u\ntroupe = chaos\n"
-                "calls = 3\npayload = 16\ncollation = unanimous\n"
-                "procedure = 1\n",
-                bed.ringmaster.port);
+  if (bed.workload == "replfs") {
+    // The replfs oracle commits one known block and reads it back with
+    // unanimous collation (read-your-writes across the healed troupe).
+    std::snprintf(extra, sizeof(extra),
+                  "ringmaster = 127.0.0.1:%u\ntroupe = chaos\n"
+                  "workload = replfs\nverify = 1\npayload = 16\n",
+                  bed.ringmaster.port);
+  } else {
+    std::snprintf(extra, sizeof(extra),
+                  "ringmaster = 127.0.0.1:%u\ntroupe = chaos\n"
+                  "calls = 3\npayload = 16\ncollation = unanimous\n"
+                  "procedure = 1\n",
+                  bed.ringmaster.port);
+  }
   verify.extra = extra;
   SpawnNode(bed, verify);
   const int code = AwaitExit(verify.pid, 30000);
@@ -549,7 +566,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: circus_nemesis [seed=N] [dir=PATH] [bin=PATH] "
                  "[members=M] [horizon_s=S] [actions=N] [base_port=P] "
-                 "[json=PATH]\n");
+                 "[json=PATH] [workload=echo|replfs]\n");
     return 2;
   }
   struct sigaction sa {};
@@ -591,6 +608,7 @@ int Main(int argc, char** argv) {
   bed.dir = opt.dir;
   bed.bin = opt.bin;
   bed.seed = opt.seed;
+  bed.workload = opt.workload;
   const auto port_at = [&](int i) {
     return static_cast<uint16_t>(opt.base_port + i);
   };
@@ -609,8 +627,8 @@ int Main(int argc, char** argv) {
     char extra[160];
     std::snprintf(extra, sizeof(extra),
                   "ringmaster = 127.0.0.1:%u\ntroupe = chaos\n"
-                  "interface = chaos\n",
-                  bed.ringmaster.port);
+                  "interface = chaos\nworkload = %s\n",
+                  bed.ringmaster.port, bed.workload.c_str());
     member.extra = extra;
     bed.members.push_back(member);
   }
@@ -619,7 +637,17 @@ int Main(int argc, char** argv) {
   bed.client.stats_port = port_at(40 + opt.members + 1);
   bed.client.faults_port = port_at(80 + opt.members + 1);
   bed.client.base_name = "client-" + std::to_string(bed.client.port);
-  {
+  if (bed.workload == "replfs") {
+    // The availability probe: one single-block replfs transaction per
+    // probe (broadcast staging + troupe commit), paced at 50 ms.
+    char extra[200];
+    std::snprintf(extra, sizeof(extra),
+                  "ringmaster = 127.0.0.1:%u\ntroupe = chaos\n"
+                  "workload = replfs\ncalls = 1000000\npayload = 16\n"
+                  "resilient = 1\n",
+                  bed.ringmaster.port);
+    bed.client.extra = extra;
+  } else {
     // The availability probe: echo calls (stateless, so mid-chaos
     // partial deliveries cannot diverge member state) paced at 50 ms,
     // first-come collation so one reachable member is enough.
@@ -633,8 +661,10 @@ int Main(int argc, char** argv) {
   }
 
   std::fprintf(stderr,
-               "nemesis: seed=%" PRIu64 " dir=%s members=%d horizon=%ds\n",
-               opt.seed, bed.dir.c_str(), opt.members, opt.horizon_s);
+               "nemesis: seed=%" PRIu64
+               " dir=%s members=%d horizon=%ds workload=%s\n",
+               opt.seed, bed.dir.c_str(), opt.members, opt.horizon_s,
+               bed.workload.c_str());
 
   SpawnNode(bed, bed.ringmaster);
   SleepMillis(300);

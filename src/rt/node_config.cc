@@ -159,6 +159,17 @@ circus::StatusOr<NodeConfig> ParseNodeConfig(const std::string& text) {
         return ParseError("collation must be unanimous|first_come|majority");
       }
       config.collation = value;
+    } else if (key == "workload") {
+      if (value != "echo" && value != "replfs") {
+        return ParseError("workload must be echo|replfs");
+      }
+      config.workload = value;
+    } else if (key == "verify") {
+      circus::StatusOr<int> v = ParseInt(key, value);
+      if (!v.ok()) {
+        return v.status();
+      }
+      config.verify = *v != 0;
     } else if (key == "procedure") {
       circus::StatusOr<int> v = ParseInt(key, value);
       if (!v.ok()) {

@@ -25,6 +25,9 @@
 //                                  # failures (availability probe mode)
 //   collation = unanimous          # client: unanimous|first_come|majority
 //   procedure = 0                  # client: procedure number to call
+//   workload = echo                # application: echo | replfs
+//   verify = 0                     # replfs client: 1 = one read-your-
+//                                  # writes convergence check, then exit
 #ifndef SRC_RT_NODE_CONFIG_H_
 #define SRC_RT_NODE_CONFIG_H_
 
@@ -56,6 +59,8 @@ struct NodeConfig {
   bool resilient = false;       // client keeps calling through failures
   std::string collation = "unanimous";  // client reply collation
   int procedure = 0;            // client procedure number
+  std::string workload = "echo";  // member/client application
+  bool verify = false;          // replfs client: convergence probe mode
 
   // The configured node_name, or the "<role>-<port>" default.
   std::string DisplayName() const;

@@ -30,6 +30,19 @@ namespace circus::stubgen {
 struct Type;
 using TypePtr = std::shared_ptr<Type>;
 
+// Position of a construct in the IDL source, carried through the AST so
+// semantic diagnostics (duplicate numbers, undeclared references) can
+// point at the offending declaration, not just fail.
+struct SourcePos {
+  int line = 0;    // 1-based; 0 = unknown
+  int column = 0;  // 1-based byte offset in the line
+
+  std::string ToString() const {
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+};
+
 enum class Predefined {
   kBoolean,
   kCardinal,      // 16-bit unsigned
@@ -42,6 +55,7 @@ enum class Predefined {
 
 struct NamedType {
   std::string name;  // reference to a TYPE declaration
+  SourcePos pos;     // where the reference appears
 };
 
 struct SequenceType {
@@ -85,11 +99,13 @@ struct Type {
 struct TypeDecl {
   std::string name;
   TypePtr type;
+  SourcePos pos;
 };
 
 struct ErrorDecl {
   std::string name;
   int code = 0;
+  SourcePos pos;
 };
 
 struct ProcedureDecl {
@@ -98,6 +114,7 @@ struct ProcedureDecl {
   std::vector<Field> arguments;
   std::vector<Field> results;
   std::vector<std::string> reports;  // names of ERROR declarations
+  SourcePos pos;
 };
 
 struct Program {

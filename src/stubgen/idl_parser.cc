@@ -32,6 +32,13 @@ struct Token {
   std::string text;
   long number = 0;
   int line = 1;
+  int column = 1;
+
+  SourcePos pos() const { return SourcePos{line, column}; }
+  // How the token reads in a diagnostic: the offending text, quoted.
+  std::string Describe() const {
+    return kind == kEnd ? "end of input" : "'" + text + "'";
+  }
 };
 
 class Lexer {
@@ -42,8 +49,9 @@ class Lexer {
     std::vector<Token> out;
     while (true) {
       SkipSpaceAndComments();
+      const int col = Column();
       if (pos_ >= src_.size()) {
-        out.push_back({Token::kEnd, "", 0, line_});
+        out.push_back({Token::kEnd, "", 0, line_, col});
         return out;
       }
       const char c = src_[pos_];
@@ -56,7 +64,7 @@ class Lexer {
         }
         out.push_back({Token::kIdent,
                        std::string(src_.substr(start, pos_ - start)), 0,
-                       line_});
+                       line_, col});
         continue;
       }
       if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -66,66 +74,66 @@ class Lexer {
           ++pos_;
         }
         Token t{Token::kNumber,
-                std::string(src_.substr(start, pos_ - start)), 0, line_};
+                std::string(src_.substr(start, pos_ - start)), 0, line_, col};
         t.number = std::stol(t.text);
         out.push_back(t);
         continue;
       }
       switch (c) {
         case ':':
-          out.push_back({Token::kColon, ":", 0, line_});
+          out.push_back({Token::kColon, ":", 0, line_, col});
           ++pos_;
           continue;
         case ';':
-          out.push_back({Token::kSemicolon, ";", 0, line_});
+          out.push_back({Token::kSemicolon, ";", 0, line_, col});
           ++pos_;
           continue;
         case ',':
-          out.push_back({Token::kComma, ",", 0, line_});
+          out.push_back({Token::kComma, ",", 0, line_, col});
           ++pos_;
           continue;
         case '=':
           if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '>') {
-            out.push_back({Token::kArrow, "=>", 0, line_});
+            out.push_back({Token::kArrow, "=>", 0, line_, col});
             pos_ += 2;
           } else {
-            out.push_back({Token::kEquals, "=", 0, line_});
+            out.push_back({Token::kEquals, "=", 0, line_, col});
             ++pos_;
           }
           continue;
         case '[':
-          out.push_back({Token::kLBracket, "[", 0, line_});
+          out.push_back({Token::kLBracket, "[", 0, line_, col});
           ++pos_;
           continue;
         case ']':
-          out.push_back({Token::kRBracket, "]", 0, line_});
+          out.push_back({Token::kRBracket, "]", 0, line_, col});
           ++pos_;
           continue;
         case '{':
-          out.push_back({Token::kLBrace, "{", 0, line_});
+          out.push_back({Token::kLBrace, "{", 0, line_, col});
           ++pos_;
           continue;
         case '}':
-          out.push_back({Token::kRBrace, "}", 0, line_});
+          out.push_back({Token::kRBrace, "}", 0, line_, col});
           ++pos_;
           continue;
         case '(':
-          out.push_back({Token::kLParen, "(", 0, line_});
+          out.push_back({Token::kLParen, "(", 0, line_, col});
           ++pos_;
           continue;
         case ')':
-          out.push_back({Token::kRParen, ")", 0, line_});
+          out.push_back({Token::kRParen, ")", 0, line_, col});
           ++pos_;
           continue;
         case '.':
-          out.push_back({Token::kDot, ".", 0, line_});
+          out.push_back({Token::kDot, ".", 0, line_, col});
           ++pos_;
           continue;
         default:
           return circus::Status(
               ErrorCode::kInvalidArgument,
-              std::string("unexpected character '") + c + "' at line " +
-                  std::to_string(line_));
+              std::string("unexpected character '") + c + "' at " +
+                  SourcePos{line_, col}.ToString());
       }
     }
   }
@@ -137,6 +145,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '-' && pos_ + 1 < src_.size() &&
@@ -150,8 +159,11 @@ class Lexer {
     }
   }
 
+  int Column() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
   std::string_view src_;
   size_t pos_ = 0;
+  size_t line_start_ = 0;
   int line_ = 1;
 };
 
@@ -204,6 +216,7 @@ class Parser {
     if (Peek().kind != Token::kIdent) {
       return Error("expected declaration name");
     }
+    const SourcePos decl_pos = Peek().pos();
     const std::string name = Next().text;
     if (!Consume(Token::kColon)) {
       return Error("expected ':' after '" + name + "'");
@@ -219,7 +232,7 @@ class Parser {
       if (!Consume(Token::kSemicolon)) {
         return Error("expected ';' after TYPE declaration");
       }
-      program.types.push_back(TypeDecl{name, std::move(*type)});
+      program.types.push_back(TypeDecl{name, std::move(*type), decl_pos});
       return circus::Status::Ok();
     }
     if (ConsumeKeyword("ERROR")) {
@@ -230,12 +243,13 @@ class Parser {
       if (!Consume(Token::kSemicolon)) {
         return Error("expected ';' after ERROR declaration");
       }
-      program.errors.push_back(ErrorDecl{name, code});
+      program.errors.push_back(ErrorDecl{name, code, decl_pos});
       return circus::Status::Ok();
     }
     if (ConsumeKeyword("PROCEDURE")) {
       ProcedureDecl proc;
       proc.name = name;
+      proc.pos = decl_pos;
       if (Peek().kind == Token::kLBracket) {
         circus::StatusOr<std::vector<Field>> args = ParseFieldList();
         if (!args.ok()) {
@@ -421,7 +435,8 @@ class Parser {
       return make(std::move(c));
     }
     if (Peek().kind == Token::kIdent) {
-      return make(NamedType{Next().text});
+      const SourcePos pos = Peek().pos();
+      return make(NamedType{Next().text, pos});
     }
     return Error("expected a type");
   }
@@ -431,37 +446,40 @@ class Parser {
     std::set<std::string> names;
     for (const TypeDecl& t : program.types) {
       if (!names.insert(t.name).second) {
-        return circus::Status(ErrorCode::kInvalidArgument,
-                              "duplicate declaration: " + t.name);
+        return SemanticError("duplicate declaration '" + t.name + "'",
+                             t.pos);
       }
     }
     std::set<int> error_codes;
     for (const ErrorDecl& e : program.errors) {
       if (!names.insert(e.name).second) {
-        return circus::Status(ErrorCode::kInvalidArgument,
-                              "duplicate declaration: " + e.name);
+        return SemanticError("duplicate declaration '" + e.name + "'",
+                             e.pos);
       }
       if (!error_codes.insert(e.code).second) {
-        return circus::Status(
-            ErrorCode::kInvalidArgument,
-            "duplicate error code: " + std::to_string(e.code));
+        return SemanticError("duplicate error code " +
+                                 std::to_string(e.code) + " ('" + e.name +
+                                 "')",
+                             e.pos);
       }
     }
     std::set<int> proc_numbers;
     for (const ProcedureDecl& p : program.procedures) {
       if (!names.insert(p.name).second) {
-        return circus::Status(ErrorCode::kInvalidArgument,
-                              "duplicate declaration: " + p.name);
+        return SemanticError("duplicate declaration '" + p.name + "'",
+                             p.pos);
       }
       if (!proc_numbers.insert(p.number).second) {
-        return circus::Status(
-            ErrorCode::kInvalidArgument,
-            "duplicate procedure number: " + std::to_string(p.number));
+        return SemanticError("duplicate procedure number " +
+                                 std::to_string(p.number) + " ('" + p.name +
+                                 "')",
+                             p.pos);
       }
       for (const std::string& r : p.reports) {
         if (program.FindError(r) == nullptr) {
-          return circus::Status(ErrorCode::kInvalidArgument,
-                                p.name + " REPORTS undeclared error " + r);
+          return SemanticError(
+              "'" + p.name + "' REPORTS undeclared error '" + r + "'",
+              p.pos);
         }
       }
       for (const Field& f : p.arguments) {
@@ -489,8 +507,8 @@ class Parser {
   circus::Status CheckType(const Program& program, const TypePtr& type) {
     if (const NamedType* n = std::get_if<NamedType>(&type->node)) {
       if (program.FindType(n->name) == nullptr) {
-        return circus::Status(ErrorCode::kInvalidArgument,
-                              "reference to undeclared type " + n->name);
+        return SemanticError(
+            "reference to undeclared type '" + n->name + "'", n->pos);
       }
       return circus::Status::Ok();
     }
@@ -541,9 +559,15 @@ class Parser {
     return false;
   }
   circus::Status Error(const std::string& message) const {
-    return circus::Status(
-        ErrorCode::kInvalidArgument,
-        message + " at line " + std::to_string(Peek().line));
+    const Token& t = Peek();
+    return circus::Status(ErrorCode::kInvalidArgument,
+                          message + " at " + t.pos().ToString() + ", found " +
+                              t.Describe());
+  }
+  static circus::Status SemanticError(const std::string& message,
+                                      const SourcePos& pos) {
+    return circus::Status(ErrorCode::kInvalidArgument,
+                          message + " at " + pos.ToString());
   }
 
   std::vector<Token> tokens_;

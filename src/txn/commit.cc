@@ -167,7 +167,20 @@ Task<StatusOr<circus::Bytes>> TransactionalServer::HandleFinish(
   // operations failed here (deadlock / lock timeout poisoned it).
   const bool vote =
       vote_hook_ ? vote_hook_(txn) : !store_->Poisoned(txn);
-  PublishTxnEvent(process_, obs::EventKind::kTxnVote, txn, vote ? 1 : 0,
+  const bool decision = co_await FinishTransaction(
+      process_, store_.get(), txn, coordinator, vote);
+  marshal::Writer out;
+  out.WriteBool(decision);
+  co_return out.Take();
+}
+
+// ---------------------------------------------------------------------
+// FinishTransaction
+
+Task<bool> FinishTransaction(core::RpcProcess* process, TxnStore* store,
+                             const TxnId& txn, const Troupe& coordinator,
+                             bool vote) {
+  PublishTxnEvent(process, obs::EventKind::kTxnVote, txn, vote ? 1 : 0,
                   txn.ToString());
   // Call ready_to_commit back at the client troupe. The roles of client
   // and server are reversed here (Section 5.3). Each server troupe
@@ -178,8 +191,8 @@ Task<StatusOr<circus::Bytes>> TransactionalServer::HandleFinish(
   w.WriteBool(vote);
   core::CallOptions opts;
   opts.as_unreplicated_client = true;
-  StatusOr<circus::Bytes> reply = co_await process_->Call(
-      process_->NewRootThread(), coordinator,
+  StatusOr<circus::Bytes> reply = co_await process->Call(
+      process->NewRootThread(), coordinator,
       coordinator.members.front().module, kReadyToCommit, w.Take(), opts);
   bool decision = false;
   if (reply.ok()) {
@@ -190,7 +203,7 @@ Task<StatusOr<circus::Bytes>> TransactionalServer::HandleFinish(
     }
   }
   if (decision) {
-    Status commit = store_->Commit(txn);
+    Status commit = store->Commit(txn);
     if (!commit.ok()) {
       CIRCUS_LOG(LogLevel::kWarning)
           << "commit of " << txn.ToString()
@@ -199,11 +212,9 @@ Task<StatusOr<circus::Bytes>> TransactionalServer::HandleFinish(
     }
   }
   if (!decision) {
-    store_->Abort(txn);
+    store->Abort(txn);
   }
-  marshal::Writer out;
-  out.WriteBool(decision);
-  co_return out.Take();
+  co_return decision;
 }
 
 // ---------------------------------------------------------------------

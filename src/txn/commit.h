@@ -122,6 +122,19 @@ class TransactionalServer {
   std::function<bool(const TxnId&)> vote_hook_;
 };
 
+// The server half of the commit protocol, factored out of
+// TransactionalServer so that applications exporting their own modules
+// (e.g. stub-generated ones under src/apps/) can participate in troupe
+// commit without the reserved kFinishTransaction procedure: publishes
+// the member's vote, calls ready_to_commit back at the client's
+// coordinator troupe, applies the joint decision to `store` (commit on
+// true -- downgraded to abort if the local commit fails -- abort on
+// false), and returns the decision.
+sim::Task<bool> FinishTransaction(core::RpcProcess* process,
+                                  TxnStore* store, const TxnId& txn,
+                                  const core::Troupe& coordinator,
+                                  bool vote);
+
 struct RunTransactionOptions {
   int max_attempts = 8;
   sim::Duration decision_timeout = sim::Duration::Seconds(2);

@@ -10,12 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "gen/apps/replfs.h"  // generated at build time
 #include "gen/name_server.h"  // generated at build time
 #include "src/common/check.h"
 #include "src/net/world.h"
 #include "tests/test_util.h"
 
 namespace ns = circus::idl::NameServer;
+namespace rfs = circus::idl::ReplFs;
 
 namespace {
 
@@ -248,6 +250,74 @@ TEST_F(GeneratedStubTest, SurvivesMemberCrash) {
   ASSERT_TRUE(reg.ok()) << reg.status().ToString();
   EXPECT_EQ(impls_[0]->size(), 1u);
   EXPECT_EQ(impls_[2]->size(), 1u);
+}
+
+// --- generated marshaling of CHOICE over nested SEQUENCE OF RECORD ---
+// The replfs Manifest is a CHOICE whose `files` arm is a SEQUENCE OF
+// FileInfo, and each FileInfo carries a SEQUENCE OF Extent: the deepest
+// constructed-type nesting any in-tree interface produces.
+
+rfs::Manifest MakeFilesManifest() {
+  std::vector<rfs::FileInfo> files;
+  rfs::FileInfo a;
+  a.name = "alpha";
+  a.blocks = 3;
+  a.extents = {rfs::Extent{0, 16}, rfs::Extent{2, 8}};
+  rfs::FileInfo b;
+  b.name = "beta";
+  b.blocks = 1;
+  b.extents = {rfs::Extent{0, 4}};
+  files.push_back(std::move(a));
+  files.push_back(std::move(b));
+  return rfs::Manifest{std::in_place_index<1>, std::move(files)};
+}
+
+TEST(GeneratedChoiceMarshalingTest, NestedSequenceOfRecordRoundTrips) {
+  const rfs::Manifest manifest = MakeFilesManifest();
+  circus::marshal::Writer w;
+  rfs::Write_Manifest(w, manifest);
+  const Bytes bytes = w.Take();
+  circus::marshal::Reader r(bytes);
+  const rfs::Manifest back = rfs::Read_Manifest(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back, manifest);
+}
+
+TEST(GeneratedChoiceMarshalingTest, EmptyArmRoundTrips) {
+  const rfs::Manifest manifest{std::in_place_index<0>, uint16_t{0}};
+  circus::marshal::Writer w;
+  rfs::Write_Manifest(w, manifest);
+  const Bytes bytes = w.Take();
+  circus::marshal::Reader r(bytes);
+  const rfs::Manifest back = rfs::Read_Manifest(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back, manifest);
+}
+
+TEST(GeneratedChoiceMarshalingTest, EveryTruncationIsRejected) {
+  circus::marshal::Writer w;
+  rfs::Write_Manifest(w, MakeFilesManifest());
+  const Bytes bytes = w.Take();
+  ASSERT_GT(bytes.size(), 8u);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    const Bytes prefix(bytes.begin(), bytes.begin() + cut);
+    circus::marshal::Reader r(prefix);
+    (void)rfs::Read_Manifest(r);
+    // A strict prefix must never decode as a complete, valid Manifest:
+    // the reader either poisons or stops short of a clean AtEnd.
+    EXPECT_FALSE(r.ok() && r.AtEnd()) << "prefix length " << cut;
+  }
+}
+
+TEST(GeneratedChoiceMarshalingTest, UnknownTagPoisonsTheReader) {
+  circus::marshal::Writer w;
+  w.WriteUnionTag(7);  // no such arm
+  const Bytes bytes = w.Take();
+  circus::marshal::Reader r(bytes);
+  (void)rfs::Read_Manifest(r);
+  EXPECT_FALSE(r.ok());
 }
 
 }  // namespace

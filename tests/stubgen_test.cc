@@ -153,6 +153,95 @@ TEST(IdlParserTest, RejectsGarbage) {
   EXPECT_FALSE(ParseProgram("X: PROGRAM 1 VERSION 1 = BEGIN @ END.").ok());
 }
 
+// Every diagnostic names the offending construct and carries a source
+// position (line and column), so a build failure in a large .idl points
+// straight at the bad declaration.
+std::string ErrorMessage(std::string_view source) {
+  StatusOr<Program> p = ParseProgram(source);
+  EXPECT_FALSE(p.ok()) << "expected a parse failure";
+  return p.ok() ? std::string() : p.status().ToString();
+}
+
+TEST(IdlParserTest, DiagnosticsCarryLineColumnAndToken) {
+  // Lexer: unexpected character, with its exact position.
+  EXPECT_NE(ErrorMessage("X: PROGRAM 1 VERSION 1 = BEGIN\n  @ END.\n")
+                .find("unexpected character '@' at line 2, column 3"),
+            std::string::npos);
+
+  // Syntax: the diagnostic shows what was found instead.
+  const std::string missing_semi = ErrorMessage(R"(T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: TYPE = STRING
+  B: TYPE = CARDINAL;
+END.
+)");
+  EXPECT_NE(missing_semi.find("expected ';' after TYPE declaration"),
+            std::string::npos)
+      << missing_semi;
+  EXPECT_NE(missing_semi.find("at line 4, column 3"), std::string::npos)
+      << missing_semi;
+  EXPECT_NE(missing_semi.find("found 'B'"), std::string::npos)
+      << missing_semi;
+}
+
+TEST(IdlParserTest, SemanticDiagnosticsNameTheOffender) {
+  // Reference to an undeclared type: position of the reference itself.
+  const std::string undeclared = ErrorMessage(R"(T: PROGRAM 1 VERSION 1 =
+BEGIN
+  P: PROCEDURE [x: Mystery] = 0;
+END.
+)");
+  EXPECT_NE(
+      undeclared.find(
+          "reference to undeclared type 'Mystery' at line 3, column 20"),
+      std::string::npos)
+      << undeclared;
+
+  // Duplicate procedure number: names the second procedure and where it
+  // was declared.
+  const std::string dup_number = ErrorMessage(R"(T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: PROCEDURE = 0;
+  B: PROCEDURE = 0;
+END.
+)");
+  EXPECT_NE(dup_number.find(
+                "duplicate procedure number 0 ('B') at line 4, column 3"),
+            std::string::npos)
+      << dup_number;
+
+  const std::string dup_decl = ErrorMessage(R"(T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: TYPE = STRING;
+  A: TYPE = CARDINAL;
+END.
+)");
+  EXPECT_NE(dup_decl.find("duplicate declaration 'A' at line 4, column 3"),
+            std::string::npos)
+      << dup_decl;
+
+  const std::string dup_code = ErrorMessage(R"(T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: ERROR = 7;
+  B: ERROR = 7;
+END.
+)");
+  EXPECT_NE(
+      dup_code.find("duplicate error code 7 ('B') at line 4, column 3"),
+      std::string::npos)
+      << dup_code;
+
+  const std::string bad_report = ErrorMessage(R"(T: PROGRAM 1 VERSION 1 =
+BEGIN
+  A: PROCEDURE REPORTS [Nope] = 0;
+END.
+)");
+  EXPECT_NE(bad_report.find(
+                "'A' REPORTS undeclared error 'Nope' at line 3, column 3"),
+            std::string::npos)
+      << bad_report;
+}
+
 TEST(CodegenTest, HeaderContainsExpectedDeclarations) {
   StatusOr<Program> p = ParseProgram(kFigure72);
   ASSERT_TRUE(p.ok());
