@@ -33,30 +33,8 @@ using circus::rt::Runtime;
 using circus::sim::Duration;
 using circus::sim::Task;
 
-struct LatencyStats {
-  int calls = 0;
-  double mean_ms = 0;
-  double min_ms = 0;
-  double max_ms = 0;
-};
-
-LatencyStats Summarize(const std::vector<double>& samples) {
-  LatencyStats s;
-  s.calls = static_cast<int>(samples.size());
-  if (samples.empty()) {
-    return s;
-  }
-  s.min_ms = samples.front();
-  s.max_ms = samples.front();
-  double total = 0;
-  for (double ms : samples) {
-    total += ms;
-    s.min_ms = ms < s.min_ms ? ms : s.min_ms;
-    s.max_ms = ms > s.max_ms ? ms : s.max_ms;
-  }
-  s.mean_ms = total / s.calls;
-  return s;
-}
+using circus::bench::SampleStats;
+using circus::bench::Summarize;
 
 // ------------------------------------------------------- raw UDP echo --
 
@@ -81,7 +59,7 @@ Task<void> UdpEchoClient(Runtime* runtime, DatagramSocket* socket,
   *done = true;
 }
 
-LatencyStats RunRawUdpEcho(int calls, int payload_bytes) {
+SampleStats RunRawUdpEcho(int calls, int payload_bytes) {
   Runtime runtime;
   circus::sim::Host* client_host = runtime.AddHost("client");
   circus::sim::Host* server_host = runtime.AddHost("server");
@@ -117,8 +95,8 @@ Task<void> CircusEchoClient(Runtime* runtime, RpcProcess* process,
   *done = true;
 }
 
-LatencyStats RunCircusEchoReal(int degree, int calls, int payload_bytes,
-                               circus::obs::MetricsRegistry::Snapshot* snap) {
+SampleStats RunCircusEchoReal(int degree, int calls, int payload_bytes,
+                              circus::obs::MetricsRegistry::Snapshot* snap) {
   Runtime runtime;
 
   Troupe troupe;
@@ -158,15 +136,16 @@ LatencyStats RunCircusEchoReal(int degree, int calls, int payload_bytes,
 }
 
 void PrintRow(circus::bench::BenchReport& report, const char* label,
-              const LatencyStats& s, double paper_real_ms) {
-  std::printf("%-8s %6d %10.4f %10.4f %10.4f   | %8.1f\n", label, s.calls,
-              s.mean_ms, s.min_ms, s.max_ms, paper_real_ms);
+              const SampleStats& s, double paper_real_ms) {
+  std::printf("%-8s %6zu %10.4f %10.4f %10.4f %10.4f   | %8.1f\n", label,
+              s.count, s.mean, s.min, s.p99, s.max, paper_real_ms);
   report.AddRow("realnet")
       .Set("degree", label)
-      .Set("calls", s.calls)
-      .Set("mean_ms", s.mean_ms)
-      .Set("min_ms", s.min_ms)
-      .Set("max_ms", s.max_ms)
+      .Set("calls", static_cast<uint64_t>(s.count))
+      .Set("mean_ms", s.mean)
+      .Set("min_ms", s.min)
+      .Set("p99_ms", s.p99)
+      .Set("max_ms", s.max)
       .Set("paper_real_ms", paper_real_ms);
 }
 
@@ -212,8 +191,8 @@ int main(int argc, char** argv) {
   std::printf("Table 4.1 over real loopback UDP "
               "(ms per call, %d-call average, %d-byte payload)\n",
               kCalls, kPayload);
-  std::printf("%-8s %6s %10s %10s %10s   | %8s\n", "degree", "calls",
-              "mean", "min", "max", "real*");
+  std::printf("%-8s %6s %10s %10s %10s %10s   | %8s\n", "degree", "calls",
+              "mean", "min", "p99", "max", "real*");
   std::printf("%60s | (* = paper, VAX-11/750 Ethernet)\n", "");
 
   PrintRow(report, "(UDP)", RunRawUdpEcho(kCalls, kPayload), 26.5);

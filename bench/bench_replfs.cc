@@ -138,16 +138,12 @@ RunResult RunReplFsLoad(int members, int txns) {
   const double elapsed_s = (finished_at - t0).ToSecondsF();
 
   RunResult r;
-  r.min_commit_ms = latencies.front();
-  r.max_commit_ms = latencies.front();
-  double total = 0;
-  for (double ms : latencies) {
-    total += ms;
-    r.min_commit_ms = ms < r.min_commit_ms ? ms : r.min_commit_ms;
-    r.max_commit_ms = ms > r.max_commit_ms ? ms : r.max_commit_ms;
-  }
-  r.mean_commit_ms = total / latencies.size();
-  r.txns_per_second = latencies.size() / elapsed_s;
+  const circus::bench::SampleStats stats =
+      circus::bench::Summarize(latencies);
+  r.mean_commit_ms = stats.mean;
+  r.min_commit_ms = stats.min;
+  r.max_commit_ms = stats.max;
+  r.txns_per_second = static_cast<double>(stats.count) / elapsed_s;
 
   bool read_done = false;
   world.executor().Spawn(

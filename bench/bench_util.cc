@@ -1,11 +1,45 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "src/marshal/marshal.h"
 #include "src/obs/export.h"
 
 namespace circus::bench {
+
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Nearest rank: the ceil(p*n)-th sample, 1-based.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+SampleStats Summarize(std::vector<double> samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  double total = 0;
+  for (double v : samples) {
+    total += v;
+  }
+  s.mean = total / static_cast<double>(s.count);
+  s.p50 = SortedPercentile(samples, 0.50);
+  s.p90 = SortedPercentile(samples, 0.90);
+  s.p99 = SortedPercentile(samples, 0.99);
+  return s;
+}
 
 BenchReport::BenchReport(std::string name, int argc, char** argv)
     : name_(std::move(name)) {
@@ -72,13 +106,13 @@ using sim::Syscall;
 using sim::SyscallCostModel;
 using sim::Task;
 
-namespace {
-
-net::FaultPlan TestbedPlan() {
+net::FaultPlan TestbedFaultPlan() {
   net::FaultPlan plan;
   plan.base_delay = kPacketDelay;
   return plan;
 }
+
+namespace {
 
 constexpr int kEchoBytes = 16;  // single-segment call and return
 
@@ -86,7 +120,7 @@ constexpr int kEchoBytes = 16;  // single-segment call and return
 
 EchoTimings RunUdpEcho(int calls) {
   net::World world(1001, SyscallCostModel::Berkeley42Bsd());
-  world.network().set_default_fault_plan(TestbedPlan());
+  world.network().set_default_fault_plan(TestbedFaultPlan());
   sim::Host* client_host = world.AddHost("client");
   sim::Host* server_host = world.AddHost("server");
   net::DatagramSocket client(&world.network(), client_host, 2000);
@@ -133,7 +167,7 @@ EchoTimings RunUdpEcho(int calls) {
 
 EchoTimings RunTcpEcho(int calls) {
   net::World world(1002, SyscallCostModel::Berkeley42Bsd());
-  world.network().set_default_fault_plan(TestbedPlan());
+  world.network().set_default_fault_plan(TestbedFaultPlan());
   sim::Host* client_host = world.AddHost("client");
   sim::Host* server_host = world.AddHost("server");
   net::StreamListener listener(&world.network(), server_host, 2001);
@@ -186,7 +220,7 @@ EchoTimings RunTcpEcho(int calls) {
 EchoTimings RunCircusEcho(int replication, int calls,
                           sim::CpuStats* client_cpu_out) {
   net::World world(1003, SyscallCostModel::Berkeley42Bsd());
-  world.network().set_default_fault_plan(TestbedPlan());
+  world.network().set_default_fault_plan(TestbedFaultPlan());
 
   core::RpcOptions options;
   options.client_user_cost_base = kClientUserBase;

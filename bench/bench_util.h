@@ -58,6 +58,27 @@ class BenchReport {
   obs::json::Value notes_ = obs::json::Value::Object();
 };
 
+// Exact sample statistics for bench tables: sorted-sample percentiles
+// (nearest-rank), unlike obs::Histogram's power-of-two bucket
+// estimates. Every bench that reports a latency distribution derives
+// its row from one of these instead of hand-rolling min/max/mean loops.
+struct SampleStats {
+  size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+// Nearest-rank percentile over an ascending-sorted sample vector;
+// p in [0, 1]. 0 with no samples.
+double SortedPercentile(const std::vector<double>& sorted, double p);
+
+// Summarizes `samples` (taken by value: sorted in place).
+SampleStats Summarize(std::vector<double> samples);
+
 // Calibration of the simulated testbed against the paper's measurements:
 //  * network propagation + interrupt latency per packet (Table 4.1's
 //    26.5 ms UDP round trip = 13.3 ms client CPU + 10.9 ms server CPU +
@@ -69,6 +90,11 @@ inline constexpr sim::Duration kClientUserBase = sim::Duration::MillisF(2.9);
 inline constexpr sim::Duration kClientUserPerMember =
     sim::Duration::MillisF(3.0);
 inline constexpr sim::Duration kServerUser = sim::Duration::MillisF(2.0);
+
+// Fault plan implementing the calibrated testbed's network: every
+// packet delayed by kPacketDelay, no loss. Benches that build their own
+// World install this via set_default_fault_plan.
+net::FaultPlan TestbedFaultPlan();
 
 struct EchoTimings {
   double real_ms = 0;

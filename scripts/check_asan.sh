@@ -48,8 +48,16 @@ if ! ctest --test-dir build-asan -L apps --output-on-failure >/dev/null; then
   failures=$((failures + 1))
 fi
 
+# And the obs slice: the latency attributor buffers whole event streams
+# per pending call while coroutine protocol code publishes into it — a
+# use-after-free anywhere in that handoff shows up here case by case.
+if ! ctest --test-dir build-asan -L obs --output-on-failure >/dev/null; then
+  echo "FAIL: ctest -L obs under ASan"
+  failures=$((failures + 1))
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "check_asan: $failures test binary(ies) failed" >&2
   exit 1
 fi
-echo "check_asan: all test binaries clean under ASan (incl. ctest -L wire/chaos_rt/apps)"
+echo "check_asan: all test binaries clean under ASan (incl. ctest -L wire/chaos_rt/apps/obs)"

@@ -111,6 +111,33 @@ for path in files:
                     errs.append(
                         f'realnet_metrics row {i}: collator_wait_count '
                         f'is 0 (the histogram was not recorded)')
+    # bench_throughput must report all three load tables — the
+    # trend-gated sim sweep, its stage attribution, and the wall-clock
+    # rt run — with the load columns the trend gate compares.
+    if name == "BENCH_throughput.json" and isinstance(tables, dict):
+        load_cols = [
+            "members", "offered_per_sec", "achieved_per_sec",
+            "completed", "shed", "p50_ms", "p99_ms", "max_ms",
+            "retransmits",
+        ]
+        for tname, required in [
+            ("sim_load", load_cols),
+            ("rt_wallclock", load_cols),
+            ("sim_stages", ["members", "offered_per_sec", "stage",
+                            "count", "p50_us", "p99_us", "share_pct"]),
+        ]:
+            rows = tables.get(tname)
+            if not isinstance(rows, list) or not rows:
+                errs.append(f'"{tname}" table missing or empty')
+                continue
+            for i, row in enumerate(rows):
+                missing = [k for k in required if k not in row]
+                if missing:
+                    errs.append(f'{tname} row {i} missing: {missing}')
+        if isinstance(tables.get("sim_load"), list):
+            if not any(row.get("completed", 0) > 0
+                       for row in tables["sim_load"]):
+                errs.append("sim_load completed no calls at any rate")
     if errs:
         ok = False
         for e in errs:

@@ -1,11 +1,14 @@
 #!/bin/sh
-# Guards the latency tables against regressions: re-runs every bench in
-# --quick --json mode and compares each latency-like column (*_ms, *_us,
-# *latency*) row-by-row against the committed bench/baselines/ snapshot,
-# failing when a value regressed by more than 25%. Only simulated-time
-# benches are compared — bench_realnet and bench_micro measure wall
-# clock on whatever machine runs this, so their numbers are noise here
-# (they are still run, so a crash is caught).
+# Guards the bench tables against regressions, direction-aware: re-runs
+# every bench in --quick --json mode and compares row-by-row against the
+# committed bench/baselines/ snapshot. Latency-like columns (*_ms, *_us,
+# *latency*) regress when they RISE more than 25%; throughput-like
+# columns (*_per_sec, *throughput*) regress when they DROP more than
+# 25%. Only simulated-time numbers are compared — bench_realnet and
+# bench_micro measure wall clock on whatever machine runs this, and so
+# do tables whose name marks them wall-clock (e.g. bench_throughput's
+# "rt_wallclock"), so those are noise here (the benches are still run,
+# so a crash is caught).
 #
 # When a protocol change legitimately moves a number, regenerate the
 # baseline: run the bench with --quick --json and copy the BENCH_*.json
@@ -46,14 +49,24 @@ done
 python3 - "$baseline_dir" "$out_dir" <<'EOF' || failures=$((failures + 1))
 import glob, json, os, sys
 
-THRESHOLD = 1.25      # fail when fresh > baseline * THRESHOLD
-ABS_FLOOR_MS = 0.5    # ignore sub-floor baselines: all jitter, no signal
+THRESHOLD = 1.25       # latency fails when fresh > baseline * THRESHOLD
+DROP_THRESHOLD = 0.75  # throughput fails when fresh < baseline * DROP_THRESHOLD
+ABS_FLOOR_MS = 0.5     # ignore sub-floor baselines: all jitter, no signal
+ABS_FLOOR_RATE = 1.0   # likewise for sub-1/s throughput baselines
 WALL_CLOCK = {"BENCH_realnet.json", "BENCH_micro.json",
               "BENCH_chaos_rt.json"}
 
 def latency_key(key):
     k = key.lower()
     return k.endswith("_ms") or k.endswith("_us") or "latency" in k
+
+def throughput_key(key):
+    k = key.lower()
+    return (k.endswith("_per_sec") or k.endswith("_per_second")
+            or "throughput" in k)
+
+def wall_clock_table(tname):
+    return "wallclock" in tname.lower()
 
 baseline_dir, fresh_dir = sys.argv[1], sys.argv[2]
 ok = True
@@ -83,9 +96,13 @@ for base_path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
                 f'table "{tname}" changed shape: '
                 f'{len(base_rows)} -> {len(fresh_rows)} row(s)')
             continue
+        if wall_clock_table(tname):
+            continue
         for i, (brow, frow) in enumerate(zip(base_rows, fresh_rows)):
             for key, bval in brow.items():
-                if not latency_key(key):
+                is_latency = latency_key(key)
+                is_throughput = not is_latency and throughput_key(key)
+                if not (is_latency or is_throughput):
                     continue
                 if not isinstance(bval, (int, float)) or isinstance(bval, bool):
                     continue
@@ -94,18 +111,25 @@ for base_path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
                     file_failures.append(
                         f'{tname}[{i}].{key}: no longer numeric')
                     continue
-                floor = ABS_FLOOR_MS if key.lower().endswith("_ms") else 0.0
                 checked += 1
-                if bval > floor and fval > bval * THRESHOLD:
-                    file_failures.append(
-                        f'{tname}[{i}].{key}: {bval:g} -> {fval:g} '
-                        f'(+{(fval / bval - 1) * 100:.0f}%, limit +25%)')
+                if is_latency:
+                    floor = (ABS_FLOOR_MS if key.lower().endswith("_ms")
+                             else 0.0)
+                    if bval > floor and fval > bval * THRESHOLD:
+                        file_failures.append(
+                            f'{tname}[{i}].{key}: {bval:g} -> {fval:g} '
+                            f'(+{(fval / bval - 1) * 100:.0f}%, limit +25%)')
+                else:
+                    if bval > ABS_FLOOR_RATE and fval < bval * DROP_THRESHOLD:
+                        file_failures.append(
+                            f'{tname}[{i}].{key}: {bval:g} -> {fval:g} '
+                            f'({(fval / bval - 1) * 100:.0f}%, limit -25%)')
     if file_failures:
         ok = False
         for f in file_failures:
             print(f"FAIL: {name}: {f}")
     else:
-        print(f"PASS: {name} ({checked} latency value(s) within trend)")
+        print(f"PASS: {name} ({checked} trend value(s) within bounds)")
         compared += 1
 if compared == 0 and ok:
     print("no baselines compared")
@@ -117,4 +141,4 @@ if [ "$failures" -ne 0 ]; then
   echo "check_bench_trend: $failures failure(s)" >&2
   exit 1
 fi
-echo "check_bench_trend: no latency regressions against bench/baselines"
+echo "check_bench_trend: no latency or throughput regressions against bench/baselines"

@@ -128,6 +128,23 @@ def ask(port, query, tries=20):
     print(f"FAIL: no reply from 127.0.0.1:{port} to {query!r}")
     sys.exit(1)
 
+def ask_paged(port, what, pages=100):
+    # Reassemble a `chunk <offset> <next|end>` paged reply stream.
+    text, off = "", 0
+    for _ in range(pages):
+        reply = ask(port, f"{what} {off}")
+        header, _, body = reply.partition("\n")
+        parts = header.split()
+        if len(parts) != 3 or parts[0] != "chunk" or parts[1] != str(off):
+            print(f"FAIL: {port} bad page header for {what!r}: {header!r}")
+            sys.exit(1)
+        text += body
+        if parts[2] == "end":
+            return text
+        off = int(parts[2])
+    print(f"FAIL: {port} {what!r} did not finish in {pages} pages")
+    sys.exit(1)
+
 ok = True
 for port, role in [(38311, "ringmaster"), (38312, "member"),
                    (38313, "member"), (38314, "client")]:
@@ -157,6 +174,26 @@ for port, role in [(38311, "ringmaster"), (38312, "member"),
     for needle in (f"role {role}", "incarnation ", "addr 127.0.0.1:"):
         if needle not in health:
             print(f"FAIL: {port} health missing {needle!r}: {health!r}")
+            ok = False
+    # Every node answers the stage-latency query, bare (one datagram,
+    # possibly truncated at a line boundary) and paged (complete).
+    latency = ask(port, "latency")
+    if not latency.startswith("# TYPE circus_latency_stage_us summary"):
+        print(f"FAIL: {port} latency reply malformed: {latency[:80]!r}")
+        ok = False
+    full = ask_paged(port, "latency")
+    for needle in ("circus_latency_end_to_end_us_count",
+                   "circus_latency_calls_total"):
+        if needle not in full:
+            print(f"FAIL: {port} paged latency missing {needle!r}")
+            ok = False
+    if port == 38314:
+        # The client node attributes its own calls: after half a second
+        # of hammering the troupe, some must have been finalized.
+        calls = [int(line.split()[1]) for line in full.splitlines()
+                 if line.startswith("circus_latency_calls_total ")]
+        if not calls or calls[0] <= 0:
+            print(f"FAIL: client latency attribution saw no calls")
             ok = False
 sys.exit(0 if ok else 1)
 EOF
@@ -270,7 +307,68 @@ if [ "$obs_failures" -ne 0 ]; then
   done
   exit 1
 fi
-echo "check_realnet: observability round ok (metrics/health on 4 nodes, shards merged, wire audit clean)"
+echo "check_realnet: observability round ok (metrics/health/latency on 4 nodes, shards merged, wire audit clean)"
+
+# --- latency-bench round -----------------------------------------------
+# The open-loop load harness against the real runtime: bench_throughput
+# --quick runs the loopback rt variant at a modest fixed rate alongside
+# the deterministic sim sweep. The exported BENCH_throughput.json must
+# carry completed calls and the full load-column schema in both the
+# rt_wallclock and sim_load tables (same columns check_bench.sh gates).
+lat_bench="$build_dir/bench/bench_throughput"
+if [ ! -x "$lat_bench" ]; then
+  echo "check_realnet: missing $lat_bench (build first)" >&2
+  exit 1
+fi
+# Absolute path: the bench runs from a temp cwd so its JSON lands there.
+lat_bench=$(CDPATH= cd -- "$(dirname -- "$lat_bench")" && pwd)/bench_throughput
+lat_dir=$(mktemp -d)
+lat_rc=0
+(cd "$lat_dir" && "$lat_bench" --quick --json) \
+  >"$lat_dir/bench.log" 2>&1 || lat_rc=$?
+if [ "$lat_rc" -ne 0 ]; then
+  echo "FAIL: bench_throughput exited $lat_rc"
+  tail -15 "$lat_dir/bench.log" | sed 's/^/  /'
+  rm -rf "$lat_dir"
+  exit 1
+fi
+lat_json_rc=0
+python3 - "$lat_dir/BENCH_throughput.json" <<'EOF' || lat_json_rc=$?
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    doc = json.load(fh)
+tables = doc.get("tables", {})
+load_cols = ["members", "offered_per_sec", "achieved_per_sec",
+             "completed", "shed", "p50_ms", "p99_ms", "max_ms",
+             "retransmits"]
+ok = True
+for tname in ("sim_load", "rt_wallclock"):
+    rows = tables.get(tname)
+    if not isinstance(rows, list) or not rows:
+        print(f"FAIL: BENCH_throughput {tname} table missing or empty")
+        ok = False
+        continue
+    for i, row in enumerate(rows):
+        missing = [k for k in load_cols if k not in row]
+        if missing:
+            print(f"FAIL: {tname} row {i} missing: {missing}")
+            ok = False
+    if not any(row.get("completed", 0) > 0 for row in rows):
+        print(f"FAIL: {tname} completed no calls at any rate")
+        ok = False
+rt = tables.get("rt_wallclock") or []
+done = sum(row.get("completed", 0) for row in rt)
+if ok:
+    print(f"PASS: bench_throughput ({done} rt calls completed, "
+          f"{len(tables.get('sim_load', []))} sim_load row(s))")
+sys.exit(0 if ok else 1)
+EOF
+rm -rf "$lat_dir"
+if [ "$lat_json_rc" -ne 0 ]; then
+  echo "check_realnet: latency-bench round failed" >&2
+  exit 1
+fi
 
 # --- bind-conflict round -----------------------------------------------
 # An auxiliary-port collision (stats_port / faults_port already taken)
@@ -349,4 +447,4 @@ fi
 grep '^nemesis: PASS' "$replfs_dir/nemesis.log" | sed 's/^nemesis:/PASS: replfs/'
 rm -rf "$replfs_dir"
 
-echo "check_realnet: all rounds ok (stability, observability, bind conflicts, chaos, replfs)"
+echo "check_realnet: all rounds ok (stability, observability, latency bench, bind conflicts, chaos, replfs)"

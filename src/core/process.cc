@@ -190,6 +190,11 @@ Task<circus::StatusOr<circus::Bytes>> RpcProcess::Call(
   }
 
   const uint32_t msg_call = NextMessageCallNumber();
+  // Marshal + stub bookkeeping is done; the fan-out starts here. The
+  // paired-message call number in `c` is the join key that lets the
+  // LatencyAttributor charge segment retransmits to this call.
+  PublishCallEvent(obs::EventKind::kCallFanout, thread, body.thread_seq,
+                   module, procedure, nullptr, msg_call);
   const sim::TimePoint fanout_start = host_->executor().now();
   ReplyStream stream(host_, static_cast<int>(server.members.size()));
   if (opts.multicast_group.has_value()) {
@@ -362,6 +367,12 @@ Task<void> RpcProcess::DispatchLoop() {
                          body->thread_seq};
     auto it = inbound_->find(key);
     if (it == inbound_->end()) {
+      // First call message of a new inbound call: admitted to dispatch.
+      // Time from here to kExecuteBegin is the server-queue stage
+      // (argument collation wait + handler scheduling).
+      PublishCallEvent(obs::EventKind::kCallAdmit, body->thread,
+                       body->thread_seq, body->module, body->procedure,
+                       nullptr, m.call_number);
       auto call = std::make_shared<InboundCall>(host_);
       call->received[m.peer] = {m.call_number, body->arguments};
       (*inbound_)[key] = call;

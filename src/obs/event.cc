@@ -60,12 +60,18 @@ const char* EventKindName(EventKind kind) {
       return "loop_wakeup";
     case EventKind::kSocketStall:
       return "socket_stall";
+    case EventKind::kCallFanout:
+      return "call_fanout";
+    case EventKind::kCallAdmit:
+      return "call_admit";
+    case EventKind::kSlowCall:
+      return "slow_call";
   }
   return "unknown";
 }
 
 bool EventKindFromName(std::string_view name, EventKind* out) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kSocketStall);
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kSlowCall);
        ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == EventKindName(kind)) {

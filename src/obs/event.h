@@ -77,6 +77,24 @@ enum class EventKind : uint8_t {
                           // timer fired, c = timer slack vs. deadline, ns)
   kSocketStall,           // sendto hit EAGAIN/ENOBUFS backpressure
                           // (a = packed destination, c = errno)
+
+  // --- core: latency-attribution boundary events (thread + thread_seq
+  //     set, a = module, b = procedure). These mark the stage boundaries
+  //     that kCallIssue/kExecuteBegin alone cannot resolve; the
+  //     LatencyAttributor (src/obs/latency.h) telescopes them into a
+  //     per-stage timeline. ---
+  kCallFanout,            // client finished marshalling, first segment of
+                          // the fan-out is about to leave (c = the
+                          // paired-message call number shared by every
+                          // member leg — the join key to segment events)
+  kCallAdmit,             // server admitted the first message of an
+                          // inbound call to the dispatch queue
+                          // (c = paired-message call number)
+
+  // --- obs: diagnostics emitted by observers themselves ---
+  kSlowCall,              // a call exceeded the slow-call threshold
+                          // (a = end-to-end ns, b = threshold ns,
+                          // detail = per-stage breakdown)
 };
 
 // Stable lower_snake name for exports ("segment_send", "call_issue", ...).

@@ -1,0 +1,463 @@
+#include "src/obs/latency.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "src/obs/trace.h"
+
+namespace circus::obs {
+
+namespace {
+constexpr double kNsPerUs = 1000.0;
+
+// Bound on the auxiliary txn/broadcast wait maps: entries whose closing
+// event never arrives (aborted coordinator, crashed member) must not
+// accumulate forever.
+constexpr size_t kMaxAuxPending = 1024;
+
+double ToUs(int64_t ns) { return static_cast<double>(ns) / kNsPerUs; }
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kClientMarshal:
+      return "client_marshal";
+    case Stage::kRequestFlight:
+      return "request_flight";
+    case Stage::kServerQueue:
+      return "server_queue";
+    case Stage::kServerExecute:
+      return "server_execute";
+    case Stage::kReplyCollate:
+      return "reply_collate";
+    case Stage::kServerRoundtrip:
+      return "server_roundtrip";
+  }
+  return "unknown";
+}
+
+int64_t CallTimeline::StageNs(Stage stage) const {
+  switch (stage) {
+    case Stage::kClientMarshal:
+      return fanout_ns - issue_ns;
+    case Stage::kRequestFlight:
+      return has_server_leg() ? admit_ns - fanout_ns : -1;
+    case Stage::kServerQueue:
+      return has_server_leg() ? begin_ns - admit_ns : -1;
+    case Stage::kServerExecute:
+      return has_server_leg() ? end_ns - begin_ns : -1;
+    case Stage::kReplyCollate:
+      return has_server_leg() ? collate_ns - end_ns : -1;
+    case Stage::kServerRoundtrip:
+      return has_server_leg() ? -1 : collate_ns - fanout_ns;
+  }
+  return -1;
+}
+
+std::string CallTimeline::ToString() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "call m%llu:p%llu %s#%u e2e=%.1fus",
+                static_cast<unsigned long long>(module),
+                static_cast<unsigned long long>(procedure),
+                thread.ToString().c_str(), seq, ToUs(end_to_end_ns()));
+  out += buf;
+  const Stage kStages[] = {Stage::kClientMarshal, Stage::kRequestFlight,
+                           Stage::kServerQueue, Stage::kServerExecute,
+                           Stage::kReplyCollate, Stage::kServerRoundtrip};
+  const char* kShort[] = {"marshal", "flight", "queue",
+                          "execute", "collate", "roundtrip"};
+  for (int i = 0; i < kStageCount; ++i) {
+    const int64_t ns = StageNs(kStages[i]);
+    if (ns < 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), " %s=%.1f", kShort[i], ToUs(ns));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), " retx=%u %s", retransmits,
+                ok ? "ok" : "fail");
+  out += buf;
+  return out;
+}
+
+LatencyAttributor::LatencyAttributor(Options options) : options_(options) {}
+
+LatencyAttributor::~LatencyAttributor() { Detach(); }
+
+void LatencyAttributor::Attach(EventBus* bus) {
+  bus_ = bus;
+  subscriber_id_ =
+      bus_->Subscribe([this](const Event& event) { Observe(event); });
+}
+
+void LatencyAttributor::Detach() {
+  if (bus_ != nullptr) {
+    bus_->Unsubscribe(subscriber_id_);
+    bus_ = nullptr;
+  }
+}
+
+void LatencyAttributor::Buffer(Pending* pending, const Event& event) {
+  if (pending->events.size() >= options_.max_events_per_call) {
+    pending->events_truncated = true;
+    return;
+  }
+  pending->events.push_back(event);
+}
+
+void LatencyAttributor::ErasePending(const Key& key, Pending* pending) {
+  for (const auto& mk : pending->msg_keys) {
+    msg_index_.erase(mk);
+  }
+  pending_order_.erase(pending->order);
+  pending_.erase(key);
+}
+
+void LatencyAttributor::EvictOldestPending() {
+  if (pending_order_.empty()) {
+    return;
+  }
+  const Key key = pending_order_.begin()->second;
+  auto it = pending_.find(key);
+  if (it != pending_.end()) {
+    ++dropped_pending_;
+    Pending doomed = std::move(it->second);
+    ErasePending(key, &doomed);
+  }
+}
+
+void LatencyAttributor::Observe(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kCallIssue: {
+      const Key key{event.thread, event.thread_seq};
+      auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        // A replicated client's sibling member issuing the same logical
+        // call: count it, attribute only the first issuer's timeline.
+        if (it->second.client_origin != event.origin) {
+          ++sibling_calls_;
+        }
+        return;
+      }
+      if (pending_.size() >= options_.max_pending) {
+        EvictOldestPending();
+      }
+      Pending pending;
+      pending.client_origin = event.origin;
+      pending.module = event.a;
+      pending.procedure = event.b;
+      pending.issue_ns = event.time_ns;
+      pending.order = next_order_++;
+      Buffer(&pending, event);
+      pending_order_[pending.order] = key;
+      pending_.emplace(key, std::move(pending));
+      return;
+    }
+    case EventKind::kCallFanout: {
+      const Key key{event.thread, event.thread_seq};
+      auto it = pending_.find(key);
+      if (it == pending_.end()) {
+        return;
+      }
+      Pending& pending = it->second;
+      // Index every leg's paired-message call number (siblings too) so
+      // any leg's retransmits charge to this logical call.
+      const auto mk = std::make_pair(event.origin, event.c);
+      msg_index_[mk] = key;
+      pending.msg_keys.push_back(mk);
+      if (event.origin == pending.client_origin && pending.fanout_ns < 0) {
+        pending.fanout_ns = event.time_ns;
+      }
+      Buffer(&pending, event);
+      return;
+    }
+    case EventKind::kCallAdmit: {
+      const Key key{event.thread, event.thread_seq};
+      auto it = pending_.find(key);
+      if (it == pending_.end()) {
+        return;
+      }
+      ServerLeg& leg = it->second.legs[event.origin];
+      if (leg.admit_ns < 0) {
+        leg.admit_ns = event.time_ns;
+      }
+      Buffer(&it->second, event);
+      return;
+    }
+    case EventKind::kExecuteBegin: {
+      const Key key{event.thread, event.thread_seq};
+      auto it = pending_.find(key);
+      if (it == pending_.end()) {
+        return;
+      }
+      ServerLeg& leg = it->second.legs[event.origin];
+      if (leg.begin_ns < 0) {
+        leg.begin_ns = event.time_ns;
+      }
+      Buffer(&it->second, event);
+      return;
+    }
+    case EventKind::kExecuteEnd: {
+      const Key key{event.thread, event.thread_seq};
+      auto it = pending_.find(key);
+      if (it == pending_.end()) {
+        return;
+      }
+      ServerLeg& leg = it->second.legs[event.origin];
+      if (leg.end_ns < 0) {
+        leg.end_ns = event.time_ns;
+      }
+      Buffer(&it->second, event);
+      return;
+    }
+    case EventKind::kCallCollate: {
+      const Key key{event.thread, event.thread_seq};
+      auto it = pending_.find(key);
+      if (it == pending_.end()) {
+        return;
+      }
+      if (event.origin != it->second.client_origin) {
+        // A sibling client member's collator finished first; the
+        // timeline belongs to the first issuer.
+        return;
+      }
+      Pending pending = std::move(it->second);
+      Buffer(&pending, event);
+      ErasePending(key, &pending);
+      Finalize(key, std::move(pending), event);
+      return;
+    }
+    case EventKind::kSegmentRetransmit: {
+      // origin = retransmitting endpoint, b = paired-message call number.
+      auto it = msg_index_.find(std::make_pair(event.origin, event.b));
+      if (it == msg_index_.end()) {
+        return;
+      }
+      auto pit = pending_.find(it->second);
+      if (pit == pending_.end()) {
+        return;
+      }
+      ++pit->second.retransmits;
+      ++retransmits_;
+      Buffer(&pit->second, event);
+      return;
+    }
+    case EventKind::kTxnVote: {
+      if (txn_first_vote_ns_.size() >= kMaxAuxPending) {
+        txn_first_vote_ns_.erase(txn_first_vote_ns_.begin());
+      }
+      txn_first_vote_ns_.emplace(event.c, event.time_ns);
+      return;
+    }
+    case EventKind::kTxnDecision: {
+      auto it = txn_first_vote_ns_.find(event.c);
+      if (it == txn_first_vote_ns_.end()) {
+        return;
+      }
+      commit_wait_us_.Observe(ToUs(event.time_ns - it->second));
+      txn_first_vote_ns_.erase(it);
+      return;
+    }
+    case EventKind::kBroadcastPropose: {
+      if (broadcast_propose_ns_.size() >= kMaxAuxPending) {
+        broadcast_propose_ns_.erase(broadcast_propose_ns_.begin());
+      }
+      broadcast_propose_ns_.emplace(event.a, event.time_ns);
+      return;
+    }
+    case EventKind::kBroadcastDeliver: {
+      auto it = broadcast_propose_ns_.find(event.a);
+      if (it == broadcast_propose_ns_.end()) {
+        return;
+      }
+      broadcast_wait_us_.Observe(ToUs(event.time_ns - it->second));
+      broadcast_propose_ns_.erase(it);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void LatencyAttributor::Finalize(const Key& key, Pending pending,
+                                 const Event& collate) {
+  CallTimeline t;
+  t.thread = key.thread;
+  t.seq = key.seq;
+  t.module = pending.module;
+  t.procedure = pending.procedure;
+  t.client_origin = pending.client_origin;
+  t.issue_ns = pending.issue_ns;
+  // A call with no fanout event (foreign shard missing it) degrades to a
+  // zero-length marshal stage so the telescoping sum stays intact.
+  t.fanout_ns = pending.fanout_ns >= 0 ? pending.fanout_ns : pending.issue_ns;
+  t.collate_ns = collate.time_ns;
+  t.retransmits = pending.retransmits;
+  t.ok = collate.c == 1;
+
+  // The server leg the collator waited for: among complete, monotone
+  // legs finishing no later than the collate (first-come collation can
+  // return before slow members finish), the one finishing last. Map
+  // order makes ties deterministic.
+  for (const auto& [origin, leg] : pending.legs) {
+    const bool complete = leg.admit_ns >= 0 && leg.begin_ns >= 0 &&
+                          leg.end_ns >= 0;
+    const bool monotone = complete && leg.admit_ns >= t.fanout_ns &&
+                          leg.begin_ns >= leg.admit_ns &&
+                          leg.end_ns >= leg.begin_ns &&
+                          leg.end_ns <= t.collate_ns;
+    if (monotone && leg.end_ns > t.end_ns) {
+      t.admit_ns = leg.admit_ns;
+      t.begin_ns = leg.begin_ns;
+      t.end_ns = leg.end_ns;
+    }
+  }
+
+  ++calls_;
+  end_to_end_us_.Observe(ToUs(t.end_to_end_ns()));
+  for (int i = 0; i < kStageCount; ++i) {
+    const int64_t ns = t.StageNs(static_cast<Stage>(i));
+    if (ns >= 0) {
+      stage_us_[i].Observe(ToUs(ns));
+    }
+  }
+
+  CallExemplar exemplar;
+  exemplar.timeline = t;
+  exemplar.events = std::move(pending.events);
+
+  if (options_.slow_call_threshold_ns > 0 &&
+      t.end_to_end_ns() >= options_.slow_call_threshold_ns &&
+      slow_queue_.size() < options_.max_slow_queue) {
+    slow_queue_.push_back(exemplar);
+  }
+
+  // Keep the K slowest, slowest first; ties keep the earlier call first.
+  auto pos = slowest_.begin();
+  while (pos != slowest_.end() &&
+         pos->timeline.end_to_end_ns() >= t.end_to_end_ns()) {
+    ++pos;
+  }
+  if (pos != slowest_.end() || slowest_.size() < options_.max_exemplars) {
+    slowest_.insert(pos, std::move(exemplar));
+    if (slowest_.size() > options_.max_exemplars) {
+      slowest_.pop_back();
+    }
+  }
+}
+
+const Histogram& LatencyAttributor::StageHistogramUs(Stage stage) const {
+  return stage_us_[static_cast<int>(stage)];
+}
+
+std::vector<CallExemplar> LatencyAttributor::TakeSlowCalls() {
+  return std::exchange(slow_queue_, {});
+}
+
+std::string LatencyAttributor::ToString() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "latency attribution: %llu calls, %llu siblings, "
+                "%llu retransmits, %llu dropped\n",
+                static_cast<unsigned long long>(calls_),
+                static_cast<unsigned long long>(sibling_calls_),
+                static_cast<unsigned long long>(retransmits_),
+                static_cast<unsigned long long>(dropped_pending_));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  %-18s %8s %10s %10s %10s %10s %7s\n",
+                "stage", "count", "p50_us", "p90_us", "p99_us", "max_us",
+                "share");
+  out += buf;
+  const double e2e_sum = end_to_end_us_.sum();
+  auto row = [&](const char* name, const Histogram& h, bool share) {
+    const double pct =
+        share && e2e_sum > 0 ? 100.0 * h.sum() / e2e_sum : 0.0;
+    char pbuf[16] = "-";
+    if (share && e2e_sum > 0) {
+      std::snprintf(pbuf, sizeof(pbuf), "%.1f%%", pct);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  %-18s %8llu %10.1f %10.1f %10.1f %10.1f %7s\n", name,
+                  static_cast<unsigned long long>(h.count()),
+                  h.Percentile(0.50), h.Percentile(0.90),
+                  h.Percentile(0.99), h.max(), pbuf);
+    out += buf;
+  };
+  for (int i = 0; i < kStageCount; ++i) {
+    row(StageName(static_cast<Stage>(i)), stage_us_[i], true);
+  }
+  row("end_to_end", end_to_end_us_, false);
+  row("commit_wait", commit_wait_us_, false);
+  row("broadcast_wait", broadcast_wait_us_, false);
+  return out;
+}
+
+std::string LatencyAttributor::ToPrometheus() const {
+  auto summary = [](std::string* out, const std::string& metric,
+                    const std::string& labels, const Histogram& h) {
+    const struct {
+      const char* quantile;
+      double value;
+    } kQuantiles[] = {{"0.5", h.Percentile(0.50)},
+                      {"0.9", h.Percentile(0.90)},
+                      {"0.99", h.Percentile(0.99)}};
+    for (const auto& q : kQuantiles) {
+      *out += metric + "{" + labels + (labels.empty() ? "" : ",") +
+              "quantile=\"" + q.quantile + "\"} " +
+              std::to_string(q.value) + "\n";
+    }
+    *out += metric + "_sum" + (labels.empty() ? "" : "{" + labels + "}") +
+            " " + std::to_string(h.sum()) + "\n";
+    *out += metric + "_count" + (labels.empty() ? "" : "{" + labels + "}") +
+            " " + std::to_string(h.count()) + "\n";
+  };
+  std::string out;
+  out += "# TYPE circus_latency_stage_us summary\n";
+  for (int i = 0; i < kStageCount; ++i) {
+    summary(&out, "circus_latency_stage_us",
+            std::string("stage=\"") + StageName(static_cast<Stage>(i)) +
+                "\"",
+            stage_us_[i]);
+  }
+  out += "# TYPE circus_latency_end_to_end_us summary\n";
+  summary(&out, "circus_latency_end_to_end_us", "", end_to_end_us_);
+  out += "# TYPE circus_latency_commit_wait_us summary\n";
+  summary(&out, "circus_latency_commit_wait_us", "", commit_wait_us_);
+  out += "# TYPE circus_latency_broadcast_wait_us summary\n";
+  summary(&out, "circus_latency_broadcast_wait_us", "", broadcast_wait_us_);
+  out += "# TYPE circus_latency_calls_total counter\n";
+  out += "circus_latency_calls_total " + std::to_string(calls_) + "\n";
+  out += "# TYPE circus_latency_retransmits_total counter\n";
+  out += "circus_latency_retransmits_total " + std::to_string(retransmits_) +
+         "\n";
+  out += "# TYPE circus_latency_sibling_calls_total counter\n";
+  out += "circus_latency_sibling_calls_total " +
+         std::to_string(sibling_calls_) + "\n";
+  return out;
+}
+
+std::string LatencyAttributor::SlowCallReport() const {
+  std::string out = "slowest " + std::to_string(slowest_.size()) +
+                    " calls (of " + std::to_string(calls_) + "):\n";
+  for (const CallExemplar& exemplar : slowest_) {
+    out += "  " + exemplar.timeline.ToString() + "\n";
+    const std::vector<Span> roots = AssembleSpans(exemplar.events);
+    std::string rendered = Render(roots);
+    // Indent the span tree under its timeline line.
+    size_t start = 0;
+    while (start < rendered.size()) {
+      size_t end = rendered.find('\n', start);
+      if (end == std::string::npos) {
+        end = rendered.size();
+      }
+      out += "    " + rendered.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace circus::obs

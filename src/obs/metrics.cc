@@ -52,6 +52,18 @@ double Histogram::Percentile(double p) const {
   return max_;
 }
 
+std::vector<std::pair<double, uint64_t>> Histogram::CumulativeBuckets()
+    const {
+  std::vector<std::pair<double, uint64_t>> out;
+  out.reserve(buckets_.size());
+  uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets_) {
+    seen += n;
+    out.emplace_back(BucketUpperBound(bucket), seen);
+  }
+  return out;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   auto& slot = counters_[name];
   if (slot == nullptr) {
@@ -84,6 +96,7 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap(int64_t time_ns) const {
     s.p50 = hist->Percentile(0.50);
     s.p90 = hist->Percentile(0.90);
     s.p99 = hist->Percentile(0.99);
+    s.buckets = hist->CumulativeBuckets();
     snap.histograms[name] = s;
   }
   return snap;
@@ -142,6 +155,20 @@ std::string MetricsRegistry::Snapshot::ToPrometheus() const {
     }
     out += metric + "_sum " + std::to_string(h.sum) + "\n";
     out += metric + "_count " + std::to_string(h.count) + "\n";
+    // Native histogram exposition of the same instrument under a
+    // distinct metric name (one name cannot be both summary and
+    // histogram): cumulative power-of-two buckets let a scraper compute
+    // any quantile, not just the three baked above.
+    const std::string hist_metric = metric + "_hist";
+    out += "# TYPE " + hist_metric + " histogram\n";
+    for (const auto& [le, cumulative] : h.buckets) {
+      out += hist_metric + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += hist_metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) +
+           "\n";
+    out += hist_metric + "_sum " + std::to_string(h.sum) + "\n";
+    out += hist_metric + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
 }

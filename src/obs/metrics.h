@@ -12,6 +12,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace circus::obs {
 
@@ -40,6 +42,10 @@ class Histogram {
   double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
   // p in [0, 1]; 0 with no observations.
   double Percentile(double p) const;
+  // (upper bound, cumulative count) per occupied power-of-two bucket,
+  // ascending — the Prometheus `_bucket{le=...}` series (without the
+  // implicit +Inf row, which equals count()).
+  std::vector<std::pair<double, uint64_t>> CumulativeBuckets() const;
 
  private:
   uint64_t count_ = 0;
@@ -60,6 +66,8 @@ struct HistogramStats {
   double p50 = 0;
   double p90 = 0;
   double p99 = 0;
+  // Power-of-two (upper bound, cumulative count) pairs, ascending.
+  std::vector<std::pair<double, uint64_t>> buckets;
 };
 
 class MetricsRegistry {
@@ -82,8 +90,10 @@ class MetricsRegistry {
     // Deterministic human-readable rendering, one instrument per line.
     std::string ToString() const;
     // Prometheus text exposition format (version 0.0.4): counters as
-    // `circus_<name>_total`, histograms as summaries with p50/p90/p99
-    // quantiles plus _sum/_count. Dots in instrument names become
+    // `circus_<name>_total`, histograms twice — as summaries with
+    // p50/p90/p99 quantiles plus _sum/_count, and as native histograms
+    // (`circus_<name>_hist`) with cumulative power-of-two
+    // `_bucket{le=...}` series. Dots in instrument names become
     // underscores. Served by the circus_node `metrics` endpoint.
     std::string ToPrometheus() const;
   };

@@ -9,10 +9,12 @@
 //               reporting wall-clock latency (the Table 4.1 shape).
 //
 // Every node is observable while it runs (DESIGN.md Section 6): with
-// stats_port= it answers metrics/health/spans datagrams, with trace_dir=
-// it streams its event shard to disk for circus_trace_merge. SIGINT and
-// SIGTERM shut the node down gracefully — final metrics snapshot and
-// trace shard flushed before exit.
+// stats_port= it answers metrics/health/spans/latency datagrams, with
+// trace_dir= it streams its event shard to disk for circus_trace_merge,
+// and with slow_call_us= it dumps every call slower than the threshold
+// to the shard as a slow_call event. SIGINT and SIGTERM shut the node
+// down gracefully — final metrics snapshot and trace shard flushed
+// before exit.
 //
 // A loopback testbed is a handful of circus_node processes sharing
 // 127.0.0.1; a LAN deployment is the same configs with real addresses.

@@ -20,6 +20,12 @@ std::string Truncated(std::string text) {
   }
   constexpr std::string_view kMark = "...\n";
   text.resize(kMaxReplyBytes - kMark.size());
+  // Cut at a line boundary when there is one: consumers that validate
+  // line formats (check_realnet) must never see a half metric line.
+  const size_t last_newline = text.rfind('\n');
+  if (last_newline != std::string::npos) {
+    text.resize(last_newline + 1);
+  }
   text += kMark;
   return text;
 }
@@ -132,6 +138,12 @@ std::string TapPathFor(const NodeConfig& config) {
 NodeObservability::NodeObservability(Runtime* runtime, sim::Host* host,
                                      const NodeConfig& config)
     : runtime_(runtime), config_(config) {
+  obs::LatencyAttributor::Options lat_options;
+  lat_options.slow_call_threshold_ns =
+      static_cast<int64_t>(config.slow_call_us) * 1000;
+  attributor_ = std::make_unique<obs::LatencyAttributor>(lat_options);
+  attributor_->Attach(&runtime->bus());
+
   obs::ShardInfo info;
   info.node = config.DisplayName();
   info.role = config.RoleName();
@@ -188,7 +200,30 @@ NodeObservability::~NodeObservability() {
   FlushShard();
 }
 
+void NodeObservability::DumpSlowCalls() {
+  if (config_.slow_call_us <= 0) {
+    return;
+  }
+  for (const obs::CallExemplar& slow : attributor_->TakeSlowCalls()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kSlowCall;
+    e.time_ns = slow.timeline.collate_ns;
+    e.incarnation = runtime_->incarnation();
+    e.origin = slow.timeline.client_origin;
+    e.thread = slow.timeline.thread;
+    e.thread_seq = slow.timeline.seq;
+    e.a = static_cast<uint64_t>(slow.timeline.end_to_end_ns());
+    e.b = static_cast<uint64_t>(config_.slow_call_us) * 1000;
+    e.detail = slow.timeline.ToString();
+    // Injected straight into the shard, not published on the bus: a bus
+    // subscriber must not re-enter Publish, and the dump is a per-node
+    // diagnostic, not a protocol event.
+    shard_->Observe(e);
+  }
+}
+
 void NodeObservability::FlushShard() {
+  DumpSlowCalls();
   // Errors are sticky in status() but must not kill a serving node.
   circus::Status flushed = shard_->Flush();
   if (!flushed.ok() && status_.ok()) {
@@ -228,24 +263,37 @@ std::string NodeObservability::HandleQuery(std::string_view query) {
   if (q == "spans") {
     return Truncated(SpansText());
   }
+  if (q == "latency") {
+    return Truncated(LatencyText());
+  }
   const bool paged_metrics = q.starts_with("metrics ");
   const bool paged_spans = q.starts_with("spans ");
-  if (paged_metrics || paged_spans) {
-    const size_t skip = paged_metrics ? 8 : 6;  // "metrics " / "spans "
+  const bool paged_latency = q.starts_with("latency ");
+  if (paged_metrics || paged_spans || paged_latency) {
+    // "metrics " / "latency " / "spans "
+    const size_t skip = paged_spans ? 6 : 8;
     size_t offset = 0;
     if (!ParseOffset(TrimView(q.substr(skip)), &offset)) {
-      return "err bad offset (try: metrics <offset> | spans <offset>)\n";
+      return "err bad offset (try: metrics <offset> | spans <offset> | "
+             "latency <offset>)\n";
     }
-    return Paged(paged_metrics ? MetricsText() : SpansText(), offset);
+    return Paged(paged_metrics   ? MetricsText()
+                 : paged_latency ? LatencyText()
+                                 : SpansText(),
+                 offset);
   }
   std::string reply = "err unknown query '";
   reply.append(q.substr(0, 32));
-  reply += "' (try: metrics | health | spans)\n";
+  reply += "' (try: metrics | health | spans | latency)\n";
   return Truncated(std::move(reply));
 }
 
 std::string NodeObservability::MetricsText() const {
   return runtime_->metrics().Snap(runtime_->now().nanos()).ToPrometheus();
+}
+
+std::string NodeObservability::LatencyText() const {
+  return attributor_->ToPrometheus();
 }
 
 std::string NodeObservability::HealthText() const {

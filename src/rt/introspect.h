@@ -13,6 +13,8 @@
 //        health   -> role, troupe ID, and per-peer liveness judged by
 //                    the paired-endpoint probe budget
 //        spans    -> recent root-thread span trees from the ring
+//        latency  -> per-stage call-latency percentiles from the
+//                    node's LatencyAttributor, Prometheus text
 //    Replies are truncated to one datagram (net::Fabric MTU) so the
 //    endpoint can be driven with nothing more than netcat. Replies too
 //    large for one datagram are readable in full through the paged
@@ -38,6 +40,7 @@
 #include "src/net/fault_fabric.h"
 #include "src/net/socket.h"
 #include "src/net/tap.h"
+#include "src/obs/latency.h"
 #include "src/obs/shard.h"
 #include "src/rt/node_config.h"
 #include "src/rt/runtime.h"
@@ -88,6 +91,9 @@ class NodeObservability {
   obs::ShardWriter& shard() { return *shard_; }
   // The packet capture, or nullptr when tap_dir is unset.
   net::WireTapWriter* tap() { return tap_.get(); }
+  // The node's stage-level latency attributor (always attached; the
+  // `latency` query and the slow-call dump read from it).
+  obs::LatencyAttributor& latency() { return *attributor_; }
 
   // Appends buffered trace lines to disk. The node calls this
   // periodically (cheap when nothing is pending) and from FinalFlush.
@@ -106,11 +112,16 @@ class NodeObservability {
   std::string MetricsText() const;
   std::string HealthText() const;
   std::string SpansText() const;
+  std::string LatencyText() const;
+  // Drains calls that crossed slow_call_us into the trace shard as
+  // kSlowCall events (one per offending call, span tree in detail).
+  void DumpSlowCalls();
 
   Runtime* runtime_;
   NodeConfig config_;
   core::RpcProcess* process_ = nullptr;
   const net::FaultFabric* fault_fabric_ = nullptr;
+  std::unique_ptr<obs::LatencyAttributor> attributor_;
   std::unique_ptr<obs::ShardWriter> shard_;
   std::unique_ptr<net::WireTapWriter> tap_;
   std::unique_ptr<net::DatagramSocket> stats_socket_;

@@ -1,0 +1,106 @@
+// circus_lat: stage-level latency attribution over merged trace shards.
+//
+//   circus_lat [-k slowest] [-p] shard...
+//
+// Reads the per-node shards a testbed wrote (circus_node trace_dir=),
+// clock-aligns them exactly like circus_trace_merge, replays the merged
+// event stream through the obs::LatencyAttributor, and renders:
+//
+//   * the per-stage breakdown table (count, p50/p90/p99/max per stage,
+//     and each stage's share of total end-to-end time);
+//   * the top-K slow-call report, each offending call with its full
+//     cross-member span tree.
+//
+// With -p the Prometheus exposition is printed instead of the table
+// (same text a live node serves for the `latency` query). Exit codes:
+// 0 report written, 2 usage/input error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/latency.h"
+#include "src/obs/merge.h"
+#include "src/obs/shard.h"
+
+namespace circus::rt {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "usage: circus_lat [-k slowest] [-p] shard...\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  size_t top_k = 5;
+  bool prometheus = false;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-k") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "circus_lat: -k needs a count\n");
+        return 2;
+      }
+      top_k = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "-p") == 0) {
+      prometheus = true;
+    } else if (std::strcmp(argv[i], "-h") == 0 ||
+               std::strcmp(argv[i], "--help") == 0) {
+      return Usage();
+    } else {
+      shard_paths.push_back(argv[i]);
+    }
+  }
+  if (shard_paths.empty()) {
+    return Usage();
+  }
+
+  std::vector<obs::ShardFile> shards;
+  for (const std::string& path : shard_paths) {
+    circus::StatusOr<obs::ShardFile> shard = obs::ReadShardFile(path);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "circus_lat: %s\n",
+                   shard.status().ToString().c_str());
+      return 2;
+    }
+    shards.push_back(*std::move(shard));
+  }
+
+  circus::StatusOr<obs::MergeResult> merged = obs::MergeShards(shards);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "circus_lat: %s\n",
+                 merged.status().ToString().c_str());
+    return 2;
+  }
+
+  obs::LatencyAttributor::Options options;
+  options.max_exemplars = top_k;
+  obs::LatencyAttributor attributor(options);
+  for (const obs::Event& event : merged->events) {
+    attributor.Observe(event);
+  }
+
+  if (attributor.calls() == 0) {
+    std::fprintf(stderr,
+                 "circus_lat: no completed calls in %zu shard(s) "
+                 "(%zu events)\n",
+                 shards.size(), merged->events.size());
+  }
+  if (prometheus) {
+    std::fputs(attributor.ToPrometheus().c_str(), stdout);
+    return 0;
+  }
+  std::printf("%zu shard(s), %zu events\n", shards.size(),
+              merged->events.size());
+  std::fputs(attributor.ToString().c_str(), stdout);
+  if (top_k > 0 && attributor.calls() > 0) {
+    std::fputs(attributor.SlowCallReport().c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace circus::rt
+
+int main(int argc, char** argv) { return circus::rt::Main(argc, argv); }

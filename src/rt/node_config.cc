@@ -179,6 +179,15 @@ circus::StatusOr<NodeConfig> ParseNodeConfig(const std::string& text) {
         return ParseError("procedure out of range");
       }
       config.procedure = *v;
+    } else if (key == "slow_call_us") {
+      circus::StatusOr<int> v = ParseInt(key, value);
+      if (!v.ok()) {
+        return v.status();
+      }
+      if (*v < 0) {
+        return ParseError("slow_call_us must be non-negative");
+      }
+      config.slow_call_us = *v;
     } else if (key == "calls" || key == "payload" || key == "run_seconds") {
       circus::StatusOr<int> v = ParseInt(key, value);
       if (!v.ok()) {

@@ -14,6 +14,9 @@
 //   run_seconds = 0                # serve duration; 0 = forever
 //   node_name =                    # display name; default "<role>-<port>"
 //   stats_port = 0                 # UDP introspection port; 0 = disabled
+//   slow_call_us = 0               # dump calls slower than this to the
+//                                  # trace shard as slow_call events;
+//                                  # 0 = disabled
 //   trace_dir =                    # write <node_name>.trace.jsonl here;
 //                                  # empty = no trace shard
 //   tap_dir =                      # write <node_name>.tap.jsonl packet
@@ -52,6 +55,7 @@ struct NodeConfig {
   int run_seconds = 0;
   std::string node_name;        // empty: derived as "<role>-<listen port>"
   net::Port stats_port = 0;     // 0: no introspection endpoint
+  int slow_call_us = 0;         // 0: no slow-call dump
   std::string trace_dir;        // empty: no trace shard
   std::string tap_dir;          // empty: no packet capture
   net::Port faults_port = 0;    // 0: no fault-injection control endpoint

@@ -662,11 +662,53 @@ TEST(RtLoopbackTest, PagedIntrospectionReassemblesOversizeSpansReply) {
   ASSERT_EQ(assembled.compare(0, prefix.size(), prefix), 0);
   EXPECT_NE(assembled.find("call("), std::string::npos);
 
-  // A reply that fits pages as a single terminal chunk whose body is
-  // byte-identical to the bare form.
-  const std::string metrics = node_obs.HandleQuery("metrics");
-  ASSERT_LE(metrics.size(), net::Fabric::kMaxDatagramBytes);
-  EXPECT_EQ(node_obs.HandleQuery("metrics 0"), "chunk 0 end\n" + metrics);
+  // Metrics also outgrow one datagram now that histograms carry
+  // cumulative bucket series; page them back together and check the
+  // reassembly is the full exposition, buckets included.
+  std::string metrics_assembled;
+  offset = 0;
+  saw_end = false;
+  for (int guard = 0; guard < 100 && !saw_end; ++guard) {
+    const std::string reply =
+        node_obs.HandleQuery("metrics " + std::to_string(offset));
+    ASSERT_LE(reply.size(), net::Fabric::kMaxDatagramBytes);
+    ASSERT_EQ(reply.rfind("chunk ", 0), 0u) << reply;
+    const size_t eol = reply.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    std::istringstream header(reply.substr(6, eol - 6));
+    size_t echoed_offset = 0;
+    std::string next;
+    header >> echoed_offset >> next;
+    ASSERT_EQ(echoed_offset, offset);
+    metrics_assembled += reply.substr(eol + 1);
+    if (next == "end") {
+      saw_end = true;
+    } else {
+      offset = std::stoul(next);
+    }
+  }
+  ASSERT_TRUE(saw_end);
+  EXPECT_NE(metrics_assembled.find("_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics_assembled.find("quantile=\"0.99\""), std::string::npos);
+  // The truncated bare form is a byte prefix of the reassembled whole.
+  const std::string bare_metrics = node_obs.HandleQuery("metrics");
+  ASSERT_LE(bare_metrics.size(), net::Fabric::kMaxDatagramBytes);
+  const std::string metrics_prefix =
+      bare_metrics.ends_with(kMark)
+          ? bare_metrics.substr(0, bare_metrics.size() - kMark.size())
+          : bare_metrics;
+  ASSERT_EQ(
+      metrics_assembled.compare(0, metrics_prefix.size(), metrics_prefix),
+      0);
+
+  // The latency query serves the attributor's exposition through the
+  // same bare/paged machinery.
+  const std::string latency = node_obs.HandleQuery("latency");
+  ASSERT_LE(latency.size(), net::Fabric::kMaxDatagramBytes);
+  EXPECT_EQ(latency.rfind("# TYPE circus_latency_stage_us summary", 0), 0u)
+      << latency;
+  EXPECT_EQ(node_obs.HandleQuery("latency 0").rfind("chunk 0 ", 0), 0u);
 
   // Offsets past the end terminate; garbage offsets are an error.
   const std::string past =
