@@ -25,8 +25,11 @@
 #include "bench/bench_util.h"
 #include "src/common/check.h"
 #include "src/core/process.h"
+#include "src/marshal/marshal.h"
+#include "src/msg/segment.h"
 #include "src/net/world.h"
 #include "src/obs/latency.h"
+#include "src/obs/util.h"
 #include "src/rt/runtime.h"
 #include "src/sim/random.h"
 
@@ -103,7 +106,37 @@ struct LoadResult {
   int shed = 0;
   circus::bench::SampleStats latency;  // ms
   uint64_t retransmits = 0;
+  // Final per-resource USE readings for this sweep point (E21).
+  std::vector<circus::obs::ResourceStats> util;
 };
+
+// Registers the two process-global allocation resources on a monitor.
+// The probes baseline at registration, so the totals they report are
+// scoped to this sweep point even though the counters are global.
+void AddAllocResources(circus::obs::UtilizationMonitor* monitor) {
+  monitor->AddResource(
+      "alloc.marshal",
+      [prev = circus::marshal::GlobalBufferStats()](int64_t) mutable {
+        circus::obs::ResourceSample sample;
+        const circus::marshal::BufferStats now =
+            circus::marshal::GlobalBufferStats();
+        sample.ops = now.buffers - prev.buffers;
+        sample.bytes = now.bytes - prev.bytes;
+        prev = now;
+        return sample;
+      });
+  monitor->AddResource(
+      "msg.segment",
+      [prev = circus::msg::GlobalSegmentStats()](int64_t) mutable {
+        circus::obs::ResourceSample sample;
+        const circus::msg::SegmentStats now =
+            circus::msg::GlobalSegmentStats();
+        sample.ops = now.segments - prev.segments;
+        sample.bytes = now.bytes - prev.bytes;
+        prev = now;
+        return sample;
+      });
+}
 
 LoadResult RunSimLoad(int members, double rate_per_sec, double window_s,
                       LatencyAttributor* attributor) {
@@ -152,6 +185,16 @@ LoadResult RunSimLoad(int members, double rate_per_sec, double window_s,
   circus::sim::Host* client_host = world.AddHost("client");
   RpcProcess client(&world.network(), client_host, 8000, options);
 
+  // USE telemetry for this sweep point: every host CPU, the executor
+  // run queue, the simulated network, and the allocation hot spots —
+  // sampled once per RunFor step below, entirely on virtual time.
+  circus::obs::UtilizationMonitor monitor;
+  monitor.SetBus(&world.bus());
+  monitor.SetMetrics(&world.metrics());
+  world.WireUtilization(&monitor);
+  AddAllocResources(&monitor);
+  monitor.Sample(world.now().nanos());  // baseline, zero-length window
+
   const int arrivals = static_cast<int>(rate_per_sec * window_s + 0.5);
   const Duration mean_gap = Duration::SecondsF(1.0 / rate_per_sec);
   LoadCounters counters;
@@ -166,6 +209,7 @@ LoadResult RunSimLoad(int members, double rate_per_sec, double window_s,
        !(counters.arrivals_done && counters.outstanding == 0); ++spins) {
     CIRCUS_CHECK_MSG(spins < 10000, "open-loop load did not drain");
     world.RunFor(Duration::Seconds(1));
+    monitor.Sample(world.now().nanos());
   }
 
   LoadResult r;
@@ -178,6 +222,7 @@ LoadResult RunSimLoad(int members, double rate_per_sec, double window_s,
       busy_s > 0 ? static_cast<double>(counters.completed) / busy_s : 0;
   r.latency = circus::bench::Summarize(std::move(counters.latency_ms));
   r.retransmits = attributor->retransmits();
+  r.util = monitor.resources();
   attributor->Detach();  // the caller's attributor outlives this World
   return r;
 }
@@ -310,6 +355,85 @@ void AddStageRows(circus::bench::BenchReport& report, int members,
   }
 }
 
+void AddUtilRows(circus::bench::BenchReport& report, int members,
+                 const LoadResult& r) {
+  for (const circus::obs::ResourceStats& res : r.util) {
+    report.AddRow("sim_util")
+        .Set("members", members)
+        .Set("offered_per_sec", r.offered_per_sec)
+        .Set("resource", res.name)
+        .Set("busy_mean_pct", res.utilization_mean() * 100.0)
+        .Set("busy_peak_pct", res.utilization_peak * 100.0)
+        .Set("queue_peak", res.queue_peak)
+        .Set("ops_total", res.ops_total)
+        .Set("bytes_total", res.bytes_total)
+        .Set("errors_total", res.errors_total)
+        .Set("level", circus::obs::SaturationLevelName(res.level));
+  }
+}
+
+// E21: names the resource that binds each troupe size at its capacity
+// knee — the first sweep rate the troupe can no longer keep up with.
+// The binding resource is the busiest (time-weighted mean) busy-share
+// resource at that rate; the runner-up shows the headroom everywhere
+// else.
+void AttributeKnee(circus::bench::BenchReport& report, int members,
+                   const std::vector<LoadResult>& sweep) {
+  // Overload means queueing divergence, not just a throughput shortfall
+  // — achieved/s alone is noisy over a short window (Poisson gaps read
+  // as "missing" throughput at low rates). Require the latency
+  // signature too: p50 well above the unloaded sweep point.
+  const double base_p50 = sweep.front().latency.p50;
+  const LoadResult* knee = nullptr;
+  for (const LoadResult& r : sweep) {
+    const bool shortfall = r.achieved_per_sec < 0.9 * r.offered_per_sec;
+    const bool diverged = r.latency.p50 > 3.0 * base_p50;
+    if ((shortfall && diverged) || r.shed > 0) {
+      knee = &r;
+      break;
+    }
+  }
+  if (knee == nullptr) {
+    std::printf("  n=%d: no knee inside the sweep (capacity above "
+                "%.0f/s)\n",
+                members, sweep.back().offered_per_sec);
+    return;
+  }
+  const circus::obs::ResourceStats* binding = nullptr;
+  const circus::obs::ResourceStats* runner_up = nullptr;
+  for (const circus::obs::ResourceStats& res : knee->util) {
+    if (res.util_weight_ns <= 0) {
+      continue;  // queue-graded resource: no busy share to rank
+    }
+    if (binding == nullptr ||
+        res.utilization_mean() > binding->utilization_mean()) {
+      runner_up = binding;
+      binding = &res;
+    } else if (runner_up == nullptr ||
+               res.utilization_mean() > runner_up->utilization_mean()) {
+      runner_up = &res;
+    }
+  }
+  if (binding == nullptr) {
+    return;
+  }
+  std::printf("  n=%d: knee at %.0f offered/s (capacity %.1f/s) — "
+              "bound by %s at %.1f%% busy (next: %s %.1f%%)\n",
+              members, knee->offered_per_sec, knee->achieved_per_sec,
+              binding->name.c_str(), binding->utilization_mean() * 100.0,
+              runner_up ? runner_up->name.c_str() : "-",
+              runner_up ? runner_up->utilization_mean() * 100.0 : 0.0);
+  report.AddRow("sim_knee")
+      .Set("members", members)
+      .Set("knee_offered_per_sec", knee->offered_per_sec)
+      .Set("capacity_per_sec", knee->achieved_per_sec)
+      .Set("binding_resource", binding->name)
+      .Set("binding_busy_pct", binding->utilization_mean() * 100.0)
+      .Set("runner_up_resource", runner_up ? runner_up->name : "-")
+      .Set("runner_up_busy_pct",
+           runner_up ? runner_up->utilization_mean() * 100.0 : 0.0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -332,12 +456,14 @@ int main(int argc, char** argv) {
   std::printf("%-8s %10s %12s %10s %8s %10s %10s %10s %8s\n", "members",
               "offered/s", "achieved/s", "completed", "shed", "p50(ms)",
               "p99(ms)", "max(ms)", "rexmit");
+  std::vector<std::vector<LoadResult>> sweeps;
   for (int members = 1; members <= 3; ++members) {
+    std::vector<LoadResult> sweep;
     for (size_t i = 0; i < kRates.size(); ++i) {
       LatencyAttributor attributor;
-      const LoadResult r =
-          RunSimLoad(members, kRates[i], window_s, &attributor);
+      LoadResult r = RunSimLoad(members, kRates[i], window_s, &attributor);
       AddLoadRow(report, "sim_load", members, r);
+      AddUtilRows(report, members, r);
       // Stage breakdown at the sweep endpoints: idle vs saturated.
       if (i == 0 || i + 1 == kRates.size()) {
         AddStageRows(report, members, kRates[i], attributor);
@@ -349,8 +475,17 @@ int main(int argc, char** argv) {
           std::printf("\n");
         }
       }
+      sweep.push_back(std::move(r));
     }
+    sweeps.push_back(std::move(sweep));
   }
+
+  std::printf("E21: knee attribution (USE telemetry at the first "
+              "overloaded rate):\n");
+  for (int members = 1; members <= 3; ++members) {
+    AttributeKnee(report, members, sweeps[static_cast<size_t>(members - 1)]);
+  }
+  std::printf("\n");
 
   std::printf("real loopback UDP (rt::Runtime, wall clock — not "
               "trend-gated):\n");

@@ -125,6 +125,14 @@ for path in files:
             ("rt_wallclock", load_cols),
             ("sim_stages", ["members", "offered_per_sec", "stage",
                             "count", "p50_us", "p99_us", "share_pct"]),
+            ("sim_util", ["members", "offered_per_sec", "resource",
+                          "busy_mean_pct", "busy_peak_pct", "queue_peak",
+                          "ops_total", "bytes_total", "errors_total",
+                          "level"]),
+            ("sim_knee", ["members", "knee_offered_per_sec",
+                          "capacity_per_sec", "binding_resource",
+                          "binding_busy_pct", "runner_up_resource",
+                          "runner_up_busy_pct"]),
         ]:
             rows = tables.get(tname)
             if not isinstance(rows, list) or not rows:
@@ -138,6 +146,15 @@ for path in files:
             if not any(row.get("completed", 0) > 0
                        for row in tables["sim_load"]):
                 errs.append("sim_load completed no calls at any rate")
+        # E21's acceptance bar: every knee is pinned on a resource that
+        # is actually saturated (>= 90% time-weighted busy share).
+        if isinstance(tables.get("sim_knee"), list):
+            for row in tables["sim_knee"]:
+                if row.get("binding_busy_pct", 0) < 90:
+                    errs.append(
+                        f"sim_knee n={row.get('members')}: binding "
+                        f"resource {row.get('binding_resource')} only "
+                        f"{row.get('binding_busy_pct'):.1f}% busy")
     if errs:
         ok = False
         for e in errs:

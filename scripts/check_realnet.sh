@@ -49,7 +49,9 @@ echo "check_realnet: rt suite stable over $runs runs"
 node_bin="$build_dir/src/rt/circus_node"
 merge_bin="$build_dir/src/rt/circus_trace_merge"
 wire_bin="$build_dir/src/rt/circus_wire"
-for bin in "$node_bin" "$merge_bin" "$wire_bin"; do
+lat_bin="$build_dir/src/rt/circus_lat"
+top_bin="$build_dir/src/rt/circus_top"
+for bin in "$node_bin" "$merge_bin" "$wire_bin" "$lat_bin" "$top_bin"; do
   if [ ! -x "$bin" ]; then
     echo "check_realnet: missing $bin (build first)" >&2
     exit 1
@@ -171,7 +173,8 @@ for port, role in [(38311, "ringmaster"), (38312, "member"),
     if not lines or not lines[0].startswith("ok "):
         print(f"FAIL: {port} health does not lead with ok: {health!r}")
         ok = False
-    for needle in (f"role {role}", "incarnation ", "addr 127.0.0.1:"):
+    for needle in (f"role {role}", "incarnation ", "addr 127.0.0.1:",
+                   "load "):
         if needle not in health:
             print(f"FAIL: {port} health missing {needle!r}: {health!r}")
             ok = False
@@ -195,8 +198,55 @@ for port, role in [(38311, "ringmaster"), (38312, "member"),
         if not calls or calls[0] <= 0:
             print(f"FAIL: client latency attribution saw no calls")
             ok = False
+    # Every node serves the USE-method utilization exposition, bare
+    # (one datagram) and paged (the full per-resource series).
+    util = ask(port, "util")
+    if not util.startswith("# TYPE circus_util_busy_pct gauge"):
+        print(f"FAIL: {port} util reply malformed: {util[:80]!r}")
+        ok = False
+    full_util = ask_paged(port, "util")
+    for needle in ('circus_util_busy_pct{resource="rt.loop"}',
+                   'circus_util_busy_pct{resource="cpu.process"}',
+                   'circus_util_queue{resource="net.udp"}',
+                   'circus_util_level{resource="obs.shard"}',
+                   "circus_util_samples_total"):
+        if needle not in full_util:
+            print(f"FAIL: {port} paged util missing {needle!r}")
+            ok = False
+    samples = [int(line.split()[1]) for line in full_util.splitlines()
+               if line.startswith("circus_util_samples_total ")]
+    if not samples or samples[0] <= 0:
+        print(f"FAIL: {port} utilization monitor never sampled")
+        ok = False
 sys.exit(0 if ok else 1)
 EOF
+
+# circus_top: one snapshot of the whole live testbed must render a
+# per-resource row block for every node and exit 0.
+top_rc=0
+"$top_bin" --once 127.0.0.1:38311 127.0.0.1:38312 127.0.0.1:38313 \
+  127.0.0.1:38314 >"$obs_dir/top.log" 2>&1 || top_rc=$?
+if [ "$top_rc" -ne 0 ]; then
+  echo "FAIL: circus_top --once exited $top_rc"
+  sed 's/^/  /' "$obs_dir/top.log"
+  obs_failures=$((obs_failures + 1))
+elif [ "$(grep -c "cpu.process" "$obs_dir/top.log")" -ne 4 ] \
+   || ! grep -q "rt.loop" "$obs_dir/top.log"; then
+  echo "FAIL: circus_top table missing per-node resource rows"
+  sed 's/^/  /' "$obs_dir/top.log"
+  obs_failures=$((obs_failures + 1))
+else
+  echo "PASS: circus_top --once rendered all 4 nodes"
+fi
+
+# Strict CLI flags: every tool must reject an unknown flag with usage
+# and a nonzero exit instead of silently treating it as an input path.
+for tool in "$merge_bin" "$lat_bin" "$wire_bin" "$top_bin"; do
+  if "$tool" --definitely-not-a-flag x >/dev/null 2>&1; then
+    echo "FAIL: $(basename "$tool") accepted an unknown flag"
+    obs_failures=$((obs_failures + 1))
+  fi
+done
 
 # Graceful shutdown: every node (including the mid-run client) must
 # exit 0 after flushing its final metrics snapshot and trace shard.
@@ -307,7 +357,7 @@ if [ "$obs_failures" -ne 0 ]; then
   done
   exit 1
 fi
-echo "check_realnet: observability round ok (metrics/health/latency on 4 nodes, shards merged, wire audit clean)"
+echo "check_realnet: observability round ok (metrics/health/latency/util on 4 nodes, circus_top snapshot, shards merged, wire audit clean)"
 
 # --- latency-bench round -----------------------------------------------
 # The open-loop load harness against the real runtime: bench_throughput

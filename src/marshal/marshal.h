@@ -20,6 +20,20 @@
 
 namespace circus::marshal {
 
+// Process-global marshal buffer accounting, one of the allocation hot
+// spots the utilization telemetry watches (src/obs/util.h). Charged
+// when a Writer's buffer is taken — one completed marshalled message.
+// Monotonic; probes baseline at registration and report deltas, so sim
+// runs stay deterministic even when several Worlds share a process.
+struct BufferStats {
+  uint64_t buffers = 0;
+  uint64_t bytes = 0;
+};
+inline BufferStats& GlobalBufferStats() {
+  static BufferStats stats;
+  return stats;
+}
+
 class Writer {
  public:
   Writer() = default;
@@ -54,7 +68,12 @@ class Writer {
   }
 
   const circus::Bytes& bytes() const { return out_; }
-  circus::Bytes Take() { return std::move(out_); }
+  circus::Bytes Take() {
+    BufferStats& stats = GlobalBufferStats();
+    ++stats.buffers;
+    stats.bytes += out_.size();
+    return std::move(out_);
+  }
   size_t size() const { return out_.size(); }
 
  private:

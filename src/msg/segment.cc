@@ -28,6 +28,9 @@ circus::Bytes Segment::Encode() const {
   out.push_back(static_cast<uint8_t>(call_number >> 8));
   out.push_back(static_cast<uint8_t>(call_number));
   out.insert(out.end(), data.begin(), data.end());
+  SegmentStats& stats = GlobalSegmentStats();
+  ++stats.segments;
+  stats.bytes += out.size();
   return out;
 }
 

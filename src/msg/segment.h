@@ -21,6 +21,19 @@
 
 namespace circus::msg {
 
+// Process-global segment encode accounting, one of the allocation hot
+// spots the utilization telemetry watches (src/obs/util.h): every
+// Encode allocates one wire buffer. Monotonic; probes baseline at
+// registration and report deltas.
+struct SegmentStats {
+  uint64_t segments = 0;
+  uint64_t bytes = 0;
+};
+inline SegmentStats& GlobalSegmentStats() {
+  static SegmentStats stats;
+  return stats;
+}
+
 enum class MessageType : uint8_t {
   kCall = 0,
   kReturn = 1,

@@ -110,10 +110,19 @@ const FaultPlan& Network::PlanFor(sim::Host::HostId src,
   return it == pair_plans_.end() ? default_plan_ : it->second;
 }
 
+size_t Network::TotalReceiveBacklog() const {
+  size_t total = 0;
+  for (const auto& [address, socket] : sockets_) {
+    total += socket->queued();
+  }
+  return total;
+}
+
 void Network::Transmit(sim::Host* sender, Datagram datagram) {
   CIRCUS_CHECK_MSG(datagram.payload.size() <= kMaxDatagramBytes,
                    "datagram exceeds network MTU");
   ++stats_.packets_sent;
+  stats_.bytes_sent += datagram.payload.size();
   ObserveSend(sender, datagram);
   if (datagram.destination.is_multicast()) {
     auto it = groups_.find(datagram.destination.host);

@@ -45,6 +45,7 @@ struct FaultPlan {
 struct NetworkStats {
   uint64_t packets_sent = 0;       // send operations (multicast counts 1)
   uint64_t packets_delivered = 0;  // per-recipient deliveries
+  uint64_t bytes_sent = 0;         // payload bytes entering the wire
   uint64_t packets_lost = 0;
   uint64_t packets_duplicated = 0;
   uint64_t packets_blocked_by_partition = 0;
@@ -81,6 +82,9 @@ class Network : public Fabric {
   // --- Observation ---
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
+  // Datagrams sitting in bound sockets' receive queues, network-wide —
+  // the recv-backlog side of the utilization telemetry.
+  size_t TotalReceiveBacklog() const;
 
  protected:
   circus::StatusOr<NetAddress> Bind(DatagramSocket* socket,

@@ -14,6 +14,7 @@
 #include "src/net/tap.h"
 #include "src/obs/bus.h"
 #include "src/obs/metrics.h"
+#include "src/obs/util.h"
 #include "src/sim/executor.h"
 #include "src/sim/host.h"
 #include "src/sim/random.h"
@@ -65,6 +66,14 @@ class World {
   WireTapWriter& CapturePackets(const std::string& path = "",
                                 size_t capacity = 1 << 16);
   WireTapWriter* packet_capture() { return tap_.get(); }
+
+  // Registers this world's resources on a utilization monitor: one
+  // cpu.<host> per host added so far (call after topology is built),
+  // the executor run queue, and the network (packets, bytes, losses,
+  // receive backlog). The caller attaches bus/metrics sinks and drives
+  // monitor->Sample() between RunFor steps; everything runs on virtual
+  // time, so same-seed runs report byte-identical snapshots.
+  void WireUtilization(obs::UtilizationMonitor* monitor);
 
   // Convenience wrappers over the executor.
   void RunUntilIdle() { executor_.RunUntilIdle(); }

@@ -66,12 +66,14 @@ const char* EventKindName(EventKind kind) {
       return "call_admit";
     case EventKind::kSlowCall:
       return "slow_call";
+    case EventKind::kSaturation:
+      return "saturation";
   }
   return "unknown";
 }
 
 bool EventKindFromName(std::string_view name, EventKind* out) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kSlowCall);
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kSaturation);
        ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == EventKindName(kind)) {

@@ -95,6 +95,10 @@ enum class EventKind : uint8_t {
   kSlowCall,              // a call exceeded the slow-call threshold
                           // (a = end-to-end ns, b = threshold ns,
                           // detail = per-stage breakdown)
+  kSaturation,            // a resource crossed a saturation level
+                          // (detail = resource name, a = utilization in
+                          // basis points, b = new level 0 ok / 1 high /
+                          // 2 saturated, c = queue depth)
 };
 
 // Stable lower_snake name for exports ("segment_send", "call_issue", ...).

@@ -64,6 +64,39 @@ std::vector<std::pair<double, uint64_t>> Histogram::CumulativeBuckets()
   return out;
 }
 
+void Gauge::Set(double value) {
+  const int64_t now = owner_->NowNs();
+  if (!initialized_) {
+    initialized_ = true;
+    first_ns_ = last_ns_ = now;
+    min_ = max_ = value;
+  } else {
+    if (now > last_ns_) {
+      integral_ += value_ * static_cast<double>(now - last_ns_);
+      last_ns_ = now;
+    }
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  value_ = value;
+}
+
+double Gauge::MeanUntil(int64_t now_ns) const {
+  if (!initialized_) {
+    return 0.0;
+  }
+  double integral = integral_;
+  int64_t last = last_ns_;
+  if (now_ns > last) {
+    integral += value_ * static_cast<double>(now_ns - last);
+    last = now_ns;
+  }
+  if (last == first_ns_) {
+    return value_;
+  }
+  return integral / static_cast<double>(last - first_ns_);
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   auto& slot = counters_[name];
   if (slot == nullptr) {
@@ -80,11 +113,27 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot.reset(new Gauge(this));
+  }
+  return slot.get();
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::Snap(int64_t time_ns) const {
   Snapshot snap;
   snap.time_ns = time_ns;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    GaugeStats g;
+    g.value = gauge->value();
+    g.min = gauge->min();
+    g.max = gauge->max();
+    g.mean = gauge->MeanUntil(time_ns);
+    snap.gauges[name] = g;
   }
   for (const auto& [name, hist] : histograms_) {
     HistogramStats s;
@@ -111,6 +160,12 @@ std::string MetricsRegistry::Snapshot::ToString() const {
   for (const auto& [name, value] : counters) {
     std::snprintf(buf, sizeof(buf), "  %s = %llu\n", name.c_str(),
                   static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %s ~ %.3f (min=%.3f max=%.3f avg=%.3f)\n",
+                  name.c_str(), g.value, g.min, g.max, g.mean);
     out += buf;
   }
   for (const auto& [name, h] : histograms) {
@@ -141,6 +196,20 @@ std::string MetricsRegistry::Snapshot::ToPrometheus() const {
     const std::string metric = sanitize(name) + "_total";
     out += "# TYPE " + metric + " counter\n";
     out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, g] : gauges) {
+    const std::string metric = sanitize(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(g.value) + "\n";
+    const struct {
+      const char* suffix;
+      double value;
+    } kCompanions[] = {
+        {"_min", g.min}, {"_max", g.max}, {"_avg", g.mean}};
+    for (const auto& c : kCompanions) {
+      out += "# TYPE " + metric + c.suffix + " gauge\n";
+      out += metric + c.suffix + " " + std::to_string(c.value) + "\n";
+    }
   }
   for (const auto& [name, h] : histograms) {
     const std::string metric = sanitize(name);

@@ -114,6 +114,7 @@ circus::Status ShardWriter::Flush() {
                : circus::Status(circus::ErrorCode::kUnavailable,
                                 "shard file not open: " + path_);
   }
+  ++flushes_;
   if (dropped_unreported_ != 0) {
     pending_lines_.push_front(DropMarker(dropped_unreported_).Dump());
     dropped_unreported_ = 0;
@@ -122,12 +123,14 @@ circus::Status ShardWriter::Flush() {
     const std::string& line = pending_lines_.front();
     if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
         std::fputc('\n', file_) == EOF) {
+      ++flush_failures_;
       return circus::Status(circus::ErrorCode::kUnavailable,
                             "short write to shard " + path_);
     }
     pending_lines_.pop_front();
   }
   if (std::fflush(file_) != 0) {
+    ++flush_failures_;
     return circus::Status(circus::ErrorCode::kUnavailable,
                           "fflush failed for shard " + path_);
   }

@@ -79,6 +79,11 @@ class ShardWriter {
   std::vector<Event> Recent() const;
   uint64_t observed() const { return observed_; }
   uint64_t dropped() const { return dropped_; }
+  // Lines buffered but not yet on disk (the flush backlog).
+  size_t pending() const { return pending_lines_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t flush_failures() const { return flush_failures_; }
 
  private:
   std::string path_;
@@ -94,6 +99,8 @@ class ShardWriter {
   uint64_t observed_ = 0;
   uint64_t dropped_ = 0;
   uint64_t dropped_unreported_ = 0;  // drops since the last flushed marker
+  uint64_t flushes_ = 0;
+  uint64_t flush_failures_ = 0;
 };
 
 // Inverse of EventToJson. False when `line` is not an event object (a

@@ -1,0 +1,254 @@
+#include "src/obs/util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "src/obs/event.h"
+
+namespace circus::obs {
+
+namespace {
+
+SaturationLevel Grade(const ResourceSample& sample,
+                      const ResourceGrading& grading) {
+  SaturationLevel level = SaturationLevel::kOk;
+  if (sample.utilization >= 0) {
+    if (sample.utilization >= grading.saturated_utilization) {
+      level = SaturationLevel::kSaturated;
+    } else if (sample.utilization >= grading.high_utilization) {
+      level = SaturationLevel::kHigh;
+    }
+  }
+  if (grading.saturated_queue >= 0 &&
+      sample.queue >= grading.saturated_queue) {
+    level = SaturationLevel::kSaturated;
+  } else if (grading.high_queue >= 0 && sample.queue >= grading.high_queue &&
+             level == SaturationLevel::kOk) {
+    level = SaturationLevel::kHigh;
+  }
+  return level;
+}
+
+// Prometheus doubles via %g would drop trailing zeros run-to-run
+// identically, but std::to_string's fixed six decimals match the rest
+// of the obs expositions; keep the house style.
+std::string Num(double v) { return std::to_string(v); }
+
+}  // namespace
+
+const char* SaturationLevelName(SaturationLevel level) {
+  switch (level) {
+    case SaturationLevel::kOk:
+      return "ok";
+    case SaturationLevel::kHigh:
+      return "high";
+    case SaturationLevel::kSaturated:
+      return "saturated";
+  }
+  return "unknown";
+}
+
+void UtilizationMonitor::AddResource(std::string name, ResourceProbe probe,
+                                     ResourceGrading grading) {
+  ResourceStats stats;
+  stats.name = std::move(name);
+  stats.grading = grading;
+  resources_.push_back(std::move(stats));
+  probes_.push_back(std::move(probe));
+}
+
+void UtilizationMonitor::PublishTransition(const ResourceStats& stats,
+                                           int64_t now_ns) {
+  if (bus_ == nullptr || !bus_->active()) {
+    return;
+  }
+  Event e;
+  e.kind = EventKind::kSaturation;
+  e.time_ns = now_ns;
+  e.detail = stats.name;
+  const double util = stats.last.utilization;
+  e.a = util > 0 ? static_cast<uint64_t>(std::lround(util * 10000.0)) : 0;
+  e.b = static_cast<uint64_t>(stats.level);
+  e.c = stats.last.queue > 0
+            ? static_cast<uint64_t>(std::lround(stats.last.queue))
+            : 0;
+  bus_->Publish(std::move(e));
+}
+
+void UtilizationMonitor::MirrorToMetrics(const ResourceStats& stats,
+                                         const ResourceSample& delta) {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  const std::string prefix = "util." + stats.name;
+  metrics_->GetGauge(prefix + ".busy_pct")
+      ->Set(stats.last.utilization >= 0 ? stats.last.utilization * 100.0
+                                        : -1.0);
+  metrics_->GetGauge(prefix + ".queue")->Set(stats.last.queue);
+  metrics_->GetGauge(prefix + ".level")
+      ->Set(static_cast<double>(stats.level));
+  metrics_->GetCounter(prefix + ".ops")->Add(delta.ops);
+  metrics_->GetCounter(prefix + ".bytes")->Add(delta.bytes);
+  metrics_->GetCounter(prefix + ".errors")->Add(delta.errors);
+}
+
+void UtilizationMonitor::Sample(int64_t now_ns) {
+  const int64_t window_ns = started_ ? now_ns - last_sample_ns_ : 0;
+  started_ = true;
+  last_sample_ns_ = now_ns;
+  last_window_ns_ = window_ns;
+  ++samples_;
+  for (size_t i = 0; i < probes_.size(); ++i) {
+    ResourceStats& stats = resources_[i];
+    const ResourceSample sample = probes_[i](window_ns);
+    stats.last = sample;
+    if (sample.utilization >= 0 && window_ns > 0) {
+      if (sample.utilization > stats.utilization_peak) {
+        stats.utilization_peak = sample.utilization;
+      }
+      stats.util_weighted_sum +=
+          sample.utilization * static_cast<double>(window_ns);
+      stats.util_weight_ns += static_cast<double>(window_ns);
+    }
+    if (sample.queue > stats.queue_peak) {
+      stats.queue_peak = sample.queue;
+    }
+    stats.ops_total += sample.ops;
+    stats.bytes_total += sample.bytes;
+    stats.errors_total += sample.errors;
+    const double window_s = static_cast<double>(window_ns) / 1e9;
+    stats.ops_per_sec =
+        window_s > 0 ? static_cast<double>(sample.ops) / window_s : 0;
+    stats.bytes_per_sec =
+        window_s > 0 ? static_cast<double>(sample.bytes) / window_s : 0;
+    const SaturationLevel level = Grade(sample, stats.grading);
+    const bool transitioned = level != stats.level;
+    stats.level = level;
+    if (transitioned) {
+      PublishTransition(stats, now_ns);
+    }
+    MirrorToMetrics(stats, sample);
+  }
+}
+
+const ResourceStats* UtilizationMonitor::Find(std::string_view name) const {
+  for (const ResourceStats& stats : resources_) {
+    if (stats.name == name) {
+      return &stats;
+    }
+  }
+  return nullptr;
+}
+
+SaturationLevel UtilizationMonitor::WorstLevel() const {
+  SaturationLevel worst = SaturationLevel::kOk;
+  for (const ResourceStats& stats : resources_) {
+    if (static_cast<uint8_t>(stats.level) > static_cast<uint8_t>(worst)) {
+      worst = stats.level;
+    }
+  }
+  return worst;
+}
+
+std::string UtilizationMonitor::ToString() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "util @ %.3fs, %llu sample(s), worst %s\n",
+                static_cast<double>(last_sample_ns_) / 1e9,
+                static_cast<unsigned long long>(samples_),
+                SaturationLevelName(WorstLevel()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  %-18s %6s %6s %6s %8s %8s %10s %12s %6s %s\n",
+                "resource", "busy%", "mean%", "peak%", "queue", "q.peak",
+                "ops/s", "bytes/s", "errs", "level");
+  out += line;
+  for (const ResourceStats& s : resources_) {
+    char busy[16];
+    if (s.last.utilization >= 0) {
+      std::snprintf(busy, sizeof(busy), "%6.1f", s.last.utilization * 100);
+    } else {
+      std::snprintf(busy, sizeof(busy), "%6s", "-");
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %-18s %6s %6.1f %6.1f %8.1f %8.1f %10.1f %12.1f %6llu"
+                  " %s\n",
+                  s.name.c_str(), busy, s.utilization_mean() * 100,
+                  s.utilization_peak * 100, s.last.queue, s.queue_peak,
+                  s.ops_per_sec, s.bytes_per_sec,
+                  static_cast<unsigned long long>(s.errors_total),
+                  SaturationLevelName(s.level));
+    out += line;
+  }
+  return out;
+}
+
+std::string UtilizationMonitor::ToPrometheus() const {
+  auto label = [](const std::string& name) {
+    return "{resource=\"" + name + "\"} ";
+  };
+  std::string out;
+  struct GaugeFamily {
+    const char* metric;
+    std::function<double(const ResourceStats&)> value;
+  };
+  const GaugeFamily kGauges[] = {
+      {"circus_util_busy_pct",
+       [](const ResourceStats& s) {
+         return s.last.utilization >= 0 ? s.last.utilization * 100 : -1.0;
+       }},
+      {"circus_util_busy_mean_pct",
+       [](const ResourceStats& s) { return s.utilization_mean() * 100; }},
+      {"circus_util_busy_peak_pct",
+       [](const ResourceStats& s) { return s.utilization_peak * 100; }},
+      {"circus_util_queue",
+       [](const ResourceStats& s) { return s.last.queue; }},
+      {"circus_util_queue_peak",
+       [](const ResourceStats& s) { return s.queue_peak; }},
+      {"circus_util_ops_per_sec",
+       [](const ResourceStats& s) { return s.ops_per_sec; }},
+      {"circus_util_bytes_per_sec",
+       [](const ResourceStats& s) { return s.bytes_per_sec; }},
+      {"circus_util_level",
+       [](const ResourceStats& s) {
+         return static_cast<double>(s.level);
+       }},
+  };
+  for (const GaugeFamily& family : kGauges) {
+    out += std::string("# TYPE ") + family.metric + " gauge\n";
+    for (const ResourceStats& s : resources_) {
+      out += family.metric + label(s.name) + Num(family.value(s)) + "\n";
+    }
+  }
+  struct CounterFamily {
+    const char* metric;
+    std::function<uint64_t(const ResourceStats&)> value;
+  };
+  const CounterFamily kCounters[] = {
+      {"circus_util_ops_total",
+       [](const ResourceStats& s) { return s.ops_total; }},
+      {"circus_util_bytes_total",
+       [](const ResourceStats& s) { return s.bytes_total; }},
+      {"circus_util_errors_total",
+       [](const ResourceStats& s) { return s.errors_total; }},
+  };
+  for (const CounterFamily& family : kCounters) {
+    out += std::string("# TYPE ") + family.metric + " counter\n";
+    for (const ResourceStats& s : resources_) {
+      out += family.metric + label(s.name) +
+             std::to_string(family.value(s)) + "\n";
+    }
+  }
+  out += "# TYPE circus_util_samples_total counter\n";
+  out += "circus_util_samples_total " + std::to_string(samples_) + "\n";
+  out += "# TYPE circus_util_window_ns gauge\n";
+  out += "circus_util_window_ns " + std::to_string(last_window_ns_) + "\n";
+  out += "# TYPE circus_util_worst_level gauge\n";
+  out += "circus_util_worst_level " +
+         std::to_string(static_cast<int>(WorstLevel())) + "\n";
+  return out;
+}
+
+}  // namespace circus::obs

@@ -1,9 +1,14 @@
 #include "src/rt/introspect.h"
 
+#include <sys/resource.h>
+#include <time.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <utility>
 
+#include "src/marshal/marshal.h"
+#include "src/msg/segment.h"
 #include "src/obs/export.h"
 #include "src/obs/trace.h"
 
@@ -101,8 +106,31 @@ sim::Task<void> ServeStats(NodeObservability* node,
 sim::Task<void> PeriodicFlush(NodeObservability* node, sim::Host* host) {
   for (;;) {
     co_await host->SleepFor(sim::Duration::Millis(250));
+    node->SampleUtilization();
     node->FlushShard();  // no-op when nothing is pending
   }
+}
+
+// CPU this thread has burned, per CLOCK_THREAD_CPUTIME_ID. The whole
+// node is single-threaded, so thread CPU == process CPU, but the thread
+// clock stays honest if that ever changes.
+int64_t ThreadCpuNanos() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+// Context switches from getrusage: voluntary ones are epoll sleeps,
+// involuntary ones mean the scheduler preempted a busy loop.
+uint64_t ContextSwitches() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(ru.ru_nvcsw) +
+         static_cast<uint64_t>(ru.ru_nivcsw);
 }
 
 // Deeper than the ShardWriter default: a node under replicated-call
@@ -173,9 +201,13 @@ NodeObservability::NodeObservability(Runtime* runtime, sim::Host* host,
     runtime->fabric().set_packet_tap(tap_.get());
   }
 
-  if (!shard_->path().empty() || tap_ != nullptr) {
-    host->Spawn(PeriodicFlush(this, host));
-  }
+  WireUtilizationProbes();
+  SampleUtilization();  // baseline every probe at construction
+
+  // Always spawned: beyond shard/tap flushing it drives the 250 ms
+  // utilization sampling that feeds kSaturation events, the health
+  // `load` grade, and the `util` query.
+  host->Spawn(PeriodicFlush(this, host));
 
   if (config.stats_port != 0) {
     circus::StatusOr<std::unique_ptr<net::DatagramSocket>> socket =
@@ -198,6 +230,106 @@ NodeObservability::~NodeObservability() {
     runtime_->fabric().set_packet_tap(nullptr);
   }
   FlushShard();
+}
+
+void NodeObservability::WireUtilizationProbes() {
+  monitor_.SetBus(&runtime_->bus());
+  monitor_.SetMetrics(&runtime_->metrics());
+  IoLoop* loop = &runtime_->loop();
+  sim::Executor* executor = &runtime_->executor();
+  monitor_.AddResource(
+      "rt.loop", [loop, executor, prev = loop->stats()](int64_t) mutable {
+        obs::ResourceSample sample;
+        const IoLoopStats now = loop->stats();
+        const int64_t busy = now.busy_ns - prev.busy_ns;
+        const int64_t idle = now.idle_ns - prev.idle_ns;
+        if (busy + idle > 0) {
+          sample.utilization =
+              static_cast<double>(busy) / static_cast<double>(busy + idle);
+        }
+        sample.ops = now.wakeups - prev.wakeups;
+        sample.queue = static_cast<double>(executor->pending_events());
+        prev = now;
+        return sample;
+      });
+  monitor_.AddResource(
+      "cpu.process",
+      [prev_cpu = ThreadCpuNanos(),
+       prev_csw = ContextSwitches()](int64_t window_ns) mutable {
+        obs::ResourceSample sample;
+        const int64_t cpu = ThreadCpuNanos();
+        const uint64_t csw = ContextSwitches();
+        if (window_ns > 0) {
+          sample.utilization = static_cast<double>(cpu - prev_cpu) /
+                               static_cast<double>(window_ns);
+        }
+        sample.ops = csw - prev_csw;
+        prev_cpu = cpu;
+        prev_csw = csw;
+        return sample;
+      });
+  UdpFabric* fabric = &runtime_->fabric();
+  monitor_.AddResource(
+      "net.udp",
+      [fabric, prev = fabric->stats()](int64_t) mutable {
+        obs::ResourceSample sample;
+        const UdpFabricStats now = fabric->stats();
+        sample.ops = (now.packets_sent - prev.packets_sent) +
+                     (now.packets_delivered - prev.packets_delivered);
+        sample.bytes = (now.bytes_sent - prev.bytes_sent) +
+                       (now.bytes_delivered - prev.bytes_delivered);
+        // EAGAIN/ENOBUFS backpressure drops are send_errors too, so
+        // they are already in this sum alongside oversize datagrams.
+        sample.errors = (now.send_errors - prev.send_errors) +
+                        (now.truncated - prev.truncated);
+        sample.queue =
+            static_cast<double>(fabric->TotalReceiveBacklog());
+        prev = now;
+        return sample;
+      },
+      obs::ResourceGrading{.high_queue = 64, .saturated_queue = 256});
+  monitor_.AddResource(
+      "alloc.marshal",
+      [prev = marshal::GlobalBufferStats()](int64_t) mutable {
+        obs::ResourceSample sample;
+        const marshal::BufferStats now = marshal::GlobalBufferStats();
+        sample.ops = now.buffers - prev.buffers;
+        sample.bytes = now.bytes - prev.bytes;
+        prev = now;
+        return sample;
+      });
+  monitor_.AddResource(
+      "msg.segment",
+      [prev = msg::GlobalSegmentStats()](int64_t) mutable {
+        obs::ResourceSample sample;
+        const msg::SegmentStats now = msg::GlobalSegmentStats();
+        sample.ops = now.segments - prev.segments;
+        sample.bytes = now.bytes - prev.bytes;
+        prev = now;
+        return sample;
+      });
+  obs::ShardWriter* shard = shard_.get();
+  obs::ResourceGrading shard_grading;
+  shard_grading.high_queue = static_cast<double>(shard->capacity()) * 0.7;
+  shard_grading.saturated_queue =
+      static_cast<double>(shard->capacity()) * 0.9;
+  monitor_.AddResource(
+      "obs.shard",
+      [shard, prev_observed = shard->observed(),
+       prev_dropped = shard->dropped()](int64_t) mutable {
+        obs::ResourceSample sample;
+        sample.ops = shard->observed() - prev_observed;
+        sample.errors = shard->dropped() - prev_dropped;
+        sample.queue = static_cast<double>(shard->pending());
+        prev_observed = shard->observed();
+        prev_dropped = shard->dropped();
+        return sample;
+      },
+      shard_grading);
+}
+
+void NodeObservability::SampleUtilization() {
+  monitor_.Sample(runtime_->now().nanos());
 }
 
 void NodeObservability::DumpSlowCalls() {
@@ -266,34 +398,70 @@ std::string NodeObservability::HandleQuery(std::string_view query) {
   if (q == "latency") {
     return Truncated(LatencyText());
   }
-  const bool paged_metrics = q.starts_with("metrics ");
-  const bool paged_spans = q.starts_with("spans ");
-  const bool paged_latency = q.starts_with("latency ");
-  if (paged_metrics || paged_spans || paged_latency) {
-    // "metrics " / "latency " / "spans "
-    const size_t skip = paged_spans ? 6 : 8;
-    size_t offset = 0;
-    if (!ParseOffset(TrimView(q.substr(skip)), &offset)) {
-      return "err bad offset (try: metrics <offset> | spans <offset> | "
-             "latency <offset>)\n";
+  if (q == "util") {
+    return Truncated(UtilText());
+  }
+  const struct {
+    std::string_view prefix;
+    std::string (NodeObservability::*text)() const;
+  } kPagedQueries[] = {
+      {"metrics ", &NodeObservability::MetricsText},
+      {"spans ", &NodeObservability::SpansText},
+      {"latency ", &NodeObservability::LatencyText},
+      {"util ", &NodeObservability::UtilText},
+  };
+  for (const auto& paged : kPagedQueries) {
+    if (!q.starts_with(paged.prefix)) {
+      continue;
     }
-    return Paged(paged_metrics   ? MetricsText()
-                 : paged_latency ? LatencyText()
-                                 : SpansText(),
-                 offset);
+    size_t offset = 0;
+    if (!ParseOffset(TrimView(q.substr(paged.prefix.size())), &offset)) {
+      return "err bad offset (try: metrics <offset> | spans <offset> | "
+             "latency <offset> | util <offset>)\n";
+    }
+    return Paged((this->*paged.text)(), offset);
   }
   std::string reply = "err unknown query '";
   reply.append(q.substr(0, 32));
-  reply += "' (try: metrics | health | spans | latency)\n";
+  reply += "' (try: metrics | health | spans | latency | util)\n";
   return Truncated(std::move(reply));
 }
 
 std::string NodeObservability::MetricsText() const {
-  return runtime_->metrics().Snap(runtime_->now().nanos()).ToPrometheus();
+  // Shard drop-marker and flush accounting leads the exposition so it
+  // survives even when the bare (one-datagram, truncated) reply cuts
+  // the registry tail — a shard silently dropping events is exactly
+  // the condition an operator queries `metrics` to notice.
+  std::string out;
+  const struct {
+    const char* metric;
+    const char* type;
+    uint64_t value;
+  } kShardSeries[] = {
+      {"circus_shard_observed_total", "counter", shard_->observed()},
+      {"circus_shard_dropped_total", "counter", shard_->dropped()},
+      {"circus_shard_pending_lines", "gauge",
+       static_cast<uint64_t>(shard_->pending())},
+      {"circus_shard_flushes_total", "counter", shard_->flushes()},
+      {"circus_shard_flush_failures_total", "counter",
+       shard_->flush_failures()},
+  };
+  for (const auto& series : kShardSeries) {
+    out += std::string("# TYPE ") + series.metric + " " + series.type +
+           "\n";
+    out += std::string(series.metric) + " " +
+           std::to_string(series.value) + "\n";
+  }
+  out += runtime_->metrics().Snap(runtime_->now().nanos()).ToPrometheus();
+  return out;
 }
 
 std::string NodeObservability::LatencyText() const {
   return attributor_->ToPrometheus();
+}
+
+std::string NodeObservability::UtilText() const {
+  return monitor_.ToPrometheus();
 }
 
 std::string NodeObservability::HealthText() const {
@@ -305,6 +473,11 @@ std::string NodeObservability::HealthText() const {
   out += line;
   std::snprintf(line, sizeof(line), "incarnation %" PRIu64 "\n",
                 runtime_->incarnation());
+  out += line;
+  // The worst saturation grade across every monitored resource — the
+  // one-word answer to "is this node running hot".
+  std::snprintf(line, sizeof(line), "load %s\n",
+                obs::SaturationLevelName(monitor_.WorstLevel()));
   out += line;
   if (process_ == nullptr) {
     out += "troupe unbound\npeers 0\n";

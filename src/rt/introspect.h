@@ -15,10 +15,15 @@
 //        spans    -> recent root-thread span trees from the ring
 //        latency  -> per-stage call-latency percentiles from the
 //                    node's LatencyAttributor, Prometheus text
+//        util     -> per-resource utilization/saturation readings from
+//                    the node's UtilizationMonitor (USE method: loop
+//                    busy share, process CPU, socket backlog,
+//                    allocation rates), Prometheus text
 //    Replies are truncated to one datagram (net::Fabric MTU) so the
 //    endpoint can be driven with nothing more than netcat. Replies too
 //    large for one datagram are readable in full through the paged
-//    forms `metrics <offset>` / `spans <offset>`: the reply's first
+//    forms `<query> <offset>` (any query above except health): the
+//    reply's first
 //    line is `chunk <offset> <next>` (next = "end" on the last chunk)
 //    and the rest is the bytes of the full text starting at <offset> —
 //    re-query with <next> until "end" and concatenate;
@@ -42,6 +47,7 @@
 #include "src/net/tap.h"
 #include "src/obs/latency.h"
 #include "src/obs/shard.h"
+#include "src/obs/util.h"
 #include "src/rt/node_config.h"
 #include "src/rt/runtime.h"
 
@@ -89,6 +95,14 @@ class NodeObservability {
   }
 
   obs::ShardWriter& shard() { return *shard_; }
+  // The node's USE-method utilization monitor (always attached; the
+  // `util` query, the health `load` grade, and circus_top read it).
+  obs::UtilizationMonitor& util() { return monitor_; }
+
+  // Samples every utilization probe at the runtime's current time. The
+  // periodic flush task drives this every 250 ms; exposed so tests and
+  // shutdown paths can force a fresh reading.
+  void SampleUtilization();
   // The packet capture, or nullptr when tap_dir is unset.
   net::WireTapWriter* tap() { return tap_.get(); }
   // The node's stage-level latency attributor (always attached; the
@@ -113,6 +127,8 @@ class NodeObservability {
   std::string HealthText() const;
   std::string SpansText() const;
   std::string LatencyText() const;
+  std::string UtilText() const;
+  void WireUtilizationProbes();
   // Drains calls that crossed slow_call_us into the trace shard as
   // kSlowCall events (one per offending call, span tree in detail).
   void DumpSlowCalls();
@@ -122,6 +138,7 @@ class NodeObservability {
   core::RpcProcess* process_ = nullptr;
   const net::FaultFabric* fault_fabric_ = nullptr;
   std::unique_ptr<obs::LatencyAttributor> attributor_;
+  obs::UtilizationMonitor monitor_;
   std::unique_ptr<obs::ShardWriter> shard_;
   std::unique_ptr<net::WireTapWriter> tap_;
   std::unique_ptr<net::DatagramSocket> stats_socket_;

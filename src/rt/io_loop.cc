@@ -86,10 +86,12 @@ void IoLoop::SetObservability(obs::EventBus* bus,
     wakeups_ = metrics->GetCounter("rt.loop.wakeups");
     fd_events_ = metrics->GetCounter("rt.loop.fd_events");
     timer_slack_us_ = metrics->GetHistogram("rt.loop.timer_slack_us");
+    iter_us_ = metrics->GetHistogram("rt.loop.iter_us");
   } else {
     wakeups_ = nullptr;
     fd_events_ = nullptr;
     timer_slack_us_ = nullptr;
+    iter_us_ = nullptr;
   }
 }
 
@@ -109,6 +111,10 @@ bool IoLoop::RunUntil(const std::function<bool()>& done,
                       sim::Duration wall_timeout) {
   stop_ = false;
   const sim::TimePoint deadline = WallNow() + wall_timeout;
+  // Work/idle attribution: everything between epoll returns is work
+  // (due events, done checks, fd callbacks); the epoll_wait itself is
+  // idle. `mark` carries the boundary across iterations.
+  int64_t mark = MonotonicNanos();
   while (!stop_) {
     // Run everything whose virtual deadline has passed, advancing the
     // executor clock to track the wall clock.
@@ -125,13 +131,22 @@ bool IoLoop::RunUntil(const std::function<bool()>& done,
       wake = *next;
     }
     ArmTimer(wake);
+    const int64_t wait_start = MonotonicNanos();
+    const int64_t work_ns = wait_start - mark;
+    stats_.busy_ns += work_ns;
+    if (iter_us_ != nullptr) {
+      iter_us_->Observe(static_cast<double>(work_ns) / 1000.0);
+    }
     epoll_event events[16];
     const int n = epoll_wait(epoll_fd_, events,
                              static_cast<int>(std::size(events)), -1);
+    mark = MonotonicNanos();
+    stats_.idle_ns += mark - wait_start;
     if (n < 0) {
       CIRCUS_CHECK_MSG(errno == EINTR, "epoll_wait failed");
       continue;
     }
+    ++stats_.wakeups;
     bool timer_fired = false;
     int ready_fds = 0;
     for (int i = 0; i < n; ++i) {
@@ -141,8 +156,10 @@ bool IoLoop::RunUntil(const std::function<bool()>& done,
         ++ready_fds;
       }
     }
+    stats_.fd_events += static_cast<uint64_t>(ready_fds);
     int64_t slack_ns = 0;
     if (timer_fired) {
+      ++stats_.timer_fires;
       slack_ns = (WallNow() - armed_wake_).nanos();
       if (slack_ns < 0) {
         slack_ns = 0;

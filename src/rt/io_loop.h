@@ -29,6 +29,17 @@
 
 namespace circus::rt {
 
+// Cumulative loop accounting for the utilization telemetry: wall time
+// split into work (running due events + fd callbacks) and idle (blocked
+// in epoll_wait). busy / (busy + idle) is the loop's utilization.
+struct IoLoopStats {
+  uint64_t wakeups = 0;      // epoll returns
+  uint64_t fd_events = 0;    // readable fds handed to callbacks
+  uint64_t timer_fires = 0;  // wakeups where the armed timerfd expired
+  int64_t busy_ns = 0;       // outside epoll_wait
+  int64_t idle_ns = 0;       // inside epoll_wait
+};
+
 class IoLoop {
  public:
   explicit IoLoop(sim::Executor* executor);
@@ -67,6 +78,8 @@ class IoLoop {
   // active bus each wakeup also publishes a kLoopWakeup event.
   void SetObservability(obs::EventBus* bus, obs::MetricsRegistry* metrics);
 
+  const IoLoopStats& stats() const { return stats_; }
+
  private:
   void ArmTimer(sim::TimePoint wake);
   static int64_t MonotonicNanos();
@@ -83,7 +96,9 @@ class IoLoop {
   obs::Counter* wakeups_ = nullptr;
   obs::Counter* fd_events_ = nullptr;
   obs::Histogram* timer_slack_us_ = nullptr;
+  obs::Histogram* iter_us_ = nullptr;  // per-iteration work-phase time
   sim::TimePoint armed_wake_;  // deadline behind the armed timerfd
+  IoLoopStats stats_;
 };
 
 }  // namespace circus::rt

@@ -48,6 +48,9 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "-h") == 0 ||
                std::strcmp(argv[i], "--help") == 0) {
       return Usage();
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "circus_lat: unknown flag %s\n", argv[i]);
+      return Usage();
     } else {
       shard_paths.push_back(argv[i]);
     }

@@ -9,6 +9,7 @@ Runtime::Runtime() : loop_(&executor_), fabric_(&loop_) {
   // so "executor now" IS wall time here — the same clock seam the
   // simulated World fills with virtual time.
   bus_.SetClock([this] { return executor_.now().nanos(); });
+  metrics_.SetClock([this] { return executor_.now().nanos(); });
   // Wall-clock nanoseconds alone could collide across two processes
   // started within one scheduler tick; folding in the pid makes the
   // incarnation unique per OS process on one machine.

@@ -37,6 +37,11 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: circus_trace_merge [-o out.trace.json] shard...\n");
       return 2;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "circus_trace_merge: unknown flag %s\n", argv[i]);
+      std::fprintf(stderr,
+                   "usage: circus_trace_merge [-o out.trace.json] shard...\n");
+      return 2;
     } else {
       shard_paths.push_back(argv[i]);
     }

@@ -145,10 +145,19 @@ void UdpFabric::LeaveGroup(net::HostAddress group,
   }
 }
 
+size_t UdpFabric::TotalReceiveBacklog() const {
+  size_t total = 0;
+  for (const auto& [address, socket] : by_address_) {
+    total += socket->queued();
+  }
+  return total;
+}
+
 void UdpFabric::Transmit(sim::Host* sender, net::Datagram datagram) {
   CIRCUS_CHECK_MSG(datagram.payload.size() <= kMaxDatagramBytes,
                    "datagram exceeds network MTU");
   ++stats_.packets_sent;
+  stats_.bytes_sent += datagram.payload.size();
   ObserveSend(sender, datagram);
   auto src = by_address_.find(datagram.source);
   if (src == by_address_.end()) {
@@ -228,6 +237,7 @@ void UdpFabric::DrainFd(net::DatagramSocket* socket) {
       continue;
     }
     ++stats_.packets_delivered;
+    stats_.bytes_delivered += static_cast<uint64_t>(n);
     net::Datagram d;
     d.source = FromSockaddr(sa);
     d.destination = local;

@@ -27,6 +27,8 @@ namespace circus::rt {
 struct UdpFabricStats {
   uint64_t packets_sent = 0;       // send operations (multicast counts 1)
   uint64_t packets_delivered = 0;  // datagrams read off real sockets
+  uint64_t bytes_sent = 0;         // payload bytes offered to sendto
+  uint64_t bytes_delivered = 0;    // payload bytes read off real sockets
   uint64_t send_errors = 0;        // sendto failures (dropped, like UDP)
   uint64_t backpressure = 0;       // of those: EAGAIN/ENOBUFS (full bufs)
   uint64_t truncated = 0;          // inbound datagrams over the MTU
@@ -44,6 +46,10 @@ class UdpFabric : public net::Fabric {
   net::HostAddress AddressOfHost(sim::Host::HostId id) const override;
 
   const UdpFabricStats& stats() const { return stats_; }
+
+  // Datagrams sitting in bound sockets' receive queues, fabric-wide —
+  // the recv-backlog side of the utilization telemetry.
+  size_t TotalReceiveBacklog() const;
 
  protected:
   circus::StatusOr<net::NetAddress> Bind(net::DatagramSocket* socket,

@@ -218,6 +218,10 @@ int Main(int argc, char** argv) {
                std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kUsage, stderr);
       return 2;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "circus_wire: unknown flag %s\n", argv[i]);
+      std::fputs(kUsage, stderr);
+      return 2;
     } else {
       capture_paths.push_back(argv[i]);
     }

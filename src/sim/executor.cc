@@ -40,6 +40,7 @@ bool Executor::RunOne() {
     callbacks_.erase(it);
     CIRCUS_CHECK(ev.when >= now_);
     now_ = ev.when;
+    ++events_run_;
     fn();
     return true;
   }

@@ -48,6 +48,10 @@ class Executor {
 
   size_t pending_events() const { return queue_.size() - cancelled_.size(); }
 
+  // Total events dispatched by RunOne — with pending_events(), the
+  // run-queue side of the utilization telemetry (src/obs/util.h).
+  uint64_t events_run() const { return events_run_; }
+
   // Time of the earliest pending (non-cancelled) event, or nullopt when
   // the queue is empty. Used by the real-time runtime to arm its timer:
   // the wall-clock IoLoop sleeps exactly until the next virtual deadline.
@@ -103,6 +107,7 @@ class Executor {
   std::unordered_map<uint64_t, std::function<void()>> callbacks_;
   std::unordered_set<uint64_t> cancelled_;
   int64_t live_detached_ = 0;
+  uint64_t events_run_ = 0;
 };
 
 }  // namespace circus::sim

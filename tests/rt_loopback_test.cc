@@ -557,14 +557,36 @@ TEST(RtLoopbackTest, IntrospectionQueriesReportMetricsHealthAndSpans) {
   EXPECT_NE(metrics.find("circus_rt_loop_wakeups_total"),
             std::string::npos)
       << metrics;
+  // Shard health leads the reply so drop counts survive truncation.
+  EXPECT_EQ(metrics.rfind("# TYPE circus_shard_observed_total counter", 0),
+            0u)
+      << metrics;
+  EXPECT_NE(metrics.find("circus_shard_dropped_total 0"), std::string::npos);
+  EXPECT_NE(metrics.find("circus_shard_flushes_total"), std::string::npos);
   EXPECT_LE(metrics.size(), net::Fabric::kMaxDatagramBytes);
 
   const std::string health = node_obs.HandleQuery(" health\n");
   EXPECT_EQ(health.rfind("ok observe-me\n", 0), 0u) << health;
   EXPECT_NE(health.find("role member\n"), std::string::npos);
   EXPECT_NE(health.find("troupe 99\n"), std::string::npos);
+  // Graded load rides the health reply. The exact grade depends on how
+  // busy this machine is, so only the line's presence is asserted.
+  EXPECT_NE(health.find("\nload "), std::string::npos) << health;
   EXPECT_NE(health.find(" ok\n"), std::string::npos);  // the client peer,
                                                        // heard from just now
+
+  // The util query serves the USE monitor's exposition; the node's own
+  // probes are registered from construction.
+  node_obs.SampleUtilization();
+  const std::string util = node_obs.HandleQuery("util");
+  EXPECT_EQ(util.rfind("# TYPE circus_util_busy_pct gauge", 0), 0u) << util;
+  for (const char* resource :
+       {"rt.loop", "cpu.process", "net.udp", "alloc.marshal", "msg.segment",
+        "obs.shard"}) {
+    EXPECT_NE(util.find("{resource=\"" + std::string(resource) + "\"}"),
+              std::string::npos)
+        << resource;
+  }
 
   // The shard records every host in this single-process runtime, so the
   // member's spans view shows the whole call tree.
@@ -715,7 +737,113 @@ TEST(RtLoopbackTest, PagedIntrospectionReassemblesOversizeSpansReply) {
       node_obs.HandleQuery("spans " + std::to_string(assembled.size() + 999));
   EXPECT_EQ(past, "chunk " + std::to_string(assembled.size()) + " end\n");
   EXPECT_EQ(node_obs.HandleQuery("spans x").rfind("err bad offset", 0), 0u);
+  EXPECT_EQ(node_obs.HandleQuery("util x").rfind("err bad offset", 0), 0u);
 }
+
+// ---------------------------------------- paged offsets past the end ----
+
+// One stats query over a real datagram: send, wait, copy the reply out.
+Task<void> QueryStatsOnce(net::DatagramSocket* socket, net::NetAddress to,
+                          std::string query, std::string* reply,
+                          bool* done) {
+  Bytes payload(query.begin(), query.end());
+  Status sent = co_await socket->Send(to, std::move(payload));
+  CIRCUS_CHECK_MSG(sent.ok(), sent.ToString().c_str());
+  net::Datagram response = co_await socket->Receive();
+  reply->assign(response.payload.begin(), response.payload.end());
+  *done = true;
+}
+
+// Every paged query form must terminate cleanly when the client asks
+// for an offset past the end of the text: a bare "chunk <size> end"
+// header with an empty body, never an error and never a stall. Driven
+// over real datagrams, with the querying socket on either fabric a
+// deployment can interpose: the raw UDP fabric or the fault-injection
+// wrapper around it.
+class PagedPastEndTest : public testing::TestWithParam<bool> {};
+
+TEST_P(PagedPastEndTest, OffsetsPastEndOfDataTerminateWithEmptyChunk) {
+  const bool through_fault_fabric = GetParam();
+  Runtime runtime;
+  sim::Host* node_host = runtime.AddHost("node");
+  NodeConfig cfg;
+  cfg.role = NodeConfig::Role::kMember;
+  cfg.listen = net::NetAddress{kLoopbackAddress, 39050};
+  cfg.node_name = "pastend";
+  cfg.stats_port = through_fault_fabric ? 39052 : 39051;
+  NodeObservability node_obs(&runtime, node_host, cfg);
+  ASSERT_TRUE(node_obs.status().ok()) << node_obs.status().ToString();
+
+  ModuleNumber module = 0;
+  std::unique_ptr<RpcProcess> member =
+      MakeEchoProcess(&runtime, node_host, &module);
+  member->SetTroupeId(TroupeId{99});
+  node_obs.SetProcess(member.get());
+  Troupe troupe;
+  troupe.id = TroupeId{99};
+  troupe.members.push_back(member->module_address(module));
+  sim::Host* client_host = runtime.AddHost("client");
+  RpcProcess client(&runtime.fabric(), client_host, 0);
+  bool called = false;
+  client_host->Spawn(CallEchoOnce(&client, troupe, module, &called));
+  ASSERT_TRUE(
+      runtime.RunUntil([&called] { return called; }, Duration::Seconds(30)));
+
+  net::FaultFabric fault_fabric(&runtime.fabric(), &runtime.executor(), 7);
+  net::Fabric* query_fabric =
+      through_fault_fabric ? static_cast<net::Fabric*>(&fault_fabric)
+                           : &runtime.fabric();
+  StatusOr<std::unique_ptr<net::DatagramSocket>> socket =
+      net::DatagramSocket::Open(query_fabric, client_host, 0);
+  ASSERT_TRUE(socket.ok()) << socket.status().ToString();
+  const net::NetAddress stats_addr{kLoopbackAddress, cfg.stats_port};
+
+  const auto ask = [&](const std::string& query, std::string* reply) {
+    bool done = false;
+    client_host->Spawn(
+        QueryStatsOnce(socket->get(), stats_addr, query, reply, &done));
+    return runtime.RunUntil([&done] { return done; },
+                            Duration::Seconds(10));
+  };
+
+  for (const std::string query : {"metrics", "spans", "util"}) {
+    SCOPED_TRACE(query);
+    // Anything at or past the text size clamps to "empty final chunk".
+    std::string reply;
+    ASSERT_TRUE(ask(query + " 99999999", &reply));
+    ASSERT_EQ(reply.rfind("chunk ", 0), 0u) << reply;
+    const size_t eol = reply.find('\n');
+    ASSERT_NE(eol, std::string::npos) << reply;
+    EXPECT_EQ(eol + 1, reply.size()) << "past-end chunk has a body: "
+                                     << reply;
+    size_t clamped = 0;
+    char next[16] = {0};
+    ASSERT_EQ(std::sscanf(reply.c_str(), "chunk %zu %15s", &clamped, next),
+              2)
+        << reply;
+    EXPECT_STREQ(next, "end") << reply;
+    EXPECT_GT(clamped, 0u) << query << " text is empty";
+
+    // Re-asking at the clamped offset is well-framed too. (The reply
+    // may carry a body now: serving the first query itself advanced
+    // live counters, so the text can have grown past the old end.)
+    std::string again;
+    ASSERT_TRUE(ask(query + " " + std::to_string(clamped), &again));
+    EXPECT_EQ(again.rfind("chunk " + std::to_string(clamped) + " ", 0), 0u)
+        << again;
+  }
+
+  // The util text itself is live on the datagram path too.
+  std::string util;
+  ASSERT_TRUE(ask("util", &util));
+  EXPECT_EQ(util.rfind("# TYPE circus_util_busy_pct gauge", 0), 0u) << util;
+  EXPECT_NE(util.find("{resource=\"rt.loop\"}"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, PagedPastEndTest, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& param) {
+                           return param.param ? "FaultFabric" : "UdpFabric";
+                         });
 
 // -------------------------------------------------- crash and reboot ----
 
